@@ -1,0 +1,5 @@
+"""Shim: the table renderer lives in the library proper."""
+
+from repro.stats.tables import render_reduction_table
+
+__all__ = ["render_reduction_table"]

@@ -1,0 +1,94 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  Besides
+the pytest-benchmark timing rows, each harness writes its reproduced
+table to ``benchmarks/results/<name>.txt`` (and echoes it to stdout when
+pytest runs with ``-s``), so ``EXPERIMENTS.md`` can be checked against
+fresh output at any time.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import ForbiddenLatencyMatrix, reduce_machine
+from repro.machines import (
+    alpha21064,
+    cydra5,
+    cydra5_subset,
+    example_machine,
+    mips_r3000,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Loops in the scheduling benchmarks; the paper used 1327.
+BENCH_LOOPS = int(os.environ.get("REPRO_BENCH_LOOPS", "1327"))
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write one reproduced table to the results directory and stdout."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _record(name: str, text: str) -> str:
+        path = os.path.join(RESULTS_DIR, name + ".txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print("\n" + "=" * 72)
+        print("[%s]" % name)
+        print(text)
+        return path
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def machines():
+    return {
+        "example": example_machine(),
+        "cydra5": cydra5(),
+        "cydra5-subset": cydra5_subset(),
+        "alpha21064": alpha21064(),
+        "mips-r3000": mips_r3000(),
+    }
+
+
+@pytest.fixture(scope="session")
+def matrices(machines):
+    return {
+        name: ForbiddenLatencyMatrix.from_machine(md)
+        for name, md in machines.items()
+    }
+
+
+def _reduce_all(machine, word_cycle_list):
+    """The paper's five columns: original, res-uses, and k-cycle words."""
+    reductions = {"res-uses": reduce_machine(machine)}
+    for k in word_cycle_list:
+        reductions["%d-cycle-word" % k] = reduce_machine(
+            machine, objective="word-uses", word_cycles=k
+        )
+    return reductions
+
+
+@pytest.fixture(scope="session")
+def cydra5_reductions(machines):
+    return _reduce_all(machines["cydra5"], (1, 2, 4))
+
+
+@pytest.fixture(scope="session")
+def subset_reductions(machines):
+    return _reduce_all(machines["cydra5-subset"], (1, 3, 7))
+
+
+@pytest.fixture(scope="session")
+def alpha_reductions(machines):
+    return _reduce_all(machines["alpha21064"], (1, 4, 9))
+
+
+@pytest.fixture(scope="session")
+def mips_reductions(machines):
+    return _reduce_all(machines["mips-r3000"], (1, 4, 9))

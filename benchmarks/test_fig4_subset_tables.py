@@ -1,0 +1,45 @@
+"""Figure 4 — reservation tables of the Cydra 5 benchmark subset: the
+original description vs the discrete reduction vs the 64-bit-word
+bitvector reduction."""
+
+from repro.core import matrices_equal
+
+
+def _render_description(machine, limit_ops=None):
+    lines = [
+        "%s: %d resources, %d usages"
+        % (machine.name, machine.num_resources, machine.total_usages)
+    ]
+    ops = machine.operation_names
+    if limit_ops:
+        ops = ops[:limit_ops]
+    for op in ops:
+        table = machine.table(op)
+        lines.append("")
+        lines.append("operation %s (%d usages)" % (op, table.usage_count))
+        lines.append(table.render())
+    return "\n".join(lines)
+
+
+def test_fig4(benchmark, machines, subset_reductions, record):
+    machine = machines["cydra5-subset"]
+    discrete = subset_reductions["res-uses"].reduced
+    bitvector = subset_reductions["7-cycle-word"].reduced
+
+    benchmark.pedantic(
+        lambda: matrices_equal(machine, bitvector), rounds=1, iterations=1
+    )
+    assert matrices_equal(machine, discrete)
+    assert matrices_equal(machine, bitvector)
+
+    parts = [
+        "Figure 4a: original subset description",
+        _render_description(machine),
+        "",
+        "Figure 4b: discrete (res-uses) reduction",
+        _render_description(discrete),
+        "",
+        "Figure 4c: 64-bit bitvector (7-cycle-word) reduction",
+        _render_description(bitvector),
+    ]
+    record("fig4_subset_tables", "\n".join(parts))

@@ -1,0 +1,110 @@
+"""The cost of a wrong machine description (paper Section 1, quantified).
+
+"Resource contentions ... may stall some of the pipelines or, in the
+absence of hardware interlocks, corrupt some of the results."  This
+harness schedules a block suite against three descriptions of the MIPS
+R3000 and *simulates* the schedules on the true machine:
+
+* the correct description (original or reduced — identical schedules);
+* a naively weakened one missing the divide unit's hold rows — the kind
+  of mistake a manual reduction makes;
+* a latency-truncated one where the FP divider hold was shortened.
+
+Correct schedules simulate cleanly; wrong ones stall (interlocked) or
+corrupt (VLIW-style), which is the paper's motivation made measurable.
+"""
+
+from conftest import BENCH_LOOPS
+
+from repro.analysis import drop_resources
+from repro.core import MachineDescription, reduce_machine
+from repro.machines import mips_r3000
+from repro.scheduler import OperationDrivenScheduler
+from repro.simulate import simulate
+from repro.workloads import block_suite
+
+MIX = (
+    ("int_alu", 30),
+    ("load", 20),
+    ("fadd", 15),
+    ("fmul_d", 10),
+    ("div", 6),
+    ("fdiv_d", 6),
+    ("mfhilo", 6),
+    ("store", 7),
+)
+
+LATENCIES = {
+    "int_alu": 1, "load": 2, "fadd": 3, "fmul_d": 6, "div": 35,
+    "fdiv_d": 20, "mfhilo": 2, "store": 1, "store_s": 1,
+}
+
+
+def _truncate_divider(machine):
+    """Cut the FP divider hold from 18 to 6 cycles (a latency bug)."""
+    operations = {}
+    for op, table in machine.items():
+        usages = {
+            r: sorted(c for c in table.usage_set(r))
+            for r in table.resources
+        }
+        if op == "fdiv_d":
+            usages["fp.div"] = [c for c in usages["fp.div"] if c <= 7]
+            usages["fp.busy"] = [c for c in usages["fp.busy"] if c <= 7]
+        operations[op] = usages
+    return MachineDescription("mips-truncated", operations)
+
+
+def test_wrong_description_cost(benchmark, record):
+    truth = mips_r3000()
+    descriptions = {
+        "correct (reduced)": reduce_machine(truth).reduced,
+        "missing divide rows": drop_resources(
+            truth, ["iu.multdiv", "iu.mdbusy"]
+        ),
+        "truncated fdiv hold": _truncate_divider(truth),
+    }
+    blocks = block_suite(
+        min(150, BENCH_LOOPS),
+        mix=MIX,
+        latencies=LATENCIES,
+        store_opcode="store",
+    )
+
+    def run():
+        outcome = {}
+        for label, description in descriptions.items():
+            scheduler = OperationDrivenScheduler(description)
+            stalls = conflicts = scheduled = 0
+            lengths = 0
+            for graph in blocks:
+                result = scheduler.schedule(graph)
+                placements = [
+                    (result.chosen_opcodes[n], t)
+                    for n, t in result.times.items()
+                ]
+                interlocked = simulate(truth, placements)
+                corrupting = simulate(truth, placements, interlock=False)
+                stalls += interlocked.stall_cycles
+                conflicts += len(corrupting.conflicts)
+                scheduled += len(placements)
+                lengths += result.length
+            outcome[label] = (stalls, conflicts, scheduled, lengths)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Cost of a wrong machine description (%d blocks on the real "
+        "MIPS R3000)" % len(blocks),
+        "  %-22s %14s %18s"
+        % ("description", "stall cycles", "corruption events"),
+    ]
+    for label, (stalls, conflicts, _n, _l) in outcome.items():
+        lines.append("  %-22s %14d %18d" % (label, stalls, conflicts))
+    record("wrong_description_cost", "\n".join(lines))
+
+    assert outcome["correct (reduced)"][0] == 0
+    assert outcome["correct (reduced)"][1] == 0
+    assert outcome["missing divide rows"][0] > 0
+    assert outcome["truncated fdiv hold"][1] > 0

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Unrestricted scheduling features: backtracking and block boundaries.
+
+Shows the two capabilities the paper calls out as hard for automata:
+
+1. ``assign&free`` — a backtracking scheduler deliberately schedules into
+   a conflict and evicts the previous owners (Rau's Iterative Modulo
+   Scheduler does this whenever no slot in an II-wide window is free);
+2. dangling resource requirements — operations issued at *negative*
+   cycles by predecessor basic blocks still constrain this block's
+   schedule, which the operation-driven scheduler honours.
+"""
+
+from repro.machines import example_machine, mips_r3000
+from repro.query import BitvectorQueryModule
+from repro.scheduler import DependenceGraph, OperationDrivenScheduler
+
+
+def backtracking_demo():
+    print("=" * 60)
+    print("assign&free: optimistic mode until the first eviction")
+    machine = example_machine()
+    module = BitvectorQueryModule(machine, word_cycles=4)
+
+    b0, evicted = module.assign_free("B", 0)
+    print(
+        "placed B@0 -> evicted %s (update mode: %s)"
+        % ([t.op for t in evicted], module.in_update_mode)
+    )
+    _b4, evicted = module.assign_free("B", 4)
+    print(
+        "placed B@4 -> evicted %s (update mode: %s)"
+        % ([t.op for t in evicted], module.in_update_mode)
+    )
+    _b2, evicted = module.assign_free("B", 2)
+    print(
+        "placed B@2 -> evicted %s (update mode: %s)"
+        % (
+            [(t.op, t.cycle) for t in evicted],
+            module.in_update_mode,
+        )
+    )
+    assert (b0.op, b0.cycle) in [(t.op, t.cycle) for t in evicted]
+    print(module.work.report())
+
+
+def boundary_demo():
+    print("\n" + "=" * 60)
+    print("block boundaries: dangling requirements from a predecessor")
+    machine = mips_r3000()
+    scheduler = OperationDrivenScheduler(machine)
+
+    block = DependenceGraph("block")
+    block.add_operation("d", "div")
+    block.add_operation("use", "mfhilo")
+    block.add_dependence("d", "use", 35)
+
+    clean = scheduler.schedule(block)
+    print("no boundary:   div at", clean.times["d"])
+
+    # The predecessor block issued a divide 20 cycles before this block
+    # begins; its HI/LO-unit reservation dangles into cycles 0..15.
+    dangling = scheduler.schedule(block, boundary=[("div", -20)])
+    print("div@-20 dangling: div at", dangling.times["d"])
+    assert dangling.times["d"] > clean.times["d"]
+
+
+def main():
+    backtracking_demo()
+    boundary_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Sweep internal representations of the Cydra 5 and measure query work.
+
+Reproduces the trade-off behind Tables 1 and 6: packing more
+cycle-bitvectors per word makes each reservation table *bigger in usages*
+but *smaller in words*, and it is words that a check touches.
+"""
+
+from repro.core import reduce_machine
+from repro.machines import cydra5
+from repro.scheduler import IterativeModuloScheduler
+from repro.stats import average_usages_per_op, average_word_usages
+from repro.workloads import loop_suite
+
+LOOPS = 150
+
+
+def main():
+    machine = cydra5()
+    loops = loop_suite(LOOPS)
+    print(
+        "%-14s %10s %10s %12s %12s"
+        % ("description", "usages/op", "words/op", "work/call", "speedup")
+    )
+
+    baseline = None
+    configs = [("original", None, "discrete", 1)]
+    configs.append(("res-uses", "res-uses", "discrete", 1))
+    for k in (1, 2, 4):
+        configs.append(
+            ("%d-cyc-word" % k, ("word-uses", k), "bitvector", k)
+        )
+
+    for name, objective, representation, k in configs:
+        if objective is None:
+            description = machine
+        elif objective == "res-uses":
+            description = reduce_machine(machine).reduced
+        else:
+            description = reduce_machine(
+                machine, objective="word-uses", word_cycles=k
+            ).reduced
+        scheduler = IterativeModuloScheduler(
+            description, representation=representation, word_cycles=k
+        )
+        from repro.query import WorkCounters
+
+        work = WorkCounters()
+        for graph in loops:
+            work.merge(scheduler.schedule(graph).work)
+        average = work.weighted_average()
+        if baseline is None:
+            baseline = average
+        print(
+            "%-14s %10.1f %10.1f %12.2f %11.2fx"
+            % (
+                name,
+                average_usages_per_op(description),
+                average_word_usages(description, k),
+                average,
+                baseline / average,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

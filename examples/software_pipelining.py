@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Software-pipeline classic numeric kernels for the Cydra 5.
+
+Runs Rau's Iterative Modulo Scheduler over the named Livermore-style
+kernels using a reduced Cydra 5 description and a modulo reservation
+table, then prints each kernel's schedule and its MRT occupancy.
+"""
+
+from repro.core import reduce_machine
+from repro.machines import cydra5_subset
+from repro.scheduler import IterativeModuloScheduler
+from repro.workloads import KERNELS
+
+
+def render_mrt(result):
+    """ASCII modulo reservation table: rows = resources, cols = slots."""
+    machine = result.machine
+    ii = result.ii
+    grid = {}
+    for name, time in result.times.items():
+        opcode = result.chosen_opcodes[name]
+        for resource, cycle in machine.table(opcode).iter_usages():
+            grid[(resource, (time + cycle) % ii)] = name
+    used_resources = sorted({r for r, _ in grid})
+    width = max((len(r) for r in used_resources), default=0)
+    lines = [" " * width + " |" + "".join(str(s % 10) for s in range(ii))]
+    for resource in used_resources:
+        cells = "".join(
+            "X" if (resource, s) in grid else "." for s in range(ii)
+        )
+        lines.append(resource.ljust(width) + " |" + cells)
+    return "\n".join(lines)
+
+
+def main():
+    machine = reduce_machine(
+        cydra5_subset(), objective="word-uses", word_cycles=7
+    ).reduced
+    scheduler = IterativeModuloScheduler(
+        machine, representation="bitvector", word_cycles=7
+    )
+
+    for name, build in KERNELS.items():
+        graph = build()
+        result = scheduler.schedule(graph)
+        print("=" * 60)
+        print(
+            "%s: %d ops, MII=%d, II=%d (%s), %.2f decisions/op"
+            % (
+                name,
+                graph.num_operations,
+                result.mii,
+                result.ii,
+                "optimal" if result.optimal else "suboptimal",
+                result.decisions_per_op,
+            )
+        )
+        for op_name in sorted(result.times, key=result.times.get):
+            print(
+                "  t=%3d (slot %2d)  %-12s as %s"
+                % (
+                    result.times[op_name],
+                    result.times[op_name] % result.ii,
+                    op_name,
+                    result.chosen_opcodes[op_name],
+                )
+            )
+        print("\nmodulo reservation table (reduced resources):")
+        print(render_mrt(result))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — reduced multipipeline machine descriptions.
+
+A production-quality reproduction of Eichenberger & Davidson, *A Reduced
+Multipipeline Machine Description that Preserves Scheduling Constraints*
+(PLDI 1996): exact, automated reduction of reservation-table machine
+descriptions, contention query modules (discrete / bitvector / modulo),
+finite-state-automata baselines, and an Iterative Modulo Scheduler that
+evaluates them.
+
+Quickstart
+----------
+>>> from repro import example_machine, reduce_machine
+>>> reduction = reduce_machine(example_machine())
+>>> reduction.reduced.num_resources
+2
+"""
+
+from repro.core import (
+    ForbiddenLatencyMatrix,
+    MachineBuilder,
+    MachineDescription,
+    RES_USES,
+    Reduction,
+    ReservationTable,
+    WORD_USES,
+    assert_equivalent,
+    matrices_equal,
+    reduce_machine,
+)
+from repro.machines.example import example_machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ForbiddenLatencyMatrix",
+    "MachineBuilder",
+    "MachineDescription",
+    "RES_USES",
+    "Reduction",
+    "ReservationTable",
+    "WORD_USES",
+    "assert_equivalent",
+    "example_machine",
+    "matrices_equal",
+    "reduce_machine",
+    "__version__",
+]

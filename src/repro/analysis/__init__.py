@@ -1,0 +1,41 @@
+"""Analysis utilities: redundancy pruning, reports, and exporters."""
+
+from repro.analysis.export import graph_to_dot, machine_to_markdown
+from repro.analysis.gantt import has_collision, occupancy_chart
+from repro.analysis.ii_sweep import SweepPoint, ii_sweep, sweep_report
+from repro.analysis.utilization import (
+    ResourceUtilization,
+    bottlenecks,
+    utilization,
+    utilization_report,
+)
+from repro.analysis.redundancy import (
+    drop_resources,
+    manually_optimize,
+    redundant_resources,
+)
+from repro.analysis.report import (
+    describe_machine,
+    describe_reduction,
+    diff_constraints,
+)
+
+__all__ = [
+    "ResourceUtilization",
+    "SweepPoint",
+    "bottlenecks",
+    "describe_machine",
+    "describe_reduction",
+    "diff_constraints",
+    "drop_resources",
+    "graph_to_dot",
+    "has_collision",
+    "machine_to_markdown",
+    "occupancy_chart",
+    "manually_optimize",
+    "ii_sweep",
+    "redundant_resources",
+    "sweep_report",
+    "utilization",
+    "utilization_report",
+]

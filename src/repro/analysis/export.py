@@ -1,0 +1,112 @@
+"""Exporters: Graphviz dot for dependence graphs, markdown for machines.
+
+Compiler developers live in dumps; these are the two formats worth
+having: ``dot`` renderings of dependence graphs (critical-path debugging
+of the scheduler) and markdown tables of machine descriptions and
+reductions (for design documents like this repository's EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.machine import MachineDescription
+from repro.scheduler.ddg import DependenceGraph
+
+_KIND_STYLE = {
+    "flow": "solid",
+    "anti": "dashed",
+    "output": "dotted",
+}
+
+
+def graph_to_dot(
+    graph: DependenceGraph,
+    times: Optional[Dict[str, int]] = None,
+    ii: Optional[int] = None,
+) -> str:
+    """Graphviz rendering of a dependence graph.
+
+    With ``times`` (a schedule), nodes are annotated and ranked by issue
+    cycle; loop-carried edges are drawn as constraint-free back edges
+    labeled with their distance.
+    """
+    lines = ["digraph %s {" % _dot_ident(graph.name)]
+    lines.append('  rankdir=TB; node [shape=box, fontname="monospace"];')
+    for op in graph.operations():
+        label = "%s\\n%s" % (op.name, op.opcode)
+        if times is not None and op.name in times:
+            slot = ""
+            if ii:
+                slot = " (slot %d)" % (times[op.name] % ii)
+            label += "\\nt=%d%s" % (times[op.name], slot)
+        lines.append(
+            '  %s [label="%s"];' % (_dot_ident(op.name), label)
+        )
+    for edge in graph.edges():
+        attributes = ['style=%s' % _KIND_STYLE.get(edge.kind, "solid")]
+        label = str(edge.latency)
+        if edge.distance:
+            label += " / d%d" % edge.distance
+            attributes.append("constraint=false")
+            attributes.append("color=red")
+        attributes.append('label="%s"' % label)
+        lines.append(
+            "  %s -> %s [%s];"
+            % (
+                _dot_ident(edge.src),
+                _dot_ident(edge.dst),
+                ", ".join(attributes),
+            )
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _dot_ident(name: str) -> str:
+    """Quote a name into a safe dot identifier."""
+    return '"%s"' % name.replace('"', "'")
+
+
+def machine_to_markdown(machine: MachineDescription) -> str:
+    """Markdown table of a machine's reservation tables.
+
+    One row per operation; columns are cycles; each cell lists the
+    resources reserved in that cycle (blank when idle).
+    """
+    width = machine.max_table_length
+    header = (
+        "| operation | "
+        + " | ".join("c%d" % c for c in range(width))
+        + " |"
+    )
+    divider = "|" + "---|" * (width + 1)
+    lines = [
+        "### %s — %d operations, %d resources, %d usages"
+        % (
+            machine.name,
+            machine.num_operations,
+            machine.num_resources,
+            machine.total_usages,
+        ),
+        "",
+        header,
+        divider,
+    ]
+    for op, table in machine.items():
+        cells = []
+        for cycle in range(width):
+            holders = [
+                r for r in table.resources if table.uses(r, cycle)
+            ]
+            cells.append("<br>".join(holders))
+        lines.append("| %s | %s |" % (op, " | ".join(cells)))
+    groups = machine.alternatives
+    if groups:
+        lines.append("")
+        for base in sorted(groups):
+            lines.append(
+                "* `%s` = %s"
+                % (base, " / ".join("`%s`" % v for v in groups[base]))
+            )
+    return "\n".join(lines)

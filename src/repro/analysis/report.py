@@ -1,0 +1,113 @@
+"""Human-readable reports over machine descriptions and reductions.
+
+The paper motivates automated reduction partly as a *development-process*
+tool: machine descriptions change constantly while the micro-architecture
+is designed, and every change must be re-reduced and re-validated.  These
+reports are the artifacts such a workflow prints in CI: a description
+summary, a reduction summary, and a constraint diff between two
+description versions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.forbidden import ForbiddenLatencyMatrix
+from repro.core.machine import MachineDescription
+from repro.core.reduce import Reduction
+from repro.stats import average_usages_per_op, average_word_usages
+
+
+def describe_machine(machine: MachineDescription) -> str:
+    """Multi-line summary of one description's key numbers."""
+    matrix = ForbiddenLatencyMatrix.from_machine(machine)
+    classes = matrix.operation_classes()
+    lines = [
+        "machine %s" % machine.name,
+        "  operations:          %d (%d classes)"
+        % (machine.num_operations, len(classes)),
+        "  resources:           %d" % machine.num_resources,
+        "  usages:              %d (%.1f per op)"
+        % (machine.total_usages, average_usages_per_op(machine)),
+        "  forbidden latencies: %d (max %d)"
+        % (matrix.instance_count, matrix.max_latency),
+        "  longest table:       %d cycles" % machine.max_table_length,
+    ]
+    groups = machine.alternatives
+    if groups:
+        lines.append(
+            "  alternative groups:  %d (%s)"
+            % (len(groups), ", ".join(sorted(groups)))
+        )
+    merged = [c for c in classes if len(c) > 1]
+    if merged:
+        lines.append(
+            "  merged classes:      %s"
+            % "; ".join("=".join(c) for c in merged)
+        )
+    return "\n".join(lines)
+
+
+def describe_reduction(reduction: Reduction) -> str:
+    """Reduction before/after report with the Tables 1-4 metrics."""
+    original = reduction.original
+    reduced = reduction.reduced
+    k = reduction.word_cycles
+    lines = [
+        reduction.summary(),
+        "  objective:        %s (k=%d)" % (reduction.objective, k),
+        "  generating set:   %d resources (%d after pruning)"
+        % (len(reduction.generating_set), len(reduction.pruned_set)),
+        "  usages/op:        %.1f -> %.1f"
+        % (average_usages_per_op(original), average_usages_per_op(reduced)),
+        "  word usages/op:   %.1f -> %.1f (k=%d)"
+        % (
+            average_word_usages(original, k),
+            average_word_usages(reduced, k),
+            k,
+        ),
+        "  state bits/cycle: %d -> %d (%.0f%%)"
+        % (
+            original.num_resources,
+            reduced.num_resources,
+            100.0 * reduced.num_resources / max(1, original.num_resources),
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def diff_constraints(
+    first: MachineDescription, second: MachineDescription, limit: int = 20
+) -> str:
+    """Scheduling-constraint diff between two description versions.
+
+    Empty-diff output states the equivalence; otherwise each differing
+    operation pair is listed with the latencies unique to each side —
+    the report a machine-description CI gate would print.
+    """
+    matrix_a = ForbiddenLatencyMatrix.from_machine(first)
+    matrix_b = ForbiddenLatencyMatrix.from_machine(second)
+    diffs = matrix_a.differences(matrix_b)
+    if not diffs:
+        return (
+            "EQUIVALENT: %r and %r encode identical scheduling constraints"
+            % (first.name, second.name)
+        )
+    lines: List[str] = [
+        "NOT EQUIVALENT: %d operation pairs differ between %r and %r"
+        % (len(diffs), first.name, second.name)
+    ]
+    for op_x, op_y, only_a, only_b in diffs[:limit]:
+        if only_a:
+            lines.append(
+                "  %s after %s: %s forbidden only in %r"
+                % (op_x, op_y, sorted(only_a), first.name)
+            )
+        if only_b:
+            lines.append(
+                "  %s after %s: %s forbidden only in %r"
+                % (op_x, op_y, sorted(only_b), second.name)
+            )
+    if len(diffs) > limit:
+        lines.append("  ... and %d more pairs" % (len(diffs) - limit))
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Resource-utilization analysis of schedules.
+
+For a modulo schedule the steady-state kernel repeats every II cycles,
+so each resource's utilization is (occupied MRT slots) / II; the
+resources at 100% are exactly the ResMII-binding bottlenecks — the rows
+an architect would replicate next.  For block schedules utilization is
+measured over the schedule length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.machine import MachineDescription
+
+
+@dataclass(frozen=True)
+class ResourceUtilization:
+    """Occupancy of one resource row."""
+
+    resource: str
+    busy: int
+    capacity: int
+
+    @property
+    def fraction(self) -> float:
+        if not self.capacity:
+            return 0.0
+        return self.busy / self.capacity
+
+    @property
+    def saturated(self) -> bool:
+        return self.busy >= self.capacity
+
+
+def utilization(
+    machine: MachineDescription,
+    times: Dict[str, int],
+    chosen_opcodes: Dict[str, str],
+    ii: Optional[int] = None,
+) -> List[ResourceUtilization]:
+    """Per-resource occupancy of a schedule, most utilized first.
+
+    ``ii`` selects the modulo (kernel) interpretation; without it the
+    capacity is the flat schedule span.
+    """
+    busy: Dict[str, set] = {}
+    max_cycle = 0
+    for name, time in times.items():
+        opcode = chosen_opcodes[name]
+        for resource, use in machine.table(opcode).iter_usages():
+            cycle = time + use
+            if ii is not None:
+                cycle %= ii
+            busy.setdefault(resource, set()).add(cycle)
+            max_cycle = max(max_cycle, cycle)
+    capacity = ii if ii is not None else max_cycle + 1
+    rows = [
+        ResourceUtilization(
+            resource=resource, busy=len(cycles), capacity=capacity
+        )
+        for resource, cycles in busy.items()
+    ]
+    rows.sort(key=lambda r: (-r.fraction, r.resource))
+    return rows
+
+
+def bottlenecks(
+    machine: MachineDescription,
+    times: Dict[str, int],
+    chosen_opcodes: Dict[str, str],
+    ii: int,
+) -> List[str]:
+    """Resources with 100% kernel occupancy — the rows pinning II."""
+    return [
+        row.resource
+        for row in utilization(machine, times, chosen_opcodes, ii=ii)
+        if row.saturated
+    ]
+
+
+def utilization_report(
+    machine: MachineDescription,
+    times: Dict[str, int],
+    chosen_opcodes: Dict[str, str],
+    ii: Optional[int] = None,
+    top: int = 12,
+) -> str:
+    """Bar-chart style utilization summary."""
+    rows = utilization(machine, times, chosen_opcodes, ii=ii)
+    lines = []
+    for row in rows[:top]:
+        bar = "#" * int(round(20 * row.fraction))
+        lines.append(
+            "  %-12s %3d/%-3d %5.0f%% |%-20s|"
+            % (row.resource, row.busy, row.capacity,
+               100 * row.fraction, bar)
+        )
+    if len(rows) > top:
+        lines.append("  ... and %d more resources" % (len(rows) - top))
+    return "\n".join(lines)

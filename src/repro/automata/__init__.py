@@ -1,0 +1,40 @@
+"""Finite-state-automata baselines (related work, paper Section 2).
+
+* :class:`PipelineAutomaton` — monolithic contention-recognizing automaton
+  (Proebsting & Fraser); exact, one lookup per event, but state counts
+  grow quickly with pipeline depth.
+* :class:`FactoredAutomata` — per-resource-group factoring (Müller): far
+  smaller, at one lookup per factor per event.
+* :class:`AutomatonQueryModule` — a Bala & Rubin style query module with
+  per-cycle state arrays, supporting unrestricted placement by
+  re-propagating states through later cycles (charged as work).
+"""
+
+from repro.automata.core import (
+    ADVANCE,
+    AutomatonTooLarge,
+    PipelineAutomaton,
+)
+from repro.automata.factored import (
+    PER_RESOURCE,
+    UNIT,
+    FactoredAutomata,
+    factor_resources,
+)
+from repro.automata.minimize import is_minimal, minimize
+from repro.automata.pair import PairedAutomatonQueryModule
+from repro.automata.query import AutomatonQueryModule
+
+__all__ = [
+    "ADVANCE",
+    "AutomatonQueryModule",
+    "AutomatonTooLarge",
+    "FactoredAutomata",
+    "PER_RESOURCE",
+    "PairedAutomatonQueryModule",
+    "PipelineAutomaton",
+    "UNIT",
+    "factor_resources",
+    "is_minimal",
+    "minimize",
+]

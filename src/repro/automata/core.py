@@ -1,0 +1,149 @@
+"""Contention-recognizing finite-state automata (related-work baseline).
+
+Builds the automaton of Proebsting & Fraser: a state is the set of
+*pending resource reservations* — ``(resource, future_cycle)`` pairs
+dangling from already-issued operations, relative to the current cycle.
+Issuing an operation is legal when its usages do not intersect the state;
+advancing a cycle shifts every pending pair one cycle closer and drops the
+expired ones.  The automaton accepts exactly the contention-free schedules
+of the machine, one table lookup per event.
+
+A *reverse* automaton (Bala & Rubin) is the same construction over the
+time-reversed reservation tables; together the pair supports checking
+insertions into the middle of a schedule.
+
+State counts grow with pipeline depth — the 34-cycle MIPS divide alone
+contributes a long chain — which is the size problem the paper's reduced
+reservation tables avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.machine import MachineDescription
+from repro.errors import ReproError
+
+#: The cycle-advance input symbol.
+ADVANCE = "<advance>"
+
+State = FrozenSet[Tuple[str, int]]
+EMPTY_STATE: State = frozenset()
+
+
+class AutomatonTooLarge(ReproError):
+    """Raised when construction exceeds the state budget."""
+
+
+@dataclass
+class PipelineAutomaton:
+    """An explicit contention-recognizing automaton.
+
+    Attributes
+    ----------
+    machine:
+        The machine the automaton recognizes schedules of.
+    states:
+        State-set to dense-id mapping; id 0 is the empty (start) state.
+    transitions:
+        ``(state_id, symbol) -> state_id`` where symbol is an operation
+        name or :data:`ADVANCE`.  Missing operation entries mean the
+        operation cannot issue in that state (a structural hazard).
+    reverse:
+        True when built over time-reversed tables.
+    """
+
+    machine: MachineDescription
+    states: Dict[State, int]
+    transitions: Dict[Tuple[int, str], int]
+    reverse: bool = False
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self.transitions)
+
+    def start(self) -> int:
+        """Id of the empty start state."""
+        return 0
+
+    def issue(self, state_id: int, op: str) -> Optional[int]:
+        """State after issuing ``op`` in the current cycle, or None."""
+        if op not in self.machine:
+            raise ReproError("unknown operation %r" % op)
+        return self.transitions.get((state_id, op))
+
+    def can_issue(self, state_id: int, op: str) -> bool:
+        return (state_id, op) in self.transitions
+
+    def advance(self, state_id: int) -> int:
+        """State after one cycle boundary (always defined)."""
+        return self.transitions[(state_id, ADVANCE)]
+
+    def memory_bytes(self, bytes_per_entry: int = 4) -> int:
+        """Rough table storage: one entry per (state, symbol)."""
+        symbols = self.machine.num_operations + 1
+        return self.num_states * symbols * bytes_per_entry
+
+    @classmethod
+    def build(
+        cls,
+        machine: MachineDescription,
+        reverse: bool = False,
+        max_states: int = 500_000,
+    ) -> "PipelineAutomaton":
+        """Explicit-state construction by breadth-first exploration."""
+        usages: Dict[str, Tuple[Tuple[str, int], ...]] = {}
+        for op, table in machine.items():
+            if reverse:
+                table = table.reversed()
+            usages[op] = tuple(
+                (resource, cycle) for resource, cycle in table.iter_usages()
+            )
+
+        states: Dict[State, int] = {EMPTY_STATE: 0}
+        transitions: Dict[Tuple[int, str], int] = {}
+        worklist: List[State] = [EMPTY_STATE]
+
+        def intern(state: State) -> int:
+            existing = states.get(state)
+            if existing is not None:
+                return existing
+            if len(states) >= max_states:
+                raise AutomatonTooLarge(
+                    "automaton for %r exceeds %d states"
+                    % (machine.name, max_states)
+                )
+            ident = len(states)
+            states[state] = ident
+            worklist.append(state)
+            return ident
+
+        while worklist:
+            state = worklist.pop()
+            state_id = states[state]
+            occupied = state
+            # Operation transitions: legal iff no usage is already pending.
+            for op, pairs in usages.items():
+                if any(pair in occupied for pair in pairs):
+                    continue
+                successor = frozenset(occupied | set(pairs))
+                transitions[(state_id, op)] = intern(successor)
+            # Cycle advance: shift pending reservations one cycle closer.
+            advanced = frozenset(
+                (resource, cycle - 1)
+                for resource, cycle in occupied
+                if cycle >= 1
+            )
+            transitions[(state_id, ADVANCE)] = intern(advanced)
+
+        return cls(
+            machine=machine,
+            states=states,
+            transitions=transitions,
+            reverse=reverse,
+        )

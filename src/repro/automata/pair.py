@@ -1,0 +1,265 @@
+"""Forward/reverse automaton pair query module (Bala & Rubin, MICRO-28).
+
+Bala and Rubin extend Proebsting–Fraser automata to unrestricted
+scheduling with a *pair* of automata: a forward automaton run over the
+schedule in increasing cycle order, and a reverse automaton run over the
+time-reversed schedule.  One cached state per scheduled cycle per
+automaton allows quick checks:
+
+* appending at the end of the schedule needs one forward lookup;
+* prepending at the beginning needs one reverse lookup;
+* inserting in the middle first runs the cheap *pair pre-filter* — the
+  forward state entering the cycle must accept the operation, and the
+  reverse state entering its mirrored position must accept its reversed
+  table.  The pre-filter is necessary but not sufficient: an operation
+  strictly nested inside a longer operation's reservation span is visible
+  to neither automaton, so a passing pre-filter is confirmed by
+  re-propagating forward states (the update of "the state of scheduled
+  operations in adjacent cycles" the paper describes, charged as work).
+
+The memory cost the paper criticizes is explicit here: two automaton
+states are cached per scheduled cycle (:attr:`stored_states`), in
+addition to both transition tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.automata.core import PipelineAutomaton
+from repro.core.machine import MachineDescription
+from repro.core.reservation import ReservationTable
+from repro.errors import QueryError
+from repro.query.base import ContentionQueryModule, ScheduledToken
+
+#: Reverse-time anchor; any value beyond all real schedule cycles works.
+_HORIZON = 1 << 20
+
+
+class _Lane:
+    """One automaton plus its per-cycle state cache over a schedule."""
+
+    def __init__(self, automaton: PipelineAutomaton, lengths: Dict[str, int]):
+        self.automaton = automaton
+        self.lengths = lengths
+        self.by_cycle: Dict[int, List[str]] = {}
+        self.entering: Dict[int, object] = {}
+        self.base: Optional[int] = None
+        self.top: Optional[int] = None
+
+    def state_entering(self, cycle: int):
+        if self.base is None or cycle <= self.base:
+            return self.automaton.start()
+        cached = self.entering.get(cycle)
+        if cached is not None:
+            return cached
+        return self.automaton.start()
+
+    def quick_accepts(self, op: str, cycle: int) -> Tuple[bool, int]:
+        """One-lookup test against the cached entering state (plus any
+        same-cycle residents).  Exact only when nothing is scheduled at a
+        later cycle of this lane's time direction."""
+        units = 0
+        state = self.state_entering(cycle)
+        for resident in self.by_cycle.get(cycle, ()):
+            units += 1
+            state = self.automaton.issue(state, resident)
+            if state is None:  # pragma: no cover - cache is consistent
+                raise QueryError("inconsistent lane state")
+        units += 1
+        return self.automaton.can_issue(state, op), units
+
+    def full_check(self, op: str, cycle: int) -> Tuple[bool, int]:
+        """Insert-and-propagate validation (sound and complete)."""
+        units = 0
+        state = self.state_entering(cycle)
+        for resident in self.by_cycle.get(cycle, ()):
+            units += 1
+            state = self.automaton.issue(state, resident)
+        units += 1
+        state = self.automaton.issue(state, op)
+        if state is None:
+            return False, units
+        top = self.top if self.top is not None else cycle
+        influence_end = cycle + max(1, self.lengths[op])
+        current = cycle
+        while True:
+            units += 1
+            state = self.automaton.advance(state)
+            current += 1
+            if current > max(top, influence_end):
+                break
+            if (
+                state == self.state_entering(current)
+                and current >= influence_end
+            ):
+                break
+            for resident in self.by_cycle.get(current, ()):
+                units += 1
+                next_state = self.automaton.issue(state, resident)
+                if next_state is None:
+                    return False, units
+                state = next_state
+        return True, units
+
+    def add(self, op: str, cycle: int) -> None:
+        self.by_cycle.setdefault(cycle, []).append(op)
+        self.rebuild()
+
+    def remove(self, op: str, cycle: int) -> None:
+        residents = self.by_cycle.get(cycle, [])
+        if op not in residents:
+            raise QueryError("%r not scheduled at %d" % (op, cycle))
+        residents.remove(op)
+        if not residents:
+            del self.by_cycle[cycle]
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        self.entering.clear()
+        if not self.by_cycle:
+            self.base = None
+            self.top = None
+            return
+        self.base = min(self.by_cycle)
+        self.top = max(
+            cycle + max(1, self.lengths[op])
+            for cycle, ops in self.by_cycle.items()
+            for op in ops
+        )
+        state = self.automaton.start()
+        for cycle in range(self.base, self.top + 1):
+            if cycle > self.base:
+                state = self.automaton.advance(state)
+            self.entering[cycle] = state
+            for resident in self.by_cycle.get(cycle, ()):
+                next_state = self.automaton.issue(state, resident)
+                if next_state is None:  # pragma: no cover
+                    raise QueryError("inconsistent lane rebuild")
+                state = next_state
+
+
+def _reversed_machine(machine: MachineDescription) -> MachineDescription:
+    """Per-operation time reversal (each table mirrored on its own span)."""
+    operations = {}
+    for op, table in machine.items():
+        operations[op] = table.reversed() if not table.is_empty else (
+            ReservationTable({})
+        )
+    return MachineDescription(
+        machine.name + "-reversed",
+        operations,
+        resources=machine.resources,
+        alternatives=machine.alternatives,
+    )
+
+
+class PairedAutomatonQueryModule(ContentionQueryModule):
+    """Bala & Rubin style query module over a forward/reverse pair.
+
+    Parameters
+    ----------
+    machine:
+        Machine description.
+    forward / backward:
+        Optional pre-built automata (forward over the machine, backward
+        over its per-operation time reversal); built on demand otherwise.
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        forward: Optional[PipelineAutomaton] = None,
+        backward: Optional[PipelineAutomaton] = None,
+        max_states: int = 500_000,
+    ):
+        super().__init__(machine)
+        lengths = {
+            op: machine.table(op).length for op in machine.operation_names
+        }
+        if forward is None:
+            forward = PipelineAutomaton.build(machine, max_states=max_states)
+        reversed_machine = _reversed_machine(machine)
+        if backward is None:
+            backward = PipelineAutomaton.build(
+                reversed_machine, max_states=max_states
+            )
+        self._forward = _Lane(forward, lengths)
+        self._backward = _Lane(backward, lengths)
+        self._lengths = lengths
+        #: Pre-filter statistics: how often the cheap pair test decided.
+        self.prefilter_rejects = 0
+        self.full_confirmations = 0
+
+    # ------------------------------------------------------------------
+    def _reverse_cycle(self, op: str, cycle: int) -> int:
+        """Reverse-time issue position of ``op`` at real ``cycle``."""
+        return _HORIZON - cycle - (max(1, self._lengths[op]) - 1)
+
+    def _check(self, op: str, cycle: int) -> Tuple[bool, int]:
+        # Pair pre-filter: one lookup in each automaton.
+        fwd_ok, fwd_units = self._forward.quick_accepts(op, cycle)
+        if not fwd_ok:
+            self.prefilter_rejects += 1
+            return False, fwd_units
+        bwd_ok, bwd_units = self._backward.quick_accepts(
+            op, self._reverse_cycle(op, cycle)
+        )
+        units = fwd_units + bwd_units
+        if not bwd_ok:
+            self.prefilter_rejects += 1
+            return False, units
+        # Confirm: operations strictly nested inside this op's span (or
+        # vice versa) escape both quick tests; propagate forward states.
+        self.full_confirmations += 1
+        ok, more = self._forward.full_check(op, cycle)
+        return ok, units + more
+
+    def _assign(self, token: ScheduledToken, with_owners: bool) -> int:
+        ok, units = self._check(token.op, token.cycle)
+        if not ok:
+            raise QueryError(
+                "assigning %r at %d over a structural hazard"
+                % (token.op, token.cycle)
+            )
+        self._forward.add(token.op, token.cycle)
+        self._backward.add(
+            token.op, self._reverse_cycle(token.op, token.cycle)
+        )
+        return units
+
+    def _free(self, token: ScheduledToken, with_owners: bool) -> int:
+        span = 1
+        if self._forward.top is not None:
+            span = max(1, self._forward.top - token.cycle + 1)
+        self._forward.remove(token.op, token.cycle)
+        self._backward.remove(
+            token.op, self._reverse_cycle(token.op, token.cycle)
+        )
+        return span
+
+    def _assign_free(self, token: ScheduledToken):
+        raise QueryError(
+            "automaton pairs do not support assign&free (paper Section 2)"
+        )
+
+    def _reset_state(self) -> None:
+        for lane in (self._forward, self._backward):
+            lane.by_cycle.clear()
+            lane.entering.clear()
+            lane.base = None
+            lane.top = None
+        self.prefilter_rejects = 0
+        self.full_confirmations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def stored_states(self) -> int:
+        """Cached automaton states — two per cycle of schedule span, the
+        memory overhead the paper attributes to this approach."""
+        return len(self._forward.entering) + len(self._backward.entering)
+
+    def automata_memory_bytes(self, bytes_per_entry: int = 4) -> int:
+        return self._forward.automaton.memory_bytes(
+            bytes_per_entry
+        ) + self._backward.automaton.memory_bytes(bytes_per_entry)

@@ -1,0 +1,199 @@
+"""Automaton-based contention query module (Bala & Rubin baseline).
+
+Keeps a per-cycle array of automaton states for the current partial
+schedule.  Appending operations in non-decreasing cycle order costs one
+table lookup per event — the automata's strength.  *Inserting* an
+operation in the middle of a schedule, however, changes the resource
+requirements of every subsequent cycle, so the state array must be
+re-propagated (re-issuing the already-scheduled operations) until it
+re-converges, and every re-issue is charged as work — the overhead the
+paper's Sections 2 and 8 highlight for unrestricted scheduling models.
+
+``assign_free`` (scheduling *into* a conflict and evicting the owners) is
+not supported: recognizing which accepted operations to unschedule would
+require rewriting the accepted path of both automata, the difficulty noted
+at the end of the paper's Section 2.  Schedulers that need eviction must
+use the reservation-table modules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.automata.core import PipelineAutomaton
+from repro.automata.factored import FactoredAutomata
+from repro.core.machine import MachineDescription
+from repro.errors import QueryError
+from repro.query.base import ContentionQueryModule, ScheduledToken
+
+Automaton = Union[PipelineAutomaton, FactoredAutomata]
+
+
+class AutomatonQueryModule(ContentionQueryModule):
+    """Query module over a (monolithic or factored) pipeline automaton.
+
+    Parameters
+    ----------
+    machine:
+        Machine description (must match the automaton's machine).
+    automaton:
+        A pre-built :class:`PipelineAutomaton` or :class:`FactoredAutomata`;
+        built on demand (factored, unit groups) when omitted.
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        automaton: Optional[Automaton] = None,
+    ):
+        super().__init__(machine)
+        if automaton is None:
+            automaton = FactoredAutomata.build(machine)
+        if automaton.machine != machine:
+            raise QueryError("automaton was built for a different machine")
+        self.automaton = automaton
+        # Operations issued per cycle, in issue order.
+        self._by_cycle: Dict[int, List[str]] = {}
+        # State *entering* each cycle in [base, top]; cycles outside the
+        # range have the empty start state (no pending reservations).
+        self._entering: Dict[int, object] = {}
+        self._base: Optional[int] = None
+        self._top: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # State-array helpers
+    # ------------------------------------------------------------------
+    def _state_entering(self, cycle: int) -> object:
+        if self._base is None or cycle <= self._base:
+            return self.automaton.start()
+        cached = self._entering.get(cycle)
+        if cached is not None:
+            return cached
+        return self.automaton.start()
+
+    def _influence_length(self, op: str) -> int:
+        return max(1, self.machine.table(op).length)
+
+    def _simulate(
+        self, op: str, cycle: int
+    ) -> Tuple[bool, int, Dict[int, object]]:
+        """Insert ``op`` at ``cycle`` over the cached states.
+
+        Returns ``(fits, work_units, updated_states)`` where
+        ``updated_states`` maps cycles to their new entering states (only
+        for cycles whose state changed).  Work counts one unit per
+        automaton event (issue attempt or cycle advance).
+        """
+        units = 0
+        state = self._state_entering(cycle)
+        # Re-issue the operations already scheduled in this cycle.
+        for resident in self._by_cycle.get(cycle, ()):
+            units += 1
+            state = self.automaton.issue(state, resident)
+            if state is None:  # pragma: no cover - cache is consistent
+                raise QueryError("inconsistent automaton state cache")
+        units += 1
+        state = self.automaton.issue(state, op)
+        if state is None:
+            return False, units, {}
+        # Propagate forward until the new states re-converge with the
+        # cached ones past the insertion's influence.
+        updates: Dict[int, object] = {}
+        top = self._top if self._top is not None else cycle
+        influence_end = cycle + self._influence_length(op)
+        current = cycle
+        while True:
+            units += 1
+            state = self.automaton.advance(state)
+            current += 1
+            if current > max(top, influence_end):
+                break
+            if state == self._state_entering(current) and current >= influence_end:
+                break
+            updates[current] = state
+            for resident in self._by_cycle.get(current, ()):
+                units += 1
+                next_state = self.automaton.issue(state, resident)
+                if next_state is None:
+                    return False, units, {}
+                state = next_state
+        return True, units, updates
+
+    def _rebuild_from(self, cycle: int) -> None:
+        """Recompute the state array from ``cycle`` to the new top."""
+        occupied = sorted(self._by_cycle)
+        if not occupied:
+            self._entering.clear()
+            self._base = None
+            self._top = None
+            return
+        self._base = occupied[0]
+        self._top = max(
+            t + self._influence_length(op)
+            for t, ops in self._by_cycle.items()
+            for op in ops
+        )
+        start = min(cycle, self._base)
+        state = self._state_entering(start)
+        for c in range(start, self._top + 1):
+            if c > start:
+                state = self.automaton.advance(state)
+            self._entering[c] = state
+            for resident in self._by_cycle.get(c, ()):
+                next_state = self.automaton.issue(state, resident)
+                if next_state is None:  # pragma: no cover
+                    raise QueryError("inconsistent automaton state cache")
+                state = next_state
+        for c in list(self._entering):
+            if c > self._top:
+                del self._entering[c]
+
+    # ------------------------------------------------------------------
+    # Representation hooks
+    # ------------------------------------------------------------------
+    def _check(self, op: str, cycle: int) -> Tuple[bool, int]:
+        fits, units, _updates = self._simulate(op, cycle)
+        return fits, units
+
+    def _assign(self, token: ScheduledToken, with_owners: bool) -> int:
+        fits, units, _updates = self._simulate(token.op, token.cycle)
+        if not fits:
+            raise QueryError(
+                "assigning %r at %d over a structural hazard"
+                % (token.op, token.cycle)
+            )
+        self._by_cycle.setdefault(token.cycle, []).append(token.op)
+        self._rebuild_from(token.cycle)
+        return units
+
+    def _free(self, token: ScheduledToken, with_owners: bool) -> int:
+        residents = self._by_cycle.get(token.cycle, [])
+        if token.op not in residents:
+            raise QueryError("token %r not in automaton schedule" % (token,))
+        residents.remove(token.op)
+        if not residents:
+            del self._by_cycle[token.cycle]
+        span = self._top - token.cycle + 1 if self._top is not None else 1
+        self._rebuild_from(token.cycle)
+        return max(1, span)
+
+    def _assign_free(self, token: ScheduledToken):
+        raise QueryError(
+            "automaton query modules do not support assign&free; "
+            "modifying the accepted path to evict operations is the "
+            "difficulty noted in the paper's Section 2"
+        )
+
+    def _reset_state(self) -> None:
+        self._by_cycle.clear()
+        self._entering.clear()
+        self._base = None
+        self._top = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stored_state_cycles(self) -> int:
+        """Cycles of cached automaton state (the per-cycle memory cost)."""
+        return len(self._entering)

@@ -1,0 +1,361 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
+
+Commands
+--------
+``reduce``    reduce a machine description and optionally write it out
+``verify``    check that two descriptions preserve the same constraints
+``stats``     print the Tables 1-4 metrics for a description
+``show``      dump a (built-in) machine as MDL text
+``schedule``  modulo-schedule the named kernels or a generated loop suite
+``report``    human-readable machine / reduction report
+``diff``      scheduling-constraint diff between two descriptions
+``expand``    modulo-schedule a kernel and print its software pipeline
+``automata``  build the contention-recognizing automata and report sizes
+
+Machines are referenced either by a built-in name (``cydra5``,
+``cydra5-subset``, ``alpha21064``, ``mips-r3000``, ``playdoh``,
+``example``) or by the path of an MDL file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import mdl
+from repro.core import reduce_machine
+from repro.core.forbidden import ForbiddenLatencyMatrix
+from repro.core.machine import MachineDescription
+from repro.core.verify import differences
+from repro.errors import ReproError
+from repro.machines import STUDY_MACHINES, example_machine, playdoh
+from repro.scheduler import IterativeModuloScheduler
+from repro.stats import describe
+from repro.workloads import KERNELS, loop_suite
+
+_BUILTINS = dict(STUDY_MACHINES)
+_BUILTINS["example"] = example_machine
+_BUILTINS["playdoh"] = playdoh
+
+
+def _load_machine(ref: str) -> MachineDescription:
+    if ref in _BUILTINS:
+        return _BUILTINS[ref]()
+    return mdl.load_file(ref)
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    machine = _load_machine(args.machine)
+    reduction = reduce_machine(
+        machine, objective=args.objective, word_cycles=args.word_cycles
+    )
+    print(reduction.summary())
+    if args.output:
+        mdl.dump_file(reduction.reduced, args.output)
+        print("wrote %s" % args.output)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    first = _load_machine(args.first)
+    second = _load_machine(args.second)
+    mismatches = differences(first, second)
+    if not mismatches:
+        print(
+            "EQUIVALENT: %r and %r preserve the same scheduling constraints"
+            % (first.name, second.name)
+        )
+        return 0
+    print("NOT EQUIVALENT: %d differing operation pairs" % len(mismatches))
+    for op_x, op_y, only_first, only_second in mismatches[: args.limit]:
+        print(
+            "  %s / %s: only-first=%s only-second=%s"
+            % (op_x, op_y, sorted(only_first), sorted(only_second))
+        )
+    return 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    machine = _load_machine(args.machine)
+    matrix = ForbiddenLatencyMatrix.from_machine(machine)
+    stats = describe(machine, word_cycles=tuple(args.word_cycles))
+    print("machine:                %s" % machine.name)
+    print("operations:             %d" % machine.num_operations)
+    print("operation classes:      %d" % len(matrix.operation_classes()))
+    print("resources:              %d" % stats.num_resources)
+    print("total usages:           %d" % machine.total_usages)
+    print("avg usages/op:          %.1f" % stats.avg_usages_per_op)
+    print("forbidden latencies:    %d (max %d)" % (
+        matrix.instance_count, matrix.max_latency))
+    for k in args.word_cycles:
+        print(
+            "avg %d-cycle-word uses:  %.1f" % (k, stats.avg_word_usages[k])
+        )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    machine = _load_machine(args.machine)
+    sys.stdout.write(mdl.dumps(machine))
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    machine = _load_machine(args.machine)
+    scheduler = IterativeModuloScheduler(
+        machine,
+        representation=args.representation,
+        word_cycles=args.word_cycles,
+    )
+    if args.kernel:
+        graphs = [KERNELS[args.kernel]()]
+    else:
+        graphs = loop_suite(args.loops)
+    optimal = 0
+    print("%-22s %4s %4s %4s %8s" % ("loop", "ops", "MII", "II", "dec/op"))
+    for graph in graphs:
+        result = scheduler.schedule(graph)
+        optimal += result.optimal
+        print(
+            "%-22s %4d %4d %4d %8.2f"
+            % (
+                graph.name,
+                graph.num_operations,
+                result.mii,
+                result.ii,
+                result.decisions_per_op,
+            )
+        )
+    print(
+        "\n%d/%d loops scheduled at MII (%.1f%%)"
+        % (optimal, len(graphs), 100.0 * optimal / len(graphs))
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import describe_machine, describe_reduction
+
+    machine = _load_machine(args.machine)
+    print(describe_machine(machine))
+    if args.reduce:
+        print()
+        print(
+            describe_reduction(
+                reduce_machine(
+                    machine,
+                    objective=args.objective,
+                    word_cycles=args.word_cycles,
+                )
+            )
+        )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.analysis import diff_constraints
+    from repro.core import find_witness
+
+    first = _load_machine(args.first)
+    second = _load_machine(args.second)
+    text = diff_constraints(first, second, limit=args.limit)
+    print(text)
+    if text.startswith("EQUIVALENT"):
+        return 0
+    witness = find_witness(first, second)
+    if witness is not None:
+        print("witness: " + witness.describe())
+    return 1
+
+
+def _cmd_expand(args: argparse.Namespace) -> int:
+    from repro.scheduler import expand
+
+    machine = _load_machine(args.machine)
+    scheduler = IterativeModuloScheduler(machine)
+    graph = KERNELS[args.kernel]()
+    result = scheduler.schedule(graph)
+    expanded = expand(result, iterations=args.iterations)
+    print(
+        "%s on %s: II=%d (MII=%d), %d stages"
+        % (graph.name, machine.name, result.ii, result.mii,
+           expanded.num_stages)
+    )
+    print()
+    print(expanded.render_kernel())
+    print()
+    print("timeline (%d iterations):" % args.iterations)
+    print(expanded.render_timeline(limit=args.limit))
+    return 0
+
+
+def _cmd_automata(args: argparse.Namespace) -> int:
+    from repro.automata import (
+        AutomatonTooLarge,
+        FactoredAutomata,
+        PipelineAutomaton,
+    )
+
+    machine = _load_machine(args.machine)
+    try:
+        monolithic = PipelineAutomaton.build(
+            machine, max_states=args.max_states
+        )
+        print(
+            "monolithic automaton: %d states, %d transitions (~%d KiB)"
+            % (
+                monolithic.num_states,
+                monolithic.num_transitions,
+                monolithic.memory_bytes() // 1024,
+            )
+        )
+    except AutomatonTooLarge:
+        print(
+            "monolithic automaton: exceeds %d states" % args.max_states
+        )
+    try:
+        factored = FactoredAutomata.build(
+            machine, mode=args.factor, max_states=args.max_states
+        )
+        print(
+            "%s-factored automata: %d factors, %d total states "
+            "(largest %d, ~%d KiB)"
+            % (
+                args.factor,
+                factored.num_factors,
+                factored.num_states,
+                factored.max_factor_states,
+                factored.memory_bytes() // 1024,
+            )
+        )
+    except AutomatonTooLarge:
+        print(
+            "%s-factored automata: a factor exceeds %d states"
+            % (args.factor, args.max_states)
+        )
+    print(
+        "reduced bitvector alternative: %d reserved bits per cycle"
+        % reduce_machine(machine).reduced.num_resources
+    )
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.stats import render_reduction_table
+
+    machine = _load_machine(args.machine)
+    reductions = {"res-uses": reduce_machine(machine)}
+    for k in args.word_cycles:
+        reductions["%d-cycle-word" % k] = reduce_machine(
+            machine, objective="word-uses", word_cycles=k
+        )
+    print(
+        render_reduction_table(
+            "Machine description metrics: %s" % machine.name,
+            machine,
+            reductions,
+            word_cycles=tuple(args.word_cycles),
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reduced multipipeline machine descriptions "
+        "(Eichenberger & Davidson, PLDI 1996)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("reduce", help="reduce a machine description")
+    p.add_argument("machine", help="built-in name or MDL file")
+    p.add_argument(
+        "--objective",
+        choices=("res-uses", "word-uses"),
+        default="res-uses",
+    )
+    p.add_argument("--word-cycles", type=int, default=1)
+    p.add_argument("-o", "--output", help="write reduced machine as MDL")
+    p.set_defaults(func=_cmd_reduce)
+
+    p = sub.add_parser("verify", help="compare two descriptions")
+    p.add_argument("first")
+    p.add_argument("second")
+    p.add_argument("--limit", type=int, default=8)
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("stats", help="print description metrics")
+    p.add_argument("machine")
+    p.add_argument(
+        "--word-cycles", type=int, nargs="+", default=[1, 2, 4]
+    )
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("show", help="dump a machine as MDL")
+    p.add_argument("machine")
+    p.set_defaults(func=_cmd_show)
+
+    p = sub.add_parser(
+        "table", help="render the Tables 1-4 metrics for a machine"
+    )
+    p.add_argument("machine")
+    p.add_argument("--word-cycles", type=int, nargs="+", default=[1, 2, 4])
+    p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("report", help="machine / reduction report")
+    p.add_argument("machine")
+    p.add_argument("--reduce", action="store_true")
+    p.add_argument(
+        "--objective", choices=("res-uses", "word-uses"), default="res-uses"
+    )
+    p.add_argument("--word-cycles", type=int, default=1)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("diff", help="scheduling-constraint diff")
+    p.add_argument("first")
+    p.add_argument("second")
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser("expand", help="print a software pipeline")
+    p.add_argument("machine")
+    p.add_argument("--kernel", choices=sorted(KERNELS), default="daxpy")
+    p.add_argument("--iterations", type=int, default=4)
+    p.add_argument("--limit", type=int, default=48)
+    p.set_defaults(func=_cmd_expand)
+
+    p = sub.add_parser("automata", help="automata size report")
+    p.add_argument("machine")
+    p.add_argument("--factor", choices=("unit", "resource"), default="unit")
+    p.add_argument("--max-states", type=int, default=200_000)
+    p.set_defaults(func=_cmd_automata)
+
+    p = sub.add_parser("schedule", help="run the modulo scheduler")
+    p.add_argument("machine")
+    p.add_argument("--kernel", choices=sorted(KERNELS))
+    p.add_argument("--loops", type=int, default=20)
+    p.add_argument(
+        "--representation",
+        choices=("discrete", "bitvector"),
+        default="discrete",
+    )
+    p.add_argument("--word-cycles", type=int, default=1)
+    p.set_defaults(func=_cmd_schedule)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

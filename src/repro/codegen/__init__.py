@@ -1,0 +1,13 @@
+"""Code generation: compile a machine description into a checker module."""
+
+from repro.codegen.compiler import (
+    CompiledChecker,
+    compile_checker,
+    generate_checker_source,
+)
+
+__all__ = [
+    "CompiledChecker",
+    "compile_checker",
+    "generate_checker_source",
+]

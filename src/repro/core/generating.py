@@ -1,0 +1,184 @@
+"""Algorithm 1: building the generating set of maximal resources (Step 2).
+
+The generating set is grown by processing one elementary pair at a time
+against every resource accumulated so far:
+
+* **Rule 1** — the pair is *fully compatible* with a resource (compatible
+  with each of its usages): add the pair's usages to that resource.
+* **Rule 2** — the pair is only *partially compatible*: leave the resource
+  unchanged and add a new resource consisting of the pair plus every
+  compatible usage of the old resource — unless that new resource is just
+  the pair itself, in which case it is discarded.
+* **Rule 3** — after Rules 1/2, if no current resource holds both usages of
+  the pair together, add the pair itself as a new resource.
+* **Rule 4** — finally, for each operation whose *only* forbidden latency is
+  its zero self-contention, add a single-usage resource.
+
+Theorem 1 (proved in the paper, re-checked by our test-suite) guarantees the
+final set (a) never forbids a latency the target machine allows and (b)
+contains every maximal resource of the target machine.
+
+``prune_subsets_every`` enables an optimization discussed in DESIGN.md:
+dropping a resource that is a subset of another current resource is safe
+because any future Rule-1/2 product grown from the subset is dominated by
+the product grown from its superset, so no maximal resource is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.elementary import (
+    Resource,
+    elementary_pairs,
+    pair_usages,
+)
+from repro.core.forbidden import ForbiddenLatencyMatrix
+
+
+@dataclass
+class RuleApplication:
+    """One rule firing while processing an elementary pair (for traces)."""
+
+    rule: int
+    target: Optional[Resource]
+    result: Optional[Resource]
+
+
+@dataclass
+class TraceStep:
+    """Snapshot of the generating set after processing one elementary pair."""
+
+    pair: Resource
+    applications: List[RuleApplication] = field(default_factory=list)
+    resources: Tuple[Resource, ...] = ()
+
+
+def _prune_subset_resources(resources: List[Resource]) -> List[Resource]:
+    """Drop resources contained in another resource of the list."""
+    ordered = sorted(set(resources), key=len, reverse=True)
+    kept: List[Resource] = []
+    for candidate in ordered:
+        if not any(candidate < existing for existing in kept):
+            kept.append(candidate)
+    # Preserve the original first-seen order among survivors.
+    survivors = set(kept)
+    result = []
+    seen = set()
+    for resource in resources:
+        if resource in survivors and resource not in seen:
+            seen.add(resource)
+            result.append(resource)
+    return result
+
+
+def build_generating_set(
+    matrix: ForbiddenLatencyMatrix,
+    prune_subsets_every: Optional[int] = 64,
+    trace: Optional[Callable[[TraceStep], None]] = None,
+) -> List[Resource]:
+    """Run Algorithm 1 and return the generating set of maximal resources.
+
+    Parameters
+    ----------
+    matrix:
+        Forbidden latency matrix of the target machine.
+    prune_subsets_every:
+        Drop subset-dominated resources after every N elementary pairs
+        (``None`` disables pruning, reproducing the textbook algorithm).
+    trace:
+        Optional callback receiving a :class:`TraceStep` after each pair —
+        used to regenerate the paper's Figure 3.
+    """
+    resources: List[Resource] = []
+    worklist = elementary_pairs(matrix)
+    operations = matrix.operations
+    for processed, pair in enumerate(worklist, start=1):
+        step = TraceStep(pair=pair) if trace is not None else None
+        u0, u1 = pair_usages(pair)
+        # Hot path: precompute, per operation, the set of cycles at which
+        # a usage is compatible with BOTH usages of this pair.  A usage
+        # (B, b) is compatible with (X, x) iff (x - b) is in F[B][X], so
+        # the per-operation set is an intersection of two shifted
+        # forbidden sets and each membership test below is one lookup.
+        op_x, cycle_x = u0
+        op_y, cycle_y = u1
+        allowed = {}
+        for op in operations:
+            with_first = {
+                cycle_x - g for g in matrix.latencies(op, op_x)
+            }
+            with_second = {
+                cycle_y - g for g in matrix.latencies(op, op_y)
+            }
+            common = with_first & with_second
+            if common:
+                allowed[op] = common
+        found_together = False
+        additions: List[Resource] = []
+        for index, current in enumerate(resources):
+            compatible = frozenset(
+                u for u in current if u[1] in allowed.get(u[0], ())
+            )
+            if len(compatible) == len(current):
+                # Rule 1: fully compatible -> merge the pair in.
+                merged = current | pair
+                resources[index] = merged
+                found_together = True
+                if step is not None:
+                    step.applications.append(RuleApplication(1, current, merged))
+            else:
+                # Rule 2: partially compatible -> candidate new resource.
+                candidate = pair | compatible
+                if candidate != pair:
+                    additions.append(candidate)
+                    found_together = True
+                    if step is not None:
+                        step.applications.append(
+                            RuleApplication(2, current, candidate)
+                        )
+                elif step is not None:
+                    step.applications.append(RuleApplication(2, current, None))
+        existing = set(resources)
+        for candidate in additions:
+            if candidate not in existing:
+                existing.add(candidate)
+                resources.append(candidate)
+        if not found_together:
+            # Rule 3: the pair starts a resource of its own.
+            if pair not in existing:
+                resources.append(pair)
+            if step is not None:
+                step.applications.append(RuleApplication(3, None, pair))
+        if prune_subsets_every and processed % prune_subsets_every == 0:
+            resources = _prune_subset_resources(resources)
+        if step is not None:
+            step.resources = tuple(resources)
+            trace(step)
+
+    # Rule 4: operations whose only forbidden latency is 0 in F[X][X].
+    for op in matrix.operations:
+        self_latencies = matrix.latencies(op, op)
+        if self_latencies != frozenset({0}):
+            continue
+        others = any(
+            (matrix.latencies(op, other) or matrix.latencies(other, op))
+            for other in matrix.operations
+            if other != op
+        )
+        if others:
+            continue
+        singleton = frozenset({(op, 0)})
+        if not any(any(u[0] == op for u in resource) for resource in resources):
+            resources.append(singleton)
+            if trace is not None:
+                trace(
+                    TraceStep(
+                        pair=singleton,
+                        applications=[RuleApplication(4, None, singleton)],
+                        resources=tuple(resources),
+                    )
+                )
+
+    return _prune_subset_resources(resources)

@@ -1,0 +1,43 @@
+"""Pruning of the generating set (paper Section 5, heuristic step 1).
+
+Algorithm 1 may leave some submaximal resources and redundant maximal ones
+(for example mirror images of other maximal resources) in the generating
+set.  Before selection we "successively remove each resource that produces a
+set of forbidden latencies that is generated or covered by a remaining
+resource".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.core.elementary import Resource, generated_instances
+from repro.core.forbidden import Instance
+
+
+def coverage_map(resources: Iterable[Resource]) -> Dict[Resource, Set[Instance]]:
+    """Map each resource to the canonical instances it generates."""
+    return {resource: generated_instances(resource) for resource in set(resources)}
+
+
+def prune_covered_resources(resources: Iterable[Resource]) -> List[Resource]:
+    """Drop every resource whose coverage is contained in a kept resource's.
+
+    Resources are considered in decreasing coverage size so that the kept
+    set is inclusion-maximal; ties are broken deterministically on the
+    sorted usage tuples.  The result preserves the union of coverages (each
+    removed resource is covered by a kept one), which is all the selection
+    step needs.
+    """
+    coverages = coverage_map(resources)
+    ordered = sorted(
+        coverages,
+        key=lambda r: (-len(coverages[r]), sorted(r)),
+    )
+    kept: List[Resource] = []
+    for resource in ordered:
+        coverage = coverages[resource]
+        if any(coverage <= coverages[other] for other in kept):
+            continue
+        kept.append(resource)
+    return kept

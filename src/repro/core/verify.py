@@ -1,0 +1,77 @@
+"""Equivalence checking between machine descriptions.
+
+Two machine descriptions *preserve scheduling constraints* of one another
+exactly when they induce the same forbidden latency matrix (paper,
+Section 3): any contention query against either description then returns
+the same answer for every operation pair and distance, hence any scheduler
+produces identical schedules with either description.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.forbidden import ForbiddenLatencyMatrix
+from repro.core.machine import MachineDescription
+from repro.errors import EquivalenceError
+
+
+def matrices_equal(
+    first: MachineDescription, second: MachineDescription
+) -> bool:
+    """True when the two descriptions induce identical forbidden latencies."""
+    return ForbiddenLatencyMatrix.from_machine(first) == (
+        ForbiddenLatencyMatrix.from_machine(second)
+    )
+
+
+def differences(
+    first: MachineDescription, second: MachineDescription
+) -> List[Tuple[str, str, frozenset, frozenset]]:
+    """Operation pairs whose forbidden latency sets differ between machines."""
+    return ForbiddenLatencyMatrix.from_machine(first).differences(
+        ForbiddenLatencyMatrix.from_machine(second)
+    )
+
+
+def assert_equivalent(
+    first: MachineDescription, second: MachineDescription
+) -> None:
+    """Raise :class:`EquivalenceError` unless the machines are equivalent.
+
+    The error's ``mismatches`` attribute lists every differing operation
+    pair with the latencies unique to each side, which makes debugging a
+    broken hand-reduction straightforward — the very failure mode of the
+    manual reductions the paper set out to eliminate.
+    """
+    mismatches = differences(first, second)
+    if mismatches:
+        sample = ", ".join(
+            "%s/%s" % (x, y) for x, y, _, _ in mismatches[:4]
+        )
+        raise EquivalenceError(
+            "machines %r and %r disagree on %d operation pairs (e.g. %s)"
+            % (first.name, second.name, len(mismatches), sample),
+            mismatches,
+        )
+
+
+def schedule_is_contention_free(
+    machine: MachineDescription, placements: List[Tuple[str, int]]
+) -> bool:
+    """Ground-truth check: is a full schedule free of resource contention?
+
+    ``placements`` is a list of ``(operation, issue_cycle)`` pairs.  The
+    check overlays every operation's reservation table on a global reserved
+    grid — O(total usages), used by tests and as the brute-force oracle for
+    the query modules.
+    """
+    reserved = set()
+    for op, issue in placements:
+        table = machine.table(op)
+        for resource, cycle in table.iter_usages():
+            slot = (resource, issue + cycle)
+            if slot in reserved:
+                return False
+            reserved.add(slot)
+    return True

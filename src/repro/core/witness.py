@@ -1,0 +1,90 @@
+"""Witness schedules for non-equivalent machine descriptions.
+
+When two descriptions disagree, an abstract "latency 7 differs on pair
+(load, div)" is hard to act on.  A *witness* is a concrete two-operation
+placement that one description accepts and the other rejects — exactly
+the schedule a miscompiled program would contain.  `EquivalenceError`
+diagnostics and the `repro diff` command become actionable with one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.forbidden import ForbiddenLatencyMatrix
+from repro.core.machine import MachineDescription
+from repro.core.verify import schedule_is_contention_free
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A concrete placement distinguishing two machine descriptions.
+
+    ``placements`` is legal on ``legal_on`` and causes a resource
+    contention on ``conflicts_on``.
+    """
+
+    placements: List
+    legal_on: str
+    conflicts_on: str
+    op_x: str
+    op_y: str
+    latency: int
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            "%s@%d" % (op, cycle) for op, cycle in self.placements
+        )
+        return (
+            "schedule {%s} is contention-free on %r but collides on %r "
+            "(%s issuing %d cycles after %s)"
+            % (
+                parts,
+                self.legal_on,
+                self.conflicts_on,
+                self.op_x,
+                self.latency,
+                self.op_y,
+            )
+        )
+
+
+def find_witness(
+    first: MachineDescription, second: MachineDescription
+) -> Optional[Witness]:
+    """A two-operation witness of non-equivalence, or ``None`` if the
+    descriptions are equivalent.
+
+    Searches the forbidden-latency differences; the first differing
+    (pair, latency) yields the placement ``{Y@0, X@f}``, which collides
+    exactly on the side that forbids ``f``.
+    """
+    matrix_a = ForbiddenLatencyMatrix.from_machine(first)
+    matrix_b = ForbiddenLatencyMatrix.from_machine(second)
+    for op_x, op_y, only_a, only_b in matrix_a.differences(matrix_b):
+        if op_x not in second or op_y not in second:
+            continue
+        for latency, conflicts_on, legal_on in sorted(
+            [(f, first, second) for f in only_a]
+            + [(f, second, first) for f in only_b],
+            key=lambda item: (abs(item[0]), item[0]),
+        ):
+            placements = [(op_y, 0), (op_x, latency)]
+            if min(cycle for _op, cycle in placements) < 0:
+                shift = -min(cycle for _op, cycle in placements)
+                placements = [
+                    (op, cycle + shift) for op, cycle in placements
+                ]
+            if schedule_is_contention_free(
+                legal_on, placements
+            ) and not schedule_is_contention_free(conflicts_on, placements):
+                return Witness(
+                    placements=placements,
+                    legal_on=legal_on.name,
+                    conflicts_on=conflicts_on.name,
+                    op_x=op_x,
+                    op_y=op_y,
+                    latency=latency,
+                )
+    return None

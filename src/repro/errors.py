@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class MachineDescriptionError(ReproError):
+    """An invalid machine description (bad resource names, cycles, ...)."""
+
+
+class ReductionError(ReproError):
+    """The reduction pipeline failed to produce an exact reduced machine."""
+
+
+class EquivalenceError(ReductionError):
+    """Two machine descriptions do not induce the same forbidden latencies.
+
+    Attributes
+    ----------
+    mismatches:
+        List of ``(op_x, op_y, only_in_first, only_in_second)`` tuples
+        describing operation pairs whose forbidden latency sets differ.
+    """
+
+    def __init__(self, message, mismatches=None):
+        super().__init__(message)
+        self.mismatches = list(mismatches or [])
+
+
+class ScheduleError(ReproError):
+    """A scheduler failed to produce a valid schedule."""
+
+
+class QueryError(ReproError):
+    """A contention query module was used inconsistently.
+
+    For example: freeing an operation instance that was never assigned, or
+    mixing ``assign`` with ``assign_free`` in one partial schedule.
+    """
+
+
+class ParseError(ReproError):
+    """A machine-description text file could not be parsed.
+
+    Attributes
+    ----------
+    line:
+        1-based line number where the error was detected, or ``None``.
+    """
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line

@@ -1,0 +1,43 @@
+"""Machine descriptions: the paper's example, its three study machines,
+and small toy machines used by tests and documentation."""
+
+from repro.machines.alpha import alpha21064
+from repro.machines.cydra5 import SUBSET_OPERATIONS, cydra5, cydra5_subset
+from repro.machines.example import example_machine
+from repro.machines.mips import mips_r3000
+from repro.machines.playdoh import PLAYDOH_LATENCIES, PLAYDOH_MIX, playdoh
+from repro.machines.toys import (
+    alternatives_machine,
+    dense_conflict_machine,
+    empty_op_machine,
+    independent_ops_machine,
+    issue_limited_machine,
+    single_op_machine,
+)
+
+#: The paper's three study machines, keyed by short name.
+STUDY_MACHINES = {
+    "cydra5": cydra5,
+    "cydra5-subset": cydra5_subset,
+    "alpha21064": alpha21064,
+    "mips-r3000": mips_r3000,
+}
+
+__all__ = [
+    "PLAYDOH_LATENCIES",
+    "PLAYDOH_MIX",
+    "STUDY_MACHINES",
+    "SUBSET_OPERATIONS",
+    "alpha21064",
+    "alternatives_machine",
+    "cydra5",
+    "cydra5_subset",
+    "dense_conflict_machine",
+    "empty_op_machine",
+    "example_machine",
+    "independent_ops_machine",
+    "issue_limited_machine",
+    "mips_r3000",
+    "playdoh",
+    "single_op_machine",
+]

@@ -1,0 +1,80 @@
+"""Small machines for tests, docs, and property-based generators.
+
+These are classical pipelined-machine structures from the reservation
+table literature (Davidson et al.; Patel & Davidson): a single
+partially pipelined unit, a machine with alternatives, a machine whose
+operations use no shared resources, and degenerate corner cases.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import MachineBuilder, MachineDescription
+
+
+def single_op_machine() -> MachineDescription:
+    """One operation on a classic 3-stage non-linear pipeline.
+
+    The reservation table is Davidson's textbook example shape: a unit
+    that revisits its first stage, giving forbidden self-latencies beyond
+    the simple occupancy bound.
+    """
+    return MachineDescription(
+        "single-op",
+        {"X": {"s0": [0, 4], "s1": [1, 3], "s2": [2]}},
+    )
+
+
+def independent_ops_machine() -> MachineDescription:
+    """Two operations sharing no resources: only self-contentions exist."""
+    return MachineDescription(
+        "independent",
+        {"A": {"left": [0]}, "B": {"right": [0]}},
+    )
+
+
+def empty_op_machine() -> MachineDescription:
+    """A machine with a no-resource operation (e.g. a pseudo-op/nop)."""
+    return MachineDescription(
+        "with-nop",
+        {"A": {"alu": [0, 1]}, "NOP": {}},
+    )
+
+
+def alternatives_machine() -> MachineDescription:
+    """A dual-pipe machine where ``mov`` can use either pipe (paper §3)."""
+    b = MachineBuilder("dual-pipe")
+    b.operation("add", {"pipe0": [0], "wb": [1]})
+    b.operation("mul", {"pipe1": [0, 1], "wb": [2]})
+    b.operation_with_alternatives(
+        "mov", [{"pipe0": [0]}, {"pipe1": [0]}]
+    )
+    return b.build()
+
+
+def dense_conflict_machine() -> MachineDescription:
+    """Three ops over one heavily shared bus — worst case for selection."""
+    return MachineDescription(
+        "dense",
+        {
+            "P": {"bus": [0, 2]},
+            "Q": {"bus": [1, 4]},
+            "R": {"bus": [0, 3, 5]},
+        },
+    )
+
+
+def issue_limited_machine(width: int = 2, kinds: int = 3) -> MachineDescription:
+    """A ``width``-issue VLIW with ``kinds`` op kinds per slot group.
+
+    Operation ``op<k>_<s>`` issues on slot ``s`` and runs a ``k+1``-cycle
+    unit, so kinds differ in self-forbidden latencies while slots differ
+    in cross conflicts — a parametric family used by property tests.
+    """
+    ops = {}
+    for s in range(width):
+        for k in range(kinds):
+            ops["op%d_%d" % (k, s)] = {
+                "slot%d" % s: [0],
+                "unit%d_%d" % (k, s): list(range(1, k + 2)),
+            }
+    return MachineDescription("vliw-%dx%d" % (width, kinds), ops)

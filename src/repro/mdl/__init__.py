@@ -1,0 +1,5 @@
+"""Textual machine description language (parser and writer)."""
+
+from repro.mdl.format import dump_file, dumps, load_file, loads
+
+__all__ = ["dump_file", "dumps", "load_file", "loads"]

@@ -1,0 +1,204 @@
+"""A small machine description language (MDL).
+
+The paper motivates expressing resource requirements "in terms close to
+the actual hardware structure of the target machine" and generating the
+compiler's internal description automatically.  This module provides the
+textual interchange format for that workflow::
+
+    # comment
+    machine mips-r3000
+
+    resources iu.if iu.rd iu.ex iu.multdiv
+
+    operation int_alu
+        iu.if: 0
+        iu.rd: 1
+        iu.ex: 2
+
+    operation div
+        iu.if: 0
+        iu.rd: 1
+        iu.multdiv: 2-35        # ranges expand to every cycle
+
+    alternatives mov = mov.0 mov.1
+    latency div 35          # optional result-latency metadata
+
+Cycle lists accept integers, comma/space separation, and ``a-b`` ranges.
+``loads`` / ``dumps`` round-trip every :class:`MachineDescription`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.machine import MachineDescription
+from repro.errors import ParseError
+
+
+def _parse_cycles(text: str, line_no: int) -> List[int]:
+    cycles: List[int] = []
+    for chunk in text.replace(",", " ").split():
+        if "-" in chunk[1:]:  # allow a leading minus only as an error path
+            first_text, _, last_text = chunk.partition("-")
+            try:
+                first, last = int(first_text), int(last_text)
+            except ValueError:
+                raise ParseError("bad cycle range %r" % chunk, line_no)
+            if last < first:
+                raise ParseError(
+                    "descending cycle range %r" % chunk, line_no
+                )
+            cycles.extend(range(first, last + 1))
+        else:
+            try:
+                cycles.append(int(chunk))
+            except ValueError:
+                raise ParseError("bad cycle %r" % chunk, line_no)
+    if not cycles:
+        raise ParseError("empty cycle list", line_no)
+    return cycles
+
+
+def loads(text: str) -> MachineDescription:
+    """Parse MDL text into a :class:`MachineDescription`."""
+    name: Optional[str] = None
+    resources: Optional[List[str]] = None
+    operations: Dict[str, Dict[str, List[int]]] = {}
+    alternatives: Dict[str, List[str]] = {}
+    latencies: Dict[str, int] = {}
+    current_op: Optional[str] = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        words = line.split()
+        keyword = words[0]
+        if keyword == "machine":
+            if len(words) != 2:
+                raise ParseError("machine takes one name", line_no)
+            name = words[1]
+            current_op = None
+        elif keyword == "resources":
+            if len(words) < 2:
+                raise ParseError("resources needs at least one name", line_no)
+            if resources is None:
+                resources = []
+            resources.extend(words[1:])
+            current_op = None
+        elif keyword == "operation":
+            if len(words) != 2:
+                raise ParseError("operation takes one name", line_no)
+            op = words[1]
+            if op in operations:
+                raise ParseError("duplicate operation %r" % op, line_no)
+            operations[op] = {}
+            current_op = op
+        elif keyword == "latency":
+            if len(words) != 3:
+                raise ParseError("latency takes 'latency <op> <n>'", line_no)
+            try:
+                latencies[words[1]] = int(words[2])
+            except ValueError:
+                raise ParseError("bad latency %r" % words[2], line_no)
+            current_op = None
+        elif keyword == "alternatives":
+            rest = line[len("alternatives"):].strip()
+            base, eq, variants = rest.partition("=")
+            if not eq:
+                raise ParseError("alternatives needs 'base = v1 v2 ...'", line_no)
+            base = base.strip()
+            names = variants.split()
+            if not base or not names:
+                raise ParseError("alternatives needs a base and variants", line_no)
+            alternatives[base] = names
+            current_op = None
+        elif ":" in line:
+            if current_op is None:
+                raise ParseError("usage line outside an operation", line_no)
+            resource, _, cycles_text = line.partition(":")
+            resource = resource.strip()
+            if not resource:
+                raise ParseError("missing resource name", line_no)
+            usage = operations[current_op].setdefault(resource, [])
+            usage.extend(_parse_cycles(cycles_text, line_no))
+        else:
+            raise ParseError("unrecognized line %r" % line, line_no)
+
+    if name is None:
+        raise ParseError("missing 'machine <name>' header")
+    if not operations:
+        raise ParseError("no operations defined")
+    try:
+        return MachineDescription(
+            name,
+            operations,
+            resources=resources,
+            alternatives=alternatives,
+            latencies=latencies,
+        )
+    except Exception as exc:
+        raise ParseError("invalid machine: %s" % exc)
+
+
+def _format_cycles(cycles: Tuple[int, ...]) -> str:
+    """Render a sorted cycle tuple compactly, collapsing runs to ranges."""
+    parts: List[str] = []
+    run_start = run_end = None
+    for cycle in cycles:
+        if run_start is None:
+            run_start = run_end = cycle
+        elif cycle == run_end + 1:
+            run_end = cycle
+        else:
+            parts.append(
+                str(run_start)
+                if run_start == run_end
+                else "%d-%d" % (run_start, run_end)
+            )
+            run_start = run_end = cycle
+    if run_start is not None:
+        parts.append(
+            str(run_start)
+            if run_start == run_end
+            else "%d-%d" % (run_start, run_end)
+        )
+    return " ".join(parts)
+
+
+def dumps(machine: MachineDescription) -> str:
+    """Serialize a machine description to MDL text (parse round-trips)."""
+    lines = ["machine %s" % machine.name, ""]
+    if machine.resources:
+        lines.append("resources " + " ".join(machine.resources))
+    for op, table in machine.items():
+        lines.append("")
+        lines.append("operation %s" % op)
+        for resource in table.resources:
+            cycles = tuple(sorted(table.usage_set(resource)))
+            lines.append("    %s: %s" % (resource, _format_cycles(cycles)))
+    groups = machine.alternatives
+    if groups:
+        lines.append("")
+        for base in sorted(groups):
+            lines.append(
+                "alternatives %s = %s" % (base, " ".join(groups[base]))
+            )
+    latencies = machine.latencies
+    if latencies:
+        lines.append("")
+        for op in sorted(latencies):
+            lines.append("latency %s %d" % (op, latencies[op]))
+    return "\n".join(lines) + "\n"
+
+
+def load_file(path: str) -> MachineDescription:
+    """Parse an MDL file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def dump_file(machine: MachineDescription, path: str) -> None:
+    """Write a machine description to an MDL file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(machine))

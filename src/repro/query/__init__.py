@@ -1,0 +1,69 @@
+"""Contention query modules: check / assign / assign&free / free.
+
+Two internal representations of the partial schedule are provided, matching
+the paper's Section 5:
+
+* :class:`DiscreteQueryModule` — per-(resource, cycle) flag and owner
+  entries; work is counted per resource usage.
+* :class:`BitvectorQueryModule` — one bitvector per cycle, ``k`` packed per
+  word; work is counted per non-empty word.
+
+Both support arbitrary placement order, backtracking via ``assign_free``,
+negative cycles (dangling block-boundary requirements), and modulo
+reservation tables for software pipelining.
+"""
+
+from repro.query.alternatives import (
+    FIRST_FIT,
+    LEAST_USED,
+    POLICIES,
+    ROUND_ROBIN,
+    order_variants,
+)
+from repro.query.base import ContentionQueryModule, ScheduledToken
+from repro.query.bitvector import BitvectorQueryModule
+from repro.query.discrete import DiscreteQueryModule
+from repro.query.predicated import (
+    TRUE,
+    PredicatedDiscreteQueryModule,
+    PredicateSpace,
+)
+from repro.query.modulo import (
+    BITVECTOR,
+    DISCRETE,
+    REPRESENTATIONS,
+    make_query_module,
+)
+from repro.query.work import (
+    ASSIGN,
+    ASSIGN_FREE,
+    CHECK,
+    FREE,
+    FUNCTIONS,
+    WorkCounters,
+)
+
+__all__ = [
+    "ASSIGN",
+    "FIRST_FIT",
+    "LEAST_USED",
+    "POLICIES",
+    "ROUND_ROBIN",
+    "order_variants",
+    "ASSIGN_FREE",
+    "BITVECTOR",
+    "BitvectorQueryModule",
+    "CHECK",
+    "ContentionQueryModule",
+    "DISCRETE",
+    "DiscreteQueryModule",
+    "FREE",
+    "FUNCTIONS",
+    "REPRESENTATIONS",
+    "PredicateSpace",
+    "PredicatedDiscreteQueryModule",
+    "ScheduledToken",
+    "TRUE",
+    "WorkCounters",
+    "make_query_module",
+]

@@ -1,0 +1,65 @@
+"""Alternative-operation selection policies.
+
+``check_with_alternatives`` in the paper "repetitively call[s] the check
+function for each of the alternative operations until it succeeds", i.e.
+first-fit in declaration order; the paper notes that "other more
+efficient techniques could be implemented".  This module provides three:
+
+* :data:`FIRST_FIT` — the paper's policy (default);
+* :data:`ROUND_ROBIN` — start the probe sequence at a rotating variant,
+  spreading ops across replicated units even when the first unit is free
+  (fewer later conflicts, fewer check calls on contended machines);
+* :data:`LEAST_USED` — probe variants in increasing order of how many
+  currently-scheduled operations already use them (a cheap load balance).
+
+Policies only reorder the probe sequence; they never accept a variant the
+plain policy would reject, so schedules remain structurally legal under
+every policy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+FIRST_FIT = "first-fit"
+ROUND_ROBIN = "round-robin"
+LEAST_USED = "least-used"
+
+POLICIES = (FIRST_FIT, ROUND_ROBIN, LEAST_USED)
+
+
+def order_variants(
+    policy: str,
+    variants: Sequence[str],
+    rotation: int,
+    usage_counts,
+) -> Tuple[str, ...]:
+    """Probe order for a variant list under ``policy``.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`POLICIES`.
+    variants:
+        Declared alternative operations (first-fit order).
+    rotation:
+        Per-base-operation rotation counter (round-robin state).
+    usage_counts:
+        Mapping from variant name to its live assignment count.
+    """
+    if policy == FIRST_FIT or len(variants) == 1:
+        return tuple(variants)
+    if policy == ROUND_ROBIN:
+        pivot = rotation % len(variants)
+        return tuple(variants[pivot:]) + tuple(variants[:pivot])
+    if policy == LEAST_USED:
+        return tuple(
+            sorted(
+                variants,
+                key=lambda v: (usage_counts.get(v, 0), variants.index(v)),
+            )
+        )
+    raise ValueError(
+        "unknown alternative policy %r (expected one of %s)"
+        % (policy, POLICIES)
+    )

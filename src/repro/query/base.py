@@ -1,0 +1,251 @@
+"""Abstract contention query module (paper Section 7).
+
+A contention query module answers, for a target machine and a partial
+schedule: *can this operation be placed in this cycle without resource
+contention?*  It supports the paper's four basic functions plus the
+alternative-aware variant:
+
+* ``check(op, cycle)`` — contention test, no state change;
+* ``assign(op, cycle)`` — reserve the operation's resources;
+* ``assign_free(op, cycle)`` — reserve, evicting conflicting operations
+  (the backtracking primitive of Rau's Iterative Modulo Scheduler);
+* ``free(token)`` — release a previously assigned operation;
+* ``check_with_alternatives(op, cycle)`` — try each alternative operation
+  and return the first contention-free one.
+
+All implementations support *unrestricted scheduling*: operations may be
+placed in arbitrary cycle order (including negative cycles, which model
+resource requirements dangling across basic-block boundaries) and any
+placement may later be reversed.
+
+As in the paper, ``assign`` and ``assign_free`` must not be mixed within
+one partial schedule: ``assign_free`` relies on owner bookkeeping that
+plain ``assign`` does not maintain.  Mixing raises
+:class:`~repro.errors.QueryError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.machine import MachineDescription
+from repro.errors import QueryError
+from repro.query.alternatives import FIRST_FIT, ROUND_ROBIN, order_variants
+from repro.query.work import ASSIGN, ASSIGN_FREE, CHECK, FREE, WorkCounters
+
+
+@dataclass(frozen=True)
+class ScheduledToken:
+    """Handle for one scheduled operation instance.
+
+    Returned by ``assign``/``assign_free``; passed to ``free``.  Tokens are
+    unique per assignment, so the same operation placed, freed, and placed
+    again yields distinct tokens.
+    """
+
+    ident: int
+    op: str
+    cycle: int
+
+
+class ContentionQueryModule:
+    """Shared bookkeeping for all query-module representations."""
+
+    def __init__(self, machine: MachineDescription):
+        self.machine = machine
+        self.work = WorkCounters()
+        #: Probe-order policy for ``check_with_alternatives`` (see
+        #: :mod:`repro.query.alternatives`).
+        self.alternative_policy = FIRST_FIT
+        self._next_ident = 0
+        self._live: Dict[int, ScheduledToken] = {}
+        self._used_assign = False
+        self._used_assign_free = False
+        self._alt_rotation: Dict[str, int] = {}
+        self._live_op_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Representation hooks (implemented by subclasses)
+    # ------------------------------------------------------------------
+    def _check(self, op: str, cycle: int) -> Tuple[bool, int]:
+        """Return ``(is_free, work_units)``."""
+        raise NotImplementedError
+
+    def _assign(self, token: ScheduledToken, with_owners: bool) -> int:
+        """Reserve resources; return work units."""
+        raise NotImplementedError
+
+    def _free(self, token: ScheduledToken, with_owners: bool) -> int:
+        """Release resources; return work units."""
+        raise NotImplementedError
+
+    def _assign_free(self, token: ScheduledToken) -> Tuple[List[ScheduledToken], int]:
+        """Reserve, evicting owners of conflicting resources.
+
+        Returns ``(evicted tokens, work units)``.
+        """
+        raise NotImplementedError
+
+    def _reset_state(self) -> None:
+        raise NotImplementedError
+
+    def _snapshot_state(self):
+        """Representation-private state copy (see :meth:`snapshot`)."""
+        raise NotImplementedError
+
+    def _restore_state(self, state) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def check(self, op: str, cycle: int) -> bool:
+        """True when ``op`` can issue at ``cycle`` without contention."""
+        free, units = self._check(op, cycle)
+        self.work.charge(CHECK, units)
+        return free
+
+    def assign(self, op: str, cycle: int) -> ScheduledToken:
+        """Reserve the resources of ``op`` issued at ``cycle``.
+
+        The caller is responsible for having checked first; assigning over
+        a conflict corrupts the reserved table (as in the paper's modules,
+        which do no double bookkeeping for speed).
+        """
+        if self._used_assign_free:
+            raise QueryError("cannot mix assign with assign_free")
+        self._used_assign = True
+        token = self._make_token(op, cycle)
+        units = self._assign(token, with_owners=False)
+        self.work.charge(ASSIGN, units)
+        self._live[token.ident] = token
+        self._count_op(op, +1)
+        return token
+
+    def assign_free(self, op: str, cycle: int) -> Tuple[ScheduledToken, List[ScheduledToken]]:
+        """Reserve resources, evicting any conflicting scheduled operations.
+
+        Returns the new token and the (possibly empty) list of evicted
+        tokens, which the scheduler must re-schedule.
+        """
+        if self._used_assign:
+            raise QueryError("cannot mix assign_free with assign")
+        self._used_assign_free = True
+        token = self._make_token(op, cycle)
+        evicted, units = self._assign_free(token)
+        self.work.charge(ASSIGN_FREE, units)
+        for gone in evicted:
+            self._live.pop(gone.ident, None)
+            self._count_op(gone.op, -1)
+        self._live[token.ident] = token
+        self._count_op(op, +1)
+        return token, evicted
+
+    def free(self, token: ScheduledToken) -> None:
+        """Release the resources held by ``token``."""
+        if token.ident not in self._live:
+            raise QueryError("token %r is not scheduled" % (token,))
+        units = self._free(token, with_owners=self._used_assign_free)
+        self.work.charge(FREE, units)
+        del self._live[token.ident]
+        self._count_op(token.op, -1)
+
+    def check_with_alternatives(self, op: str, cycle: int) -> Optional[str]:
+        """First alternative of ``op`` schedulable at ``cycle``, or ``None``.
+
+        Implemented, as in the paper, by repeatedly calling ``check`` for
+        each alternative operation until one succeeds.  The probe order is
+        governed by :attr:`alternative_policy` — the paper's first-fit by
+        default, with round-robin and least-used available (the "more
+        efficient techniques" the paper leaves open).
+        """
+        variants = self.machine.alternatives_of(op)
+        ordered = order_variants(
+            self.alternative_policy,
+            variants,
+            self._alt_rotation.get(op, 0),
+            self._live_op_counts,
+        )
+        for alternative in ordered:
+            if self.check(alternative, cycle):
+                if self.alternative_policy == ROUND_ROBIN and len(variants) > 1:
+                    self._alt_rotation[op] = (
+                        self._alt_rotation.get(op, 0) + 1
+                    )
+                return alternative
+        return None
+
+    def scheduled(self) -> List[ScheduledToken]:
+        """Currently scheduled tokens, in assignment order."""
+        return [self._live[ident] for ident in sorted(self._live)]
+
+    def snapshot(self) -> tuple:
+        """Opaque copy of the partial-schedule state.
+
+        Search-based schedulers (branch and bound, enumeration) can
+        checkpoint before a speculative subtree and ``restore`` instead
+        of replaying frees.  Work counters are NOT part of the snapshot
+        — accounting keeps running across restores.
+        """
+        return (
+            dict(self._live),
+            self._next_ident,
+            self._used_assign,
+            self._used_assign_free,
+            dict(self._alt_rotation),
+            dict(self._live_op_counts),
+            self._snapshot_state(),
+        )
+
+    def restore(self, snapshot: tuple) -> None:
+        """Return to a state captured by :meth:`snapshot`."""
+        (
+            live,
+            next_ident,
+            used_assign,
+            used_assign_free,
+            rotation,
+            counts,
+            state,
+        ) = snapshot
+        self._live = dict(live)
+        self._next_ident = next_ident
+        self._used_assign = used_assign
+        self._used_assign_free = used_assign_free
+        self._alt_rotation = dict(rotation)
+        self._live_op_counts = dict(counts)
+        self._restore_state(state)
+
+    def reset(self) -> None:
+        """Clear the partial schedule (work counters are kept)."""
+        self._live.clear()
+        self._used_assign = False
+        self._used_assign_free = False
+        self._alt_rotation.clear()
+        self._live_op_counts.clear()
+        self._reset_state()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _count_op(self, op: str, delta: int) -> None:
+        count = self._live_op_counts.get(op, 0) + delta
+        if count:
+            self._live_op_counts[op] = count
+        else:
+            self._live_op_counts.pop(op, None)
+
+    def _make_token(self, op: str, cycle: int) -> ScheduledToken:
+        if op not in self.machine:
+            raise QueryError("unknown operation %r" % op)
+        token = ScheduledToken(self._next_ident, op, cycle)
+        self._next_ident += 1
+        return token
+
+    def __repr__(self) -> str:
+        return "%s(%r, %d scheduled)" % (
+            type(self).__name__,
+            self.machine.name,
+            len(self._live),
+        )

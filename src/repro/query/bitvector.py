@@ -1,0 +1,256 @@
+"""Bitvector-representation contention query module (paper Sections 5 & 7).
+
+The reserved table packs one bitvector per schedule cycle (bit = resource)
+and ``k`` consecutive cycle-vectors per memory word.  A ``check`` then ANDs
+each non-empty word of the operation's precompiled reservation-table mask
+against the reserved word and tests for zero, detecting contentions for
+``k`` cycles with one word operation; a word handled is one work unit.
+
+``assign&free`` uses the paper's optimistic strategy: while no eviction has
+ever been needed, owner fields are not maintained and the function runs on
+pure word operations.  The first contention forces a one-time scan of the
+scheduled-operation list to reconstruct owner fields (charged as work), and
+the module stays in *update mode* thereafter, where ``assign&free`` iterates
+over resource usages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.machine import MachineDescription
+from repro.query.base import ContentionQueryModule, ScheduledToken
+
+
+class BitvectorQueryModule(ContentionQueryModule):
+    """Query module over packed per-word reserved bitvectors.
+
+    Parameters
+    ----------
+    machine:
+        Machine description; its resource order defines bit positions.
+    word_cycles:
+        Number of cycle-bitvectors packed per memory word (``k``).  With R
+        resources a word holds ``k * R`` bits; the paper's 32/64-bit studies
+        correspond to the largest k with ``k * R <= word size``.
+    modulo:
+        Optional initiation interval: cycles wrap, making this a Modulo
+        Reservation Table for software pipelining.
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        word_cycles: int = 1,
+        modulo: Optional[int] = None,
+    ):
+        super().__init__(machine)
+        if word_cycles < 1:
+            raise ValueError("word_cycles must be >= 1")
+        if modulo is not None and modulo < 1:
+            raise ValueError("modulo initiation interval must be >= 1")
+        self.word_cycles = word_cycles
+        self.modulo = modulo
+        self._bit_of = {r: i for i, r in enumerate(machine.resources)}
+        self._stride = max(1, machine.num_resources)
+        self._words: Dict[int, int] = {}
+        # Owner fields, maintained only in update mode (or for plain free).
+        self._owners: Dict[Tuple[int, int], int] = {}
+        self._update_mode = False
+        # (op, alignment) -> (((word, mask), ...), self_conflict) with word
+        # offsets for scalar tables and absolute MRT words for modulo ones.
+        self._mask_cache: Dict[
+            Tuple[str, int], Tuple[Tuple[Tuple[int, int], ...], bool]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Bit layout
+    # ------------------------------------------------------------------
+    def _bit_position(self, resource: str, packed_cycle: int) -> int:
+        return packed_cycle * self._stride + self._bit_of[resource]
+
+    def _cycle_key(self, cycle: int) -> int:
+        """Schedule cycle normalized for the owner map (wraps for modulo)."""
+        if self.modulo is not None:
+            return cycle % self.modulo
+        return cycle
+
+    def _masks(self, op: str, cycle: int) -> Tuple[Tuple[int, int], ...]:
+        """Word masks of ``op`` issued at ``cycle``.
+
+        For scalar tables the masks depend on the issue cycle only through
+        its alignment within a word, so entries are cached per
+        ``cycle mod k`` and shifted by the word base at query time (the
+        caller adds ``cycle // k`` via :meth:`_placed_masks`).  For modulo
+        tables they depend on ``cycle mod II`` and are cached absolutely.
+        """
+        if self.modulo is None:
+            key = (op, cycle % self.word_cycles)
+        else:
+            key = (op, cycle % self.modulo)
+        cached = self._mask_cache.get(key)
+        if cached is not None:
+            return cached
+        accum: Dict[int, int] = {}
+        self_conflict = False
+        table = self.machine.table(op)
+        for resource, use_cycle in table.iter_usages():
+            if self.modulo is None:
+                absolute = key[1] + use_cycle
+            else:
+                absolute = (key[1] + use_cycle) % self.modulo
+            word = absolute // self.word_cycles
+            bit = 1 << self._bit_position(resource, absolute % self.word_cycles)
+            if accum.get(word, 0) & bit:
+                # Two usages wrapped onto one MRT slot: the operation can
+                # never issue at this alignment (II below a self-forbidden
+                # latency).  Only possible for modulo tables.
+                self_conflict = True
+            accum[word] = accum.get(word, 0) | bit
+        masks = (tuple(sorted(accum.items())), self_conflict)
+        self._mask_cache[key] = masks
+        return masks
+
+    def _placed_masks(self, op: str, cycle: int) -> List[Tuple[int, int]]:
+        """(absolute word index, mask) pairs for ``op`` issued at ``cycle``."""
+        masks, _ = self._masks(op, cycle)
+        if self.modulo is not None:
+            return list(masks)
+        base = cycle // self.word_cycles
+        return [(base + offset, mask) for offset, mask in masks]
+
+    def _self_conflicts(self, op: str, cycle: int) -> bool:
+        """True when the op's own usages wrap onto one MRT slot."""
+        _, self_conflict = self._masks(op, cycle)
+        return self_conflict
+
+    def _usage_slots(self, op: str, cycle: int) -> List[Tuple[int, int]]:
+        """(resource bit, cycle key) per usage — owner-map granularity."""
+        table = self.machine.table(op)
+        return [
+            (self._bit_of[r], self._cycle_key(cycle + c))
+            for r, c in table.iter_usages()
+        ]
+
+    # ------------------------------------------------------------------
+    # Representation hooks
+    # ------------------------------------------------------------------
+    def _check(self, op: str, cycle: int) -> Tuple[bool, int]:
+        if self._self_conflicts(op, cycle):
+            return False, 1
+        units = 0
+        for word, mask in self._placed_masks(op, cycle):
+            units += 1
+            if self._words.get(word, 0) & mask:
+                return False, units
+        return True, units
+
+    def _assign(self, token: ScheduledToken, with_owners: bool) -> int:
+        units = 0
+        for word, mask in self._placed_masks(token.op, token.cycle):
+            units += 1
+            self._words[word] = self._words.get(word, 0) | mask
+        if with_owners:
+            for slot in self._usage_slots(token.op, token.cycle):
+                self._owners[slot] = token.ident
+        return units
+
+    def _free(self, token: ScheduledToken, with_owners: bool) -> int:
+        units = 0
+        for word, mask in self._placed_masks(token.op, token.cycle):
+            units += 1
+            remaining = self._words.get(word, 0) & ~mask
+            if remaining:
+                self._words[word] = remaining
+            else:
+                self._words.pop(word, None)
+        if with_owners and self._update_mode:
+            for slot in self._usage_slots(token.op, token.cycle):
+                self._owners.pop(slot, None)
+        return units
+
+    def _assign_free(self, token: ScheduledToken) -> Tuple[List[ScheduledToken], int]:
+        if not self._update_mode:
+            # Optimistic mode: single word-level test-and-set pass.
+            units = 0
+            conflict = False
+            placed = self._placed_masks(token.op, token.cycle)
+            for word, mask in placed:
+                units += 1
+                if self._words.get(word, 0) & mask:
+                    conflict = True
+                    break
+            if not conflict:
+                for word, mask in placed:
+                    self._words[word] = self._words.get(word, 0) | mask
+                return [], units
+            # Mode transition: rebuild owner fields by scanning the whole
+            # scheduled-operation list (the paper's transition overhead).
+            self._update_mode = True
+            for scheduled in self._live.values():
+                for slot in self._usage_slots(scheduled.op, scheduled.cycle):
+                    units += 1
+                    self._owners[slot] = scheduled.ident
+            return self._assign_free_update(token, units)
+        return self._assign_free_update(token, 0)
+
+    def _assign_free_update(
+        self, token: ScheduledToken, units: int
+    ) -> Tuple[List[ScheduledToken], int]:
+        """Update-mode assign&free: iterate usages, evicting owners.
+
+        Work is one unit per usage of the incoming operation (the paper's
+        update-mode cost) plus one per usage of each evicted operation
+        (their entries must be cleared); the word-level bit updates ride
+        along for free, as a word is handled together with its usages.
+        """
+        evicted: List[ScheduledToken] = []
+        evicted_idents = set()
+        for slot in self._usage_slots(token.op, token.cycle):
+            units += 1
+            owner = self._owners.get(slot)
+            if owner is not None and owner != token.ident and owner not in evicted_idents:
+                victim = self._live[owner]
+                evicted_idents.add(owner)
+                evicted.append(victim)
+                for victim_slot in self._usage_slots(victim.op, victim.cycle):
+                    units += 1
+                    self._owners.pop(victim_slot, None)
+                self._free(victim, with_owners=False)
+            self._owners[slot] = token.ident
+        self._assign(token, with_owners=False)
+        return evicted, units
+
+    def _reset_state(self) -> None:
+        self._words.clear()
+        self._owners.clear()
+        self._update_mode = False
+
+    def _snapshot_state(self):
+        return (dict(self._words), dict(self._owners), self._update_mode)
+
+    def _restore_state(self, state) -> None:
+        words, owners, update_mode = state
+        self._words = dict(words)
+        self._owners = dict(owners)
+        self._update_mode = update_mode
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def in_update_mode(self) -> bool:
+        """True after the first eviction forced owner-field maintenance."""
+        return self._update_mode
+
+    def word_at(self, index: int) -> int:
+        """Raw reserved word at ``index`` (0 when untouched)."""
+        return self._words.get(index, 0)
+
+    def state_bits_per_cycle(self) -> int:
+        """Reserved-table bits per schedule cycle: one per resource."""
+        return self.machine.num_resources
+
+    def bits_per_word(self) -> int:
+        """Bits used in each packed word (``k`` cycles x resources)."""
+        return self.word_cycles * self._stride

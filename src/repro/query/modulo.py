@@ -1,0 +1,53 @@
+"""Modulo reservation tables for software pipelining (paper Section 8).
+
+A modulo schedule issues one loop iteration every II cycles, so an
+operation placed at schedule cycle ``t`` occupies resources at cycles
+``(t + c) mod II`` of the *Modulo Reservation Table* (Patel & Davidson;
+Rau's Iterative Modulo Scheduler).  Both query-module representations
+support a ``modulo=`` initiation interval natively; this module provides
+the factory the scheduler uses to build them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.machine import MachineDescription
+from repro.query.base import ContentionQueryModule
+from repro.query.bitvector import BitvectorQueryModule
+from repro.query.discrete import DiscreteQueryModule
+
+DISCRETE = "discrete"
+BITVECTOR = "bitvector"
+
+REPRESENTATIONS = (DISCRETE, BITVECTOR)
+
+
+def make_query_module(
+    machine: MachineDescription,
+    representation: str = DISCRETE,
+    word_cycles: int = 1,
+    modulo: Optional[int] = None,
+) -> ContentionQueryModule:
+    """Build a contention query module.
+
+    Parameters
+    ----------
+    machine:
+        Machine description (original or reduced).
+    representation:
+        ``"discrete"`` or ``"bitvector"``.
+    word_cycles:
+        Cycle-bitvectors per word (bitvector representation only).
+    modulo:
+        Initiation interval for a modulo reservation table; ``None`` gives
+        an ordinary (scalar) reserved table.
+    """
+    if representation == DISCRETE:
+        return DiscreteQueryModule(machine, modulo=modulo)
+    if representation == BITVECTOR:
+        return BitvectorQueryModule(machine, word_cycles=word_cycles, modulo=modulo)
+    raise ValueError(
+        "unknown representation %r (expected one of %s)"
+        % (representation, REPRESENTATIONS)
+    )

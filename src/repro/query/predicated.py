@@ -1,0 +1,205 @@
+"""Predicate-aware contention queries (Enhanced Modulo Scheduling).
+
+The paper notes that discrete reserved-table entries "may contain
+additional fields, such as ... a field identifying the predicate under
+which the resource is reserved, as proposed in the Enhanced Modulo
+Scheduling scheme" (Warter et al.).  On a predicated machine like the
+Cydra 5, two operations guarded by *disjoint* predicates (an if-converted
+then/else pair) can never both execute, so they may legally share a
+resource slot — the reserved table must track who holds each entry under
+which predicate.
+
+:class:`PredicateSpace` models the predicate relation (complements are
+disjoint; disjointness is declared explicitly otherwise and propagated to
+nothing — a conservative may-overlap default).  The query module keeps a
+list of (predicate, owner) holders per slot and reports contention only
+against holders whose predicate may overlap the query's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.machine import MachineDescription
+from repro.errors import QueryError
+from repro.query.base import ScheduledToken
+from repro.query.work import ASSIGN, ASSIGN_FREE, CHECK, FREE, WorkCounters
+
+#: The always-true predicate: overlaps everything.
+TRUE = "true"
+
+
+class PredicateSpace:
+    """Disjointness relation over predicate names.
+
+    Complementary pairs created by :meth:`complement` are disjoint by
+    construction; any other pair *may overlap* unless explicitly declared
+    disjoint.  This conservative default is sound: treating overlapping
+    predicates as disjoint could admit real hazards, the reverse merely
+    loses sharing.
+    """
+
+    def __init__(self):
+        self._disjoint: Set[FrozenSet[str]] = set()
+
+    def complement(self, predicate: str) -> str:
+        """The complement predicate name (``p`` <-> ``!p``), registered
+        as disjoint with its base."""
+        if predicate == TRUE:
+            raise QueryError("the true predicate has no useful complement")
+        other = predicate[1:] if predicate.startswith("!") else "!" + predicate
+        self.declare_disjoint(predicate, other)
+        return other
+
+    def declare_disjoint(self, first: str, second: str) -> None:
+        """Record that two predicates can never both be true."""
+        if TRUE in (first, second):
+            raise QueryError("nothing is disjoint with the true predicate")
+        if first == second:
+            raise QueryError("a predicate cannot be disjoint with itself")
+        self._disjoint.add(frozenset((first, second)))
+
+    def may_overlap(self, first: str, second: str) -> bool:
+        """True unless the pair was declared (or derived) disjoint."""
+        if first == TRUE or second == TRUE or first == second:
+            return True
+        return frozenset((first, second)) not in self._disjoint
+
+
+class PredicatedDiscreteQueryModule:
+    """Discrete reserved table with per-entry predicate fields.
+
+    The interface mirrors :class:`~repro.query.DiscreteQueryModule` with
+    an extra ``predicate`` argument on every function (defaulting to the
+    always-true predicate, which makes this a strict generalization).
+    Work is counted per *holder examined*, so sharing slots under
+    disjoint predicates costs proportionally to the holders present.
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        predicates: Optional[PredicateSpace] = None,
+        modulo: Optional[int] = None,
+    ):
+        if modulo is not None and modulo < 1:
+            raise QueryError("modulo initiation interval must be >= 1")
+        self.machine = machine
+        self.predicates = predicates or PredicateSpace()
+        self.modulo = modulo
+        self.work = WorkCounters()
+        self._next_ident = 0
+        self._live: Dict[int, Tuple[ScheduledToken, str]] = {}
+        # slot -> list of (predicate, token ident) holders.
+        self._reserved: Dict[Tuple[str, int], List[Tuple[str, int]]] = {}
+
+    # ------------------------------------------------------------------
+    def _slots(self, op: str, cycle: int) -> List[Tuple[str, int]]:
+        table = self.machine.table(op)
+        if self.modulo is None:
+            return [(r, cycle + c) for r, c in table.iter_usages()]
+        return [(r, (cycle + c) % self.modulo) for r, c in table.iter_usages()]
+
+    def _conflicts(
+        self, slot: Tuple[str, int], predicate: str
+    ) -> Optional[int]:
+        """Ident of a holder overlapping ``predicate``, else None."""
+        for holder_pred, ident in self._reserved.get(slot, ()):
+            if self.predicates.may_overlap(predicate, holder_pred):
+                return ident
+        return None
+
+    # ------------------------------------------------------------------
+    def check(self, op: str, cycle: int, predicate: str = TRUE) -> bool:
+        """True when ``op`` under ``predicate`` fits at ``cycle``."""
+        units = 0
+        free = True
+        for slot in self._slots(op, cycle):
+            units += 1 + len(self._reserved.get(slot, ()))
+            if self._conflicts(slot, predicate) is not None:
+                free = False
+                break
+        if free and self.modulo is not None:
+            seen = set()
+            for slot in self._slots(op, cycle):
+                if slot in seen:
+                    free = False
+                    break
+                seen.add(slot)
+        self.work.charge(CHECK, units)
+        return free
+
+    def assign(
+        self, op: str, cycle: int, predicate: str = TRUE
+    ) -> ScheduledToken:
+        """Reserve every slot of ``op`` under ``predicate``."""
+        token = ScheduledToken(self._next_ident, op, cycle)
+        self._next_ident += 1
+        units = 0
+        for slot in self._slots(op, cycle):
+            units += 1
+            self._reserved.setdefault(slot, []).append(
+                (predicate, token.ident)
+            )
+        self.work.charge(ASSIGN, units)
+        self._live[token.ident] = (token, predicate)
+        return token
+
+    def assign_free(
+        self, op: str, cycle: int, predicate: str = TRUE
+    ) -> Tuple[ScheduledToken, List[ScheduledToken]]:
+        """Reserve, evicting holders whose predicate overlaps."""
+        token = ScheduledToken(self._next_ident, op, cycle)
+        self._next_ident += 1
+        units = 0
+        evicted: List[ScheduledToken] = []
+        evicted_idents: Set[int] = set()
+        for slot in self._slots(op, cycle):
+            units += 1 + len(self._reserved.get(slot, ()))
+            victim = self._conflicts(slot, predicate)
+            while victim is not None and victim not in evicted_idents:
+                victim_token, _pred = self._live[victim]
+                evicted_idents.add(victim)
+                evicted.append(victim_token)
+                units += self._release(victim_token)
+                victim = self._conflicts(slot, predicate)
+            self._reserved.setdefault(slot, []).append(
+                (predicate, token.ident)
+            )
+        for ident in evicted_idents:
+            del self._live[ident]
+        self.work.charge(ASSIGN_FREE, units)
+        self._live[token.ident] = (token, predicate)
+        return token, evicted
+
+    def free(self, token: ScheduledToken) -> None:
+        """Release every slot held by ``token``."""
+        if token.ident not in self._live:
+            raise QueryError("token %r is not scheduled" % (token,))
+        units = self._release(token)
+        self.work.charge(FREE, units)
+        del self._live[token.ident]
+
+    def _release(self, token: ScheduledToken) -> int:
+        units = 0
+        for slot in self._slots(token.op, token.cycle):
+            units += 1
+            holders = self._reserved.get(slot, [])
+            self._reserved[slot] = [
+                (pred, ident)
+                for pred, ident in holders
+                if ident != token.ident
+            ]
+            if not self._reserved[slot]:
+                del self._reserved[slot]
+        return units
+
+    # ------------------------------------------------------------------
+    def holders_at(self, resource: str, cycle: int) -> List[Tuple[str, int]]:
+        """(predicate, ident) holders of one slot — for tests/debugging."""
+        if self.modulo is not None:
+            cycle %= self.modulo
+        return list(self._reserved.get((resource, cycle), ()))
+
+    def scheduled(self) -> List[ScheduledToken]:
+        return [self._live[ident][0] for ident in sorted(self._live)]

@@ -1,0 +1,130 @@
+"""VLIW instruction-word (MultiOp) formation from schedules.
+
+A VLIW like the Cydra 5 encodes one operation per functional-unit field
+of each instruction word.  Given a schedule, bundling groups operations
+by issue cycle and assigns each to its unit's field — the unit is
+recovered from the chosen opcode's issue-slot resource (our machine
+models reserve exactly one ``<unit>.issue`` resource at cycle 0).
+
+Bundling can fail only on a buggy schedule (two operations claiming one
+unit field in one cycle), so it doubles as yet another independent
+validity check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.machine import MachineDescription
+from repro.errors import ScheduleError
+
+_MISC_UNIT = "misc"
+
+
+def issue_unit(machine: MachineDescription, opcode: str) -> str:
+    """The functional-unit field an opcode occupies.
+
+    Determined by the unique ``<unit>.issue`` resource the opcode
+    reserves at cycle 0; opcodes without one (pseudo-ops, or machines
+    not following the convention) fall into a shared "misc" field.
+    """
+    table = machine.table(opcode)
+    units = [
+        resource[: -len(".issue")]
+        for resource in table.resources
+        if resource.endswith(".issue") and table.uses(resource, 0)
+    ]
+    if not units:
+        return _MISC_UNIT
+    if len(units) > 1:
+        raise ScheduleError(
+            "opcode %r issues on several units: %s" % (opcode, units)
+        )
+    return units[0]
+
+
+@dataclass
+class InstructionWord:
+    """One VLIW instruction: cycle plus unit-field assignments."""
+
+    cycle: int
+    fields: Dict[str, str] = field(default_factory=dict)
+
+    def render(self, units: List[str]) -> str:
+        cells = [self.fields.get(unit, "--") for unit in units]
+        return "t=%3d | %s" % (self.cycle, " | ".join(
+            cell.ljust(12) for cell in cells
+        ))
+
+
+@dataclass
+class Bundling:
+    """A schedule formatted as VLIW instruction words."""
+
+    machine: MachineDescription
+    words: List[InstructionWord]
+    units: List[str]
+
+    @property
+    def num_words(self) -> int:
+        return len(self.words)
+
+    @property
+    def nop_fields(self) -> int:
+        """Empty unit fields across all words (the VLIW density cost)."""
+        return sum(
+            len(self.units) - len(word.fields) for word in self.words
+        )
+
+    @property
+    def density(self) -> float:
+        """Fraction of unit fields holding a real operation."""
+        total = self.num_words * len(self.units)
+        if not total:
+            return 0.0
+        return 1.0 - self.nop_fields / total
+
+    def render(self) -> str:
+        header = "        " + " | ".join(
+            unit.ljust(12) for unit in self.units
+        )
+        return "\n".join([header] + [w.render(self.units) for w in self.words])
+
+
+def bundle(
+    machine: MachineDescription,
+    times: Dict[str, int],
+    chosen_opcodes: Dict[str, str],
+    modulo: Optional[int] = None,
+) -> Bundling:
+    """Group a schedule into instruction words.
+
+    With ``modulo=II`` the kernel's II words are produced (operations
+    land in word ``time % II``); otherwise one word per occupied cycle.
+    """
+    by_cycle: Dict[int, List[Tuple[str, str]]] = {}
+    for name, time in times.items():
+        opcode = chosen_opcodes[name]
+        cycle = time % modulo if modulo is not None else time
+        by_cycle.setdefault(cycle, []).append((name, opcode))
+
+    units = sorted(
+        {issue_unit(machine, opcode) for opcode in chosen_opcodes.values()}
+    )
+    words = []
+    cycles = (
+        range(modulo) if modulo is not None else sorted(by_cycle)
+    )
+    for cycle in cycles:
+        word = InstructionWord(cycle=cycle)
+        for name, opcode in sorted(by_cycle.get(cycle, ())):
+            unit = issue_unit(machine, opcode)
+            if unit in word.fields:
+                raise ScheduleError(
+                    "unit %r double-booked at cycle %d by %s and %s"
+                    % (unit, cycle, word.fields[unit], name)
+                )
+            word.fields[unit] = name
+        words.append(word)
+    return Bundling(machine=machine, words=words, units=units)

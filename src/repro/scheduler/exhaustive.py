@@ -1,0 +1,127 @@
+"""Exhaustive modulo-schedule feasibility search (for tiny loops).
+
+The Iterative Modulo Scheduler is a heuristic: when it settles for
+``II = MII + 1`` we do not know whether a schedule at MII existed.  For
+small loops this module answers that question exactly, by depth-first
+search over issue slots — operations are placed in height order, each
+tried at every feasible time in a bounded window, with the contention
+query module pruning resource-infeasible placements.
+
+Used by tests and the optimality-audit benchmark to measure how often
+the IMS misses a feasible MII (the paper reports 95.6% of loops at MII
+but cannot say how many of the rest were schedulable; we can, for the
+small ones).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.machine import MachineDescription
+from repro.errors import ScheduleError
+from repro.query.modulo import make_query_module
+from repro.scheduler.ddg import DependenceGraph
+from repro.scheduler.modulo import compute_heights
+
+
+class SearchBudgetExceeded(ScheduleError):
+    """The exhaustive search hit its node limit (result unknown)."""
+
+
+def find_schedule_at_ii(
+    machine: MachineDescription,
+    graph: DependenceGraph,
+    ii: int,
+    node_limit: int = 100_000,
+    span_factor: int = 3,
+) -> Optional[Dict[str, int]]:
+    """A modulo schedule at exactly ``ii``, or ``None`` if none exists
+    within the searched window.
+
+    A returned schedule is verified, so a non-``None`` answer is sound.
+    ``None`` is exact only up to the search window: each operation is
+    tried at ii consecutive times from its dependence-earliest start
+    (covering every modulo slot), inside a horizon of
+    ``span_factor * ii + critical-path`` cycles.  Schedules that need an
+    operation far later than its earliest start to *unblock an unplaced
+    predecessor* could escape the window; widen ``span_factor`` to chase
+    those.
+
+    Raises :class:`SearchBudgetExceeded` past ``node_limit`` nodes.
+    """
+    graph.validate()
+    heights = compute_heights(graph, ii)
+    order = sorted(
+        (op.name for op in graph.operations()),
+        key=lambda name: (-heights[name], name),
+    )
+    opcode_of = {op.name: op.opcode for op in graph.operations()}
+    horizon = span_factor * ii + graph.critical_path_length() + 1
+    qm = make_query_module(machine, modulo=ii)
+    times: Dict[str, int] = {}
+    tokens: Dict[str, object] = {}
+    nodes = [0]
+
+    def window(name: str) -> List[int]:
+        earliest = 0
+        latest = horizon
+        for edge in graph.predecessors(name):
+            if edge.src in times:
+                earliest = max(
+                    earliest,
+                    times[edge.src] + edge.latency - ii * edge.distance,
+                )
+        for edge in graph.successors(name):
+            if edge.dst in times and edge.dst != name:
+                latest = min(
+                    latest,
+                    times[edge.dst] - edge.latency + ii * edge.distance,
+                )
+        if latest < earliest:
+            return []
+        # All modulo slots are covered by ii consecutive times; trying
+        # more only shifts dependences, so cap the window at ii slots
+        # past earliest (complete for resource feasibility) bounded by
+        # the dependence-imposed latest time.
+        return list(range(earliest, min(latest, earliest + ii - 1) + 1))
+
+    def place(index: int) -> bool:
+        nodes[0] += 1
+        if nodes[0] > node_limit:
+            raise SearchBudgetExceeded(
+                "exhaustive search for %r at II=%d exceeded %d nodes"
+                % (graph.name, ii, node_limit)
+            )
+        if index == len(order):
+            return True
+        name = order[index]
+        opcode = opcode_of[name]
+        for time in window(name):
+            chosen = qm.check_with_alternatives(opcode, time)
+            if chosen is None:
+                continue
+            tokens[name] = qm.assign(chosen, time)
+            times[name] = time
+            if place(index + 1):
+                return True
+            qm.free(tokens.pop(name))
+            del times[name]
+        return False
+
+    if place(0):
+        graph.verify_schedule(times, ii=ii)
+        return dict(times)
+    return None
+
+
+def is_ii_feasible(
+    machine: MachineDescription,
+    graph: DependenceGraph,
+    ii: int,
+    node_limit: int = 100_000,
+) -> bool:
+    """True when some modulo schedule exists at exactly ``ii``."""
+    return (
+        find_schedule_at_ii(machine, graph, ii, node_limit=node_limit)
+        is not None
+    )

@@ -1,0 +1,124 @@
+"""Value lifetimes and register pressure of modulo schedules.
+
+The paper's scheduling context (Rau's IMS; Huff's lifetime-sensitive
+modulo scheduling, cited as [4]) cares not only about II but about how
+long values stay live: in a software-pipelined loop a value live for L
+cycles overlaps ``ceil(L / II)`` copies of itself, each needing its own
+(rotating) register.
+
+Conventions used here:
+
+* a value is produced by each operation that has at least one flow
+  successor; its lifetime *starts at the producer's issue time* (the
+  pessimistic "issue-to-last-read" convention) and *ends at the latest
+  consumer's issue time*, where a consumer at iteration distance d reads
+  ``d * II`` cycles later;
+* ``registers`` per value is ``max(1, ceil(length / II))`` — the
+  rotating-register requirement;
+* ``max_live`` counts, per steady-state kernel slot, how many value
+  copies are live, and takes the maximum — the MaxLive lower bound on
+  any register allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.scheduler.modulo import ModuloScheduleResult
+
+
+@dataclass(frozen=True)
+class ValueLifetime:
+    """Lifetime of one produced value within a modulo schedule."""
+
+    producer: str
+    start: int
+    end: int
+    ii: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    @property
+    def registers(self) -> int:
+        """Rotating registers needed: overlapping live copies."""
+        return max(1, -(-self.length // self.ii))
+
+
+def value_lifetimes(result: ModuloScheduleResult) -> List[ValueLifetime]:
+    """Lifetimes of every value produced in the schedule.
+
+    Operations without flow successors (stores, branches) produce no
+    register value and are skipped.
+    """
+    times = result.times
+    ii = result.ii
+    lifetimes: List[ValueLifetime] = []
+    for op in result.graph.operations():
+        consumers = [
+            edge
+            for edge in result.graph.successors(op.name)
+            if edge.kind == "flow"
+        ]
+        if not consumers:
+            continue
+        start = times[op.name]
+        end = max(
+            times[edge.dst] + ii * edge.distance for edge in consumers
+        )
+        end = max(end, start)
+        lifetimes.append(
+            ValueLifetime(producer=op.name, start=start, end=end, ii=ii)
+        )
+    lifetimes.sort(key=lambda lt: (lt.start, lt.producer))
+    return lifetimes
+
+
+def register_requirement(result: ModuloScheduleResult) -> int:
+    """Total rotating registers: one bank per value, sized by overlap."""
+    return sum(lt.registers for lt in value_lifetimes(result))
+
+
+def max_live(result: ModuloScheduleResult) -> int:
+    """MaxLive: the busiest kernel slot's live-value count.
+
+    Counts every overlapping copy: a value spanning [start, end) covers
+    ``end - start`` consecutive cycles, which fold onto the kernel's II
+    slots possibly multiple times.
+    """
+    ii = result.ii
+    live: Dict[int, int] = {slot: 0 for slot in range(ii)}
+    for lt in value_lifetimes(result):
+        span = lt.length
+        if span <= 0:
+            continue
+        full, rest = divmod(span, ii)
+        for slot in range(ii):
+            live[slot] += full
+        for offset in range(rest):
+            live[(lt.start + offset) % ii] += 1
+    return max(live.values(), default=0)
+
+
+def lifetime_report(result: ModuloScheduleResult) -> str:
+    """Human-readable lifetime table for one schedule."""
+    lifetimes = value_lifetimes(result)
+    lines = [
+        "lifetimes for %s (II=%d): %d values, MaxLive %d, "
+        "%d rotating registers"
+        % (
+            result.graph.name,
+            result.ii,
+            len(lifetimes),
+            max_live(result),
+            register_requirement(result),
+        )
+    ]
+    for lt in lifetimes:
+        lines.append(
+            "  %-16s [%3d, %3d)  length %3d  regs %d"
+            % (lt.producer, lt.start, lt.end, lt.length, lt.registers)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""Minimum initiation interval bounds for modulo scheduling (Rau '94).
+
+``MII = max(ResMII, RecMII)``:
+
+* **ResMII** — resource-constrained bound.  Every usage of a physical
+  resource lands in one of the II slots of the modulo reservation table, so
+  II must be at least the total per-iteration usage count of the most
+  heavily used resource.  A second, subtler bound comes from
+  self-contention: operation X cannot issue every II cycles when some
+  positive multiple of II is a self-forbidden latency of X (its own usages
+  would wrap onto one MRT slot).
+* **RecMII** — recurrence-constrained bound.  For every dependence cycle C,
+  ``II >= ceil(sum latency / sum distance)``.  Computed exactly by binary
+  search over II with positive-cycle detection on edge weights
+  ``latency - II * distance``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.forbidden import ForbiddenLatencyMatrix
+from repro.core.machine import MachineDescription
+from repro.errors import ScheduleError
+from repro.scheduler.ddg import DependenceGraph
+
+
+def min_feasible_ii_for_op(
+    matrix: ForbiddenLatencyMatrix, opcode: str
+) -> int:
+    """Smallest II at which ``opcode`` does not collide with itself.
+
+    An operation issued every II cycles conflicts with its own later
+    instances exactly when ``k * II`` (k >= 1) is one of its self-forbidden
+    latencies.  Any II larger than the largest self-forbidden latency is
+    feasible, so the search terminates.
+    """
+    self_latencies = {f for f in matrix.latencies(opcode, opcode) if f > 0}
+    if not self_latencies:
+        return 1
+    limit = max(self_latencies)
+    for ii in range(1, limit + 2):
+        if not any(multiple % ii == 0 for multiple in self_latencies):
+            return ii
+    return limit + 1
+
+
+def res_mii(
+    machine: MachineDescription,
+    opcodes: Iterable[str],
+    matrix: Optional[ForbiddenLatencyMatrix] = None,
+) -> int:
+    """Resource-constrained minimum II for one iteration's opcodes.
+
+    ``opcodes`` lists every operation of the loop body with multiplicity.
+    The usage-count bound is exact for single-usage-per-cycle resources and
+    a valid lower bound in general; the self-contention bound guards
+    against IIs at which some opcode could never legally issue.
+    """
+    opcodes = list(opcodes)
+    if matrix is None:
+        matrix = ForbiddenLatencyMatrix.from_machine(machine)
+    # Opcodes may be alternative-group base names; spread successive
+    # occurrences round-robin over the variants (the best case a scheduler
+    # can do for replicated units, hence still a valid lower bound).
+    usage_totals: Dict[str, int] = {}
+    seen: Dict[str, int] = {}
+    for opcode in opcodes:
+        variants = machine.alternatives_of(opcode)
+        variant = variants[seen.get(opcode, 0) % len(variants)]
+        seen[opcode] = seen.get(opcode, 0) + 1
+        for resource, _cycle in machine.table(variant).iter_usages():
+            usage_totals[resource] = usage_totals.get(resource, 0) + 1
+    bound = max(usage_totals.values(), default=1)
+    for opcode in set(opcodes):
+        # With alternatives the scheduler may pick whichever variant is
+        # self-feasible, so the bound is the minimum over variants.
+        bound = max(
+            bound,
+            min(
+                min_feasible_ii_for_op(matrix, variant)
+                for variant in machine.alternatives_of(opcode)
+            ),
+        )
+    return max(1, bound)
+
+
+def res_mii_packed(
+    machine: MachineDescription,
+    opcodes: Iterable[str],
+    slack: int = 64,
+) -> int:
+    """Rau's packing-based ResMII *estimator*.
+
+    Starting from the usage-count bound, try to place every opcode's
+    reservation table into an empty modulo reservation table of length II
+    (first-fit over the II offsets, most-constrained opcodes first),
+    increasing II until everything fits.  This is how the Iterative
+    Modulo Scheduler paper estimates ResMII for complex tables; because
+    first-fit can miss feasible packings it is an *estimate*, not a lower
+    bound, so :func:`min_ii` deliberately does not use it — it exists for
+    diagnostics and the ablation benchmarks.
+    """
+    opcodes = list(opcodes)
+    if not opcodes:
+        return 1
+    matrix = ForbiddenLatencyMatrix.from_machine(machine)
+    floor = res_mii(machine, opcodes, matrix=matrix)
+    # Resolve alternative bases round-robin, like res_mii.
+    seen: Dict[str, int] = {}
+    tables = []
+    for opcode in opcodes:
+        variants = machine.alternatives_of(opcode)
+        variant = variants[seen.get(opcode, 0) % len(variants)]
+        seen[opcode] = seen.get(opcode, 0) + 1
+        tables.append(machine.table(variant))
+    # Most-constrained first: more usages are harder to place.
+    tables.sort(key=lambda t: -t.usage_count)
+    for ii in range(floor, floor + slack + 1):
+        reserved = set()
+        feasible = True
+        for table in tables:
+            placed = False
+            for offset in range(ii):
+                slots = {
+                    (resource, (offset + cycle) % ii)
+                    for resource, cycle in table.iter_usages()
+                }
+                if len(slots) == table.usage_count and not (
+                    slots & reserved
+                ):
+                    reserved |= slots
+                    placed = True
+                    break
+            if not placed:
+                feasible = False
+                break
+        if feasible:
+            return ii
+    return floor + slack + 1
+
+
+def _has_positive_cycle(graph: DependenceGraph, ii: int) -> bool:
+    """Bellman-Ford longest-path relaxation detecting a positive cycle of
+    ``latency - ii * distance`` edge weights."""
+    names = [op.name for op in graph.operations()]
+    dist = {name: 0 for name in names}
+    edges = list(graph.edges())
+    for _ in range(len(names)):
+        changed = False
+        for edge in edges:
+            weight = edge.latency - ii * edge.distance
+            candidate = dist[edge.src] + weight
+            if candidate > dist[edge.dst]:
+                dist[edge.dst] = candidate
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def rec_mii(graph: DependenceGraph, upper_bound: Optional[int] = None) -> int:
+    """Recurrence-constrained minimum II (exact).
+
+    Raises :class:`ScheduleError` when the graph has a dependence cycle of
+    zero total distance (which no II can satisfy if its latency sum is
+    positive) — :meth:`DependenceGraph.validate` catches these earlier.
+    """
+    if graph.num_operations == 0:
+        return 1
+    if not graph.is_acyclic():
+        raise ScheduleError(
+            "graph %r has a zero-distance dependence cycle" % graph.name
+        )
+    if upper_bound is None:
+        upper_bound = max(
+            1, sum(max(0, e.latency) for e in graph.edges())
+        )
+    low, high = 1, upper_bound
+    if _has_positive_cycle(graph, high):
+        raise ScheduleError(
+            "no feasible II up to %d for graph %r" % (high, graph.name)
+        )
+    while low < high:
+        mid = (low + high) // 2
+        if _has_positive_cycle(graph, mid):
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def min_ii(
+    machine: MachineDescription,
+    graph: DependenceGraph,
+    matrix: Optional[ForbiddenLatencyMatrix] = None,
+) -> int:
+    """``MII = max(ResMII, RecMII)`` — the scheduler's starting II."""
+    return max(
+        res_mii(machine, graph.opcodes(), matrix=matrix),
+        rec_mii(graph),
+    )

@@ -1,0 +1,365 @@
+"""Iterative Modulo Scheduling (Rau, MICRO-27 1994) — paper Section 8.
+
+The scheduler that evaluates the contention query modules.  Its defining
+features, all exercised here:
+
+* operations are considered in *priority* order (height along critical
+  paths), not cycle order — the unrestricted scheduling model;
+* an operation may be scheduled into a slot that conflicts, in which case
+  the conflicting operations are *unscheduled* via ``assign&free``;
+* placements that violate dependences of already-scheduled successors
+  unschedule those successors;
+* a budget of ``budget_ratio * N`` scheduling decisions bounds the work per
+  II; exceeding it restarts the attempt with II + 1.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.forbidden import ForbiddenLatencyMatrix
+from repro.core.machine import MachineDescription
+from repro.errors import ScheduleError
+from repro.query.alternatives import FIRST_FIT
+from repro.query.modulo import DISCRETE, make_query_module
+from repro.query.work import CHECK, WorkCounters
+from repro.scheduler.ddg import DependenceGraph
+from repro.scheduler.mii import min_ii
+
+
+def compute_heights(graph: DependenceGraph, ii: int) -> Dict[str, int]:
+    """Height-based priority: longest path to any sink with edge weights
+    ``latency - II * distance``.
+
+    Well-defined whenever II >= RecMII (no positive cycles); computed by
+    relaxation to a fixed point.
+    """
+    heights = {op.name: 0 for op in graph.operations()}
+    edges = list(graph.edges())
+    for _ in range(graph.num_operations + 1):
+        changed = False
+        for edge in edges:
+            candidate = heights[edge.dst] + edge.latency - ii * edge.distance
+            if candidate > heights[edge.src]:
+                heights[edge.src] = candidate
+                changed = True
+        if not changed:
+            break
+    else:
+        raise ScheduleError(
+            "positive cycle at II=%d while computing heights" % ii
+        )
+    return heights
+
+
+@dataclass
+class AttemptStats:
+    """Statistics of one scheduling attempt at a fixed II."""
+
+    ii: int
+    decisions: int
+    evictions_resource: int
+    evictions_dependence: int
+    budget: int
+    succeeded: bool
+    budget_exceeded: bool
+
+    @property
+    def reversals(self) -> int:
+        """Scheduling decisions that were later reversed."""
+        return self.evictions_resource + self.evictions_dependence
+
+
+@dataclass
+class ModuloScheduleResult:
+    """Outcome of modulo-scheduling one loop.
+
+    ``times`` maps operation names to schedule times; the modulo issue slot
+    of an operation is ``times[name] % ii``.  ``chosen_opcodes`` records the
+    alternative selected for each operation.
+    """
+
+    graph: DependenceGraph
+    machine: MachineDescription
+    ii: int
+    mii: int
+    times: Dict[str, int]
+    chosen_opcodes: Dict[str, str]
+    attempts: List[AttemptStats]
+    work: WorkCounters
+    #: check queries issued per scheduling decision (paper Section 8
+    #: reports this distribution: 4.74 on average for the Cydra 5).
+    check_distribution: Counter = field(default_factory=Counter)
+
+    @property
+    def num_operations(self) -> int:
+        return self.graph.num_operations
+
+    @property
+    def ii_over_mii(self) -> float:
+        return self.ii / self.mii
+
+    @property
+    def optimal(self) -> bool:
+        """True when the achieved II equals the lower bound MII."""
+        return self.ii == self.mii
+
+    @property
+    def total_decisions(self) -> int:
+        return sum(a.decisions for a in self.attempts)
+
+    @property
+    def decisions_per_op(self) -> float:
+        """Scheduling decisions per operation, averaged over attempts —
+        the paper's Table 5 metric."""
+        per_attempt = [a.decisions / self.num_operations for a in self.attempts]
+        return sum(per_attempt) / len(per_attempt)
+
+    @property
+    def any_reversals(self) -> bool:
+        return any(a.reversals > 0 for a in self.attempts)
+
+    @property
+    def checks_per_decision(self) -> float:
+        """Average check queries per scheduling decision."""
+        decisions = sum(self.check_distribution.values())
+        if not decisions:
+            return 0.0
+        total = sum(k * v for k, v in self.check_distribution.items())
+        return total / decisions
+
+
+class IterativeModuloScheduler:
+    """Rau's Iterative Modulo Scheduler over a contention query module.
+
+    Parameters
+    ----------
+    machine:
+        Machine description (original or reduced — schedules are identical
+        because forbidden latencies are identical; only query cost varies).
+    representation / word_cycles:
+        Query-module representation to drive (see
+        :func:`repro.query.make_query_module`).
+    budget_ratio:
+        Scheduling-decision budget per attempt, as a multiple of the number
+        of operations (the paper uses 6).
+    max_ii_slack:
+        Give up after ``MII + max_ii_slack`` failed IIs.
+    alternative_policy:
+        Probe order for ``check_with_alternatives`` (see
+        :mod:`repro.query.alternatives`).
+    placement_policy:
+        ``"earliest"`` (Rau's default: scan the II window upward from
+        Estart) or ``"lifetime"`` (lifetime-sensitive, after Huff: when
+        an operation's scheduled *consumers* pin its deadline side, scan
+        the window downward from the latest feasible slot so produced
+        values live as briefly as possible).  Both produce legal
+        schedules; they trade scheduling freedom against register
+        pressure — see ``benchmarks/test_ablation_lifetime.py``.
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        representation: str = DISCRETE,
+        word_cycles: int = 1,
+        budget_ratio: int = 6,
+        max_ii_slack: int = 64,
+        matrix: Optional[ForbiddenLatencyMatrix] = None,
+        alternative_policy: str = FIRST_FIT,
+        placement_policy: str = "earliest",
+    ):
+        self.machine = machine
+        self.representation = representation
+        self.word_cycles = word_cycles
+        self.budget_ratio = budget_ratio
+        self.max_ii_slack = max_ii_slack
+        self.matrix = matrix or ForbiddenLatencyMatrix.from_machine(machine)
+        self.alternative_policy = alternative_policy
+        if placement_policy not in ("earliest", "lifetime"):
+            raise ScheduleError(
+                "unknown placement policy %r" % placement_policy
+            )
+        self.placement_policy = placement_policy
+
+    # ------------------------------------------------------------------
+    def schedule(self, graph: DependenceGraph) -> ModuloScheduleResult:
+        """Modulo-schedule a loop; raises :class:`ScheduleError` on failure."""
+        graph.validate()
+        mii = min_ii(self.machine, graph, matrix=self.matrix)
+        work = WorkCounters()
+        attempts: List[AttemptStats] = []
+        check_distribution = Counter()
+        for ii in range(mii, mii + self.max_ii_slack + 1):
+            outcome = self._attempt(graph, ii, work)
+            attempts.append(outcome.stats)
+            check_distribution.update(outcome.check_counts)
+            if outcome.stats.succeeded:
+                result = ModuloScheduleResult(
+                    graph=graph,
+                    machine=self.machine,
+                    ii=ii,
+                    mii=mii,
+                    times=outcome.times,
+                    chosen_opcodes=outcome.chosen,
+                    attempts=attempts,
+                    work=work,
+                    check_distribution=check_distribution,
+                )
+                self._verify(result)
+                return result
+        raise ScheduleError(
+            "failed to schedule %r up to II=%d"
+            % (graph.name, mii + self.max_ii_slack)
+        )
+
+    # ------------------------------------------------------------------
+    @dataclass
+    class _Attempt:
+        stats: AttemptStats
+        times: Dict[str, int] = field(default_factory=dict)
+        chosen: Dict[str, str] = field(default_factory=dict)
+        check_counts: Counter = field(default_factory=Counter)
+
+    def _attempt(
+        self, graph: DependenceGraph, ii: int, work: WorkCounters
+    ) -> "IterativeModuloScheduler._Attempt":
+        qm = make_query_module(
+            self.machine,
+            representation=self.representation,
+            word_cycles=self.word_cycles,
+            modulo=ii,
+        )
+        qm.alternative_policy = self.alternative_policy
+        heights = compute_heights(graph, ii)
+        names = [op.name for op in graph.operations()]
+        opcode_of = {op.name: op.opcode for op in graph.operations()}
+        budget = self.budget_ratio * len(names)
+        decisions = 0
+        evict_resource = 0
+        evict_dependence = 0
+
+        unscheduled = set(names)
+        times: Dict[str, int] = {}
+        tokens: Dict[str, object] = {}
+        token_owner = {}
+        chosen: Dict[str, str] = {}
+        prev_time: Dict[str, int] = {}
+
+        def priority(name: str) -> Tuple[int, str]:
+            return (-heights[name], name)
+
+        check_counts = Counter()
+        while unscheduled and decisions < budget:
+            name = min(unscheduled, key=priority)
+            unscheduled.discard(name)
+            checks_before = qm.work.calls[CHECK]
+            estart = 0
+            for edge in graph.predecessors(name):
+                if edge.src in times:
+                    bound = times[edge.src] + edge.latency - ii * edge.distance
+                    if bound > estart:
+                        estart = bound
+
+            # Search an II-wide window for a contention-free slot.
+            # The lifetime policy scans downward from the latest slot
+            # permitted by already-scheduled consumers (when any exist),
+            # shortening the lifetimes of this op's produced value.
+            candidates = range(estart, estart + ii)
+            if self.placement_policy == "lifetime":
+                deadline = None
+                for edge in graph.successors(name):
+                    if edge.dst in times and edge.dst != name:
+                        bound = (
+                            times[edge.dst]
+                            - edge.latency
+                            + ii * edge.distance
+                        )
+                        deadline = (
+                            bound
+                            if deadline is None
+                            else min(deadline, bound)
+                        )
+                if deadline is not None and deadline >= estart:
+                    upper = min(deadline, estart + ii - 1)
+                    candidates = range(upper, estart - 1, -1)
+            slot = None
+            alternative = None
+            for t in candidates:
+                alternative = qm.check_with_alternatives(opcode_of[name], t)
+                if alternative is not None:
+                    slot = t
+                    break
+            if slot is None:
+                # Forced placement (Rau): earliest legal slot, but strictly
+                # after the previous placement when re-scheduling at the
+                # same spot, to guarantee forward progress.
+                previous = prev_time.get(name)
+                if previous is None or estart > previous:
+                    slot = estart
+                else:
+                    slot = previous + 1
+                alternative = self.machine.alternatives_of(opcode_of[name])[0]
+
+            check_counts[qm.work.calls[CHECK] - checks_before] += 1
+            token, evicted = qm.assign_free(alternative, slot)
+            decisions += 1
+            times[name] = slot
+            prev_time[name] = slot
+            tokens[name] = token
+            token_owner[token.ident] = name
+            chosen[name] = alternative
+
+            for victim_token in evicted:
+                victim = token_owner.pop(victim_token.ident)
+                evict_resource += 1
+                del times[victim]
+                del tokens[victim]
+                unscheduled.add(victim)
+
+            # Unschedule successors whose dependences the placement breaks.
+            for edge in graph.successors(name):
+                succ = edge.dst
+                if succ == name or succ not in times:
+                    continue
+                if times[name] + edge.latency - ii * edge.distance > times[succ]:
+                    victim_token = tokens.pop(succ)
+                    token_owner.pop(victim_token.ident, None)
+                    qm.free(victim_token)
+                    evict_dependence += 1
+                    del times[succ]
+                    unscheduled.add(succ)
+
+        succeeded = not unscheduled
+        work.merge(qm.work)
+        stats = AttemptStats(
+            ii=ii,
+            decisions=decisions,
+            evictions_resource=evict_resource,
+            evictions_dependence=evict_dependence,
+            budget=budget,
+            succeeded=succeeded,
+            budget_exceeded=not succeeded,
+        )
+        return self._Attempt(
+            stats=stats, times=times, chosen=chosen,
+            check_counts=check_counts,
+        )
+
+    # ------------------------------------------------------------------
+    def _verify(self, result: ModuloScheduleResult) -> None:
+        """Re-check the final schedule against dependences and resources."""
+        result.graph.verify_schedule(result.times, ii=result.ii)
+        reserved = {}
+        for name, time in result.times.items():
+            opcode = result.chosen_opcodes[name]
+            for resource, cycle in self.machine.table(opcode).iter_usages():
+                slot = (resource, (time + cycle) % result.ii)
+                if slot in reserved:
+                    raise ScheduleError(
+                        "resource contention between %s and %s at MRT slot %s"
+                        % (reserved[slot], name, slot)
+                    )
+                reserved[slot] = name

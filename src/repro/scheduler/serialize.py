@@ -1,0 +1,102 @@
+"""JSON serialization of schedules and dependence graphs.
+
+Downstream tools (assemblers, simulators, visualizers) consume schedules
+as data; these functions give every scheduler result a stable JSON shape
+and round-trip the dependence graphs that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import ScheduleError
+from repro.scheduler.ddg import DependenceGraph
+from repro.scheduler.list_scheduler import BlockScheduleResult
+from repro.scheduler.modulo import ModuloScheduleResult
+
+FORMAT_VERSION = 1
+
+
+def graph_to_json(graph: DependenceGraph) -> Dict[str, Any]:
+    """JSON-ready dict of a dependence graph."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "operations": [
+            {"name": op.name, "opcode": op.opcode}
+            for op in graph.operations()
+        ],
+        "dependences": [
+            {
+                "src": edge.src,
+                "dst": edge.dst,
+                "latency": edge.latency,
+                "distance": edge.distance,
+                "kind": edge.kind,
+            }
+            for edge in graph.edges()
+        ],
+    }
+
+
+def graph_from_json(data: Dict[str, Any]) -> DependenceGraph:
+    """Rebuild a dependence graph from :func:`graph_to_json` output."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ScheduleError(
+            "unsupported graph format version %r" % data.get("version")
+        )
+    graph = DependenceGraph(data["name"])
+    for op in data["operations"]:
+        graph.add_operation(op["name"], op["opcode"])
+    for edge in data["dependences"]:
+        graph.add_dependence(
+            edge["src"],
+            edge["dst"],
+            edge["latency"],
+            distance=edge.get("distance", 0),
+            kind=edge.get("kind", "flow"),
+        )
+    return graph
+
+
+def modulo_result_to_json(result: ModuloScheduleResult) -> Dict[str, Any]:
+    """JSON-ready dict of a modulo schedule (graph included)."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "modulo",
+        "machine": result.machine.name,
+        "ii": result.ii,
+        "mii": result.mii,
+        "graph": graph_to_json(result.graph),
+        "times": dict(sorted(result.times.items())),
+        "chosen_opcodes": dict(sorted(result.chosen_opcodes.items())),
+        "stats": {
+            "attempts": len(result.attempts),
+            "total_decisions": result.total_decisions,
+            "decisions_per_op": result.decisions_per_op,
+            "optimal": result.optimal,
+        },
+    }
+
+
+def block_result_to_json(result: BlockScheduleResult) -> Dict[str, Any]:
+    """JSON-ready dict of a block schedule."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "block",
+        "machine": result.machine.name,
+        "length": result.length,
+        "graph": graph_to_json(result.graph),
+        "times": dict(sorted(result.times.items())),
+        "chosen_opcodes": dict(sorted(result.chosen_opcodes.items())),
+    }
+
+
+def dumps(payload: Dict[str, Any]) -> str:
+    """Stable (sorted, indented) JSON text of any payload above."""
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def loads(text: str) -> Dict[str, Any]:
+    return json.loads(text)

@@ -1,0 +1,9 @@
+"""Cycle-accurate issue simulation of schedules against a machine."""
+
+from repro.simulate.pipeline import (
+    ConflictEvent,
+    SimulationReport,
+    simulate,
+)
+
+__all__ = ["ConflictEvent", "SimulationReport", "simulate"]

@@ -1,0 +1,135 @@
+"""Implementation of the Tables 1-4 metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.machine import MachineDescription
+from repro.core.reservation import ReservationTable
+
+
+def average_usages_per_op(
+    machine: MachineDescription,
+    weights: Optional[Dict[str, float]] = None,
+) -> float:
+    """Average resource usages per operation (class).
+
+    The paper assumes every class is equally frequent and notes this is
+    *pessimistic* — complex operations are rarer than simple ones.  Pass
+    ``weights`` (e.g. dynamic operation frequencies from a workload) to
+    compute the weighted average instead; missing operations weigh 0.
+    """
+    if machine.num_operations == 0:
+        return 0.0
+    if weights is None:
+        return machine.total_usages / machine.num_operations
+    total_weight = 0.0
+    total = 0.0
+    for op, table in machine.items():
+        weight = weights.get(op, 0.0)
+        total += weight * table.usage_count
+        total_weight += weight
+    if total_weight == 0:
+        return 0.0
+    return total / total_weight
+
+
+def word_usage_count(table: ReservationTable, word_cycles: int, alignment: int) -> int:
+    """Non-empty k-cycle words of one reservation table at one alignment.
+
+    ``alignment`` shifts the table within the word grid, modelling the
+    issue cycle's position inside a packed word; cycle ``c`` of the table
+    lands in word ``(c + alignment) // k``.
+    """
+    if word_cycles < 1:
+        raise ValueError("word_cycles must be >= 1")
+    words = {(c + alignment) // word_cycles for c in table.cycles_used()}
+    return len(words)
+
+
+def average_word_usages(
+    machine: MachineDescription,
+    word_cycles: int,
+    weights: Optional[Dict[str, float]] = None,
+) -> float:
+    """Average word usages per operation, over all alignments (paper §6).
+
+    ``weights`` selects frequency-weighted averaging, as for
+    :func:`average_usages_per_op`.
+    """
+    if machine.num_operations == 0:
+        return 0.0
+    if weights is None:
+        total = 0
+        for _op, table in machine.items():
+            for alignment in range(word_cycles):
+                total += word_usage_count(table, word_cycles, alignment)
+        return total / (machine.num_operations * word_cycles)
+    total = 0.0
+    total_weight = 0.0
+    for op, table in machine.items():
+        weight = weights.get(op, 0.0)
+        per_op = sum(
+            word_usage_count(table, word_cycles, alignment)
+            for alignment in range(word_cycles)
+        ) / word_cycles
+        total += weight * per_op
+        total_weight += weight
+    if total_weight == 0:
+        return 0.0
+    return total / total_weight
+
+
+def operation_frequencies(opcodes) -> Dict[str, float]:
+    """Normalized frequency map from a list of (dynamic) opcodes."""
+    counts: Dict[str, float] = {}
+    for opcode in opcodes:
+        counts[opcode] = counts.get(opcode, 0.0) + 1.0
+    total = sum(counts.values())
+    if not total:
+        return {}
+    return {op: value / total for op, value in counts.items()}
+
+
+def cycles_per_word(num_resources: int, word_bits: int) -> int:
+    """How many cycle-bitvectors of ``num_resources`` bits fit per word."""
+    if num_resources <= 0:
+        return word_bits
+    return max(1, word_bits // num_resources)
+
+
+def reserved_bits_per_cycle(machine: MachineDescription) -> int:
+    """Reserved-table state per schedule cycle: one flag bit per resource."""
+    return machine.num_resources
+
+
+@dataclass
+class MachineStats:
+    """The three per-description metrics of Tables 1-4."""
+
+    name: str
+    num_resources: int
+    avg_usages_per_op: float
+    avg_word_usages: Dict[int, float]
+
+    def row(self, word_cycles: Sequence[int]) -> Tuple:
+        return (
+            self.name,
+            self.num_resources,
+            round(self.avg_usages_per_op, 1),
+        ) + tuple(round(self.avg_word_usages[k], 1) for k in word_cycles)
+
+
+def describe(
+    machine: MachineDescription, word_cycles: Sequence[int] = (1,)
+) -> MachineStats:
+    """Compute the full metric set of one machine description."""
+    return MachineStats(
+        name=machine.name,
+        num_resources=machine.num_resources,
+        avg_usages_per_op=average_usages_per_op(machine),
+        avg_word_usages={
+            k: average_word_usages(machine, k) for k in word_cycles
+        },
+    )

@@ -1,0 +1,64 @@
+"""Rendering of the paper's Tables 1-4 for any machine description.
+
+Used by the benchmark harnesses (``benchmarks/test_table*.py``) and by
+the ``repro table`` CLI command.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.reduce import Reduction
+from repro.stats.metrics import average_usages_per_op, average_word_usages
+
+
+def render_reduction_table(
+    title: str,
+    machine,
+    reductions: Dict[str, Reduction],
+    word_cycles: Sequence[int],
+    paper: Optional[Dict[str, Sequence]] = None,
+) -> str:
+    """Render one of the paper's Tables 1-4.
+
+    Columns: the original description, the discrete (res-uses) reduction,
+    and one bitvector reduction per packing factor k.  Rows: number of
+    resources, average resource usages per operation, and average word
+    usages per operation (computed at each column's own packing).
+    ``paper`` optionally appends the published values for comparison.
+    """
+    columns = [("original", machine, 1)]
+    columns.append(("res-uses", reductions["res-uses"].reduced, 1))
+    for k in word_cycles:
+        key = "%d-cycle-word" % k
+        columns.append((key, reductions[key].reduced, k))
+
+    header = ["metric"] + [name for name, _md, _k in columns]
+    rows = [
+        ["resources"]
+        + ["%d" % md.num_resources for _n, md, _k in columns],
+        ["avg usages/op"]
+        + ["%.1f" % average_usages_per_op(md) for _n, md, _k in columns],
+        ["avg word usages/op"]
+        + ["%.1f" % average_word_usages(md, k) for _n, md, k in columns],
+    ]
+    if paper:
+        for label, values in paper.items():
+            rows.append(
+                [label + " (paper)"]
+                + [str(v) if v is not None else "-" for v in values]
+            )
+
+    widths = [
+        max(len(str(row[i])) for row in [header] + rows)
+        for i in range(len(header))
+    ]
+
+    def fmt(cells):
+        return "  ".join(
+            str(cell).rjust(width) for cell, width in zip(cells, widths)
+        )
+
+    lines = [title, fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

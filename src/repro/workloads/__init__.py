@@ -1,0 +1,27 @@
+"""Workloads: the synthetic 1327-loop benchmark and named kernels."""
+
+from repro.workloads.blockgen import DEFAULT_MIX, block_suite, generate_block
+from repro.workloads.kernels import KERNELS, all_kernels
+from repro.workloads.translate import CYDRA_TO_PLAYDOH, translate_graph
+from repro.workloads.loopgen import (
+    MAX_OPS,
+    MIN_OPS,
+    RESULT_LATENCY,
+    generate_loop,
+    loop_suite,
+)
+
+__all__ = [
+    "CYDRA_TO_PLAYDOH",
+    "DEFAULT_MIX",
+    "KERNELS",
+    "block_suite",
+    "generate_block",
+    "MAX_OPS",
+    "MIN_OPS",
+    "RESULT_LATENCY",
+    "all_kernels",
+    "generate_loop",
+    "loop_suite",
+    "translate_graph",
+]

@@ -1,0 +1,109 @@
+"""Synthetic basic blocks for scalar (acyclic) scheduling.
+
+The Multiflow compiler (paper Section 1) used backtracking on *scalar*
+code; the operation-driven scheduler exercises the same unrestricted
+query pattern on basic blocks.  This generator produces acyclic
+dependence DAGs shaped like compiled expression code: several independent
+value chains that occasionally share sub-expressions, feeding a few
+stores, with a branch terminating the block.
+
+Opcode names default to the Cydra 5 subset's repertoire so blocks run on
+the same machines as the loop suite; pass a different ``mix`` for other
+machines.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.scheduler.ddg import DependenceGraph
+from repro.workloads.loopgen import RESULT_LATENCY
+
+#: Default opcode mix for generated blocks (opcode, relative weight).
+DEFAULT_MIX: Sequence[Tuple[str, int]] = (
+    ("iadd", 30),
+    ("fadd_s", 20),
+    ("fmul_s", 15),
+    ("load_s", 20),
+    ("mov", 10),
+    ("icmp", 5),
+)
+
+MIN_BLOCK_OPS = 1
+MAX_BLOCK_OPS = 96
+
+
+def _weighted(rng: random.Random, mix: Sequence[Tuple[str, int]]) -> str:
+    total = sum(weight for _op, weight in mix)
+    pick = rng.uniform(0, total)
+    for op, weight in mix:
+        pick -= weight
+        if pick <= 0:
+            return op
+    return mix[-1][0]
+
+
+def generate_block(
+    seed: int,
+    mix: Sequence[Tuple[str, int]] = DEFAULT_MIX,
+    latencies: Optional[Dict[str, int]] = None,
+    name: Optional[str] = None,
+    store_opcode: str = "store_s",
+) -> DependenceGraph:
+    """Generate one acyclic basic block.
+
+    Block sizes follow a log-normal draw (mean ~12 ops); each operation
+    consumes 0-2 earlier values, biased toward recent ones so the DAG has
+    both long chains (critical paths) and wide independent sections
+    (parallelism for the scheduler to pack).
+    """
+    rng = random.Random(0xB10C ^ seed)
+    latencies = latencies or RESULT_LATENCY
+    size = int(round(math.exp(rng.gauss(2.3, 0.7))))
+    size = max(MIN_BLOCK_OPS, min(MAX_BLOCK_OPS, size))
+
+    graph = DependenceGraph(name or ("block%04d" % seed))
+    values: List[str] = []
+    for index in range(size):
+        opcode = _weighted(rng, mix)
+        node = "%s_%d" % (opcode, index)
+        graph.add_operation(node, opcode)
+        for _input in range(rng.randint(0, min(2, len(values)))):
+            # Bias toward recent producers: realistic expression shape.
+            pick = len(values) - 1 - int(
+                rng.expovariate(0.5) % len(values)
+            )
+            producer = values[max(0, pick)]
+            latency = latencies[graph.operation(producer).opcode]
+            graph.add_dependence(producer, node, latency)
+        values.append(node)
+
+    # Terminate with stores of the latest values and a branch.
+    num_stores = max(1, size // 8)
+    anchors = values[-num_stores:]
+    for index, producer in enumerate(anchors):
+        store = "%s_t%d" % (store_opcode, index)
+        graph.add_operation(store, store_opcode)
+        graph.add_dependence(
+            producer, store, latencies[graph.operation(producer).opcode]
+        )
+    return graph
+
+
+def block_suite(
+    count: int = 200,
+    seed: int = 0,
+    mix: Sequence[Tuple[str, int]] = DEFAULT_MIX,
+    **kwargs,
+) -> List[DependenceGraph]:
+    """A reproducible suite of ``count`` basic blocks.
+
+    Extra keyword arguments (``latencies``, ``store_opcode``) are
+    forwarded to :func:`generate_block`.
+    """
+    return [
+        generate_block(seed * 91019 + index, mix=mix, **kwargs)
+        for index in range(count)
+    ]

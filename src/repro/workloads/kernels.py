@@ -1,0 +1,288 @@
+"""Hand-written dependence graphs of classic numeric loop kernels.
+
+These mirror the flavour of the Livermore Fortran Kernels and simple
+SPEC-89/Perfect Club inner loops the paper's benchmark was drawn from.
+Each builder returns a :class:`DependenceGraph` over the Cydra 5 subset's
+opcode repertoire (base names; the scheduler resolves memory-port and
+address-unit alternatives).
+
+Latencies follow :data:`repro.workloads.loopgen.RESULT_LATENCY`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.scheduler.ddg import DependenceGraph
+from repro.workloads.loopgen import RESULT_LATENCY
+
+
+def _dep(graph: DependenceGraph, src: str, dst: str, distance: int = 0) -> None:
+    latency = RESULT_LATENCY[graph.operation(src).opcode]
+    graph.add_dependence(src, dst, latency, distance=distance)
+
+
+def _loop_control(graph: DependenceGraph, anchor: str) -> None:
+    graph.add_operation("brtop", "brtop")
+    graph.add_dependence("brtop", "brtop", RESULT_LATENCY["brtop"], distance=1)
+    graph.add_dependence(anchor, "brtop", 1)
+
+
+def hydro_fragment() -> DependenceGraph:
+    """LFK 1, hydro fragment: ``x[k] = q + y[k] * (r*z[k+10] + t*z[k+11])``."""
+    g = DependenceGraph("lfk1-hydro")
+    for name, opcode in [
+        ("a_y", "addr_gen"), ("a_z0", "addr_gen"), ("a_z1", "addr_gen"),
+        ("a_x", "addr_gen"),
+        ("ld_y", "load_s"), ("ld_z0", "load_s"), ("ld_z1", "load_s"),
+        ("m_rz", "fmul_s"), ("m_tz", "fmul_s"), ("add_in", "fadd_s"),
+        ("m_y", "fmul_s"), ("add_q", "fadd_s"), ("st_x", "store_s"),
+    ]:
+        g.add_operation(name, opcode)
+    _dep(g, "a_y", "ld_y")
+    _dep(g, "a_z0", "ld_z0")
+    _dep(g, "a_z1", "ld_z1")
+    _dep(g, "ld_z0", "m_rz")
+    _dep(g, "ld_z1", "m_tz")
+    _dep(g, "m_rz", "add_in")
+    _dep(g, "m_tz", "add_in")
+    _dep(g, "ld_y", "m_y")
+    _dep(g, "add_in", "m_y")
+    _dep(g, "m_y", "add_q")
+    _dep(g, "add_q", "st_x")
+    _dep(g, "a_x", "st_x")
+    _loop_control(g, "st_x")
+    return g
+
+
+def inner_product() -> DependenceGraph:
+    """LFK 3, inner product: ``q += z[k] * x[k]`` — an accumulator
+    recurrence that bounds II by the FP add latency."""
+    g = DependenceGraph("lfk3-inner-product")
+    for name, opcode in [
+        ("a_z", "addr_gen"), ("a_x", "addr_gen"),
+        ("ld_z", "load_s"), ("ld_x", "load_s"),
+        ("mul", "fmul_s"), ("acc", "fadd_s"),
+    ]:
+        g.add_operation(name, opcode)
+    _dep(g, "a_z", "ld_z")
+    _dep(g, "a_x", "ld_x")
+    _dep(g, "ld_z", "mul")
+    _dep(g, "ld_x", "mul")
+    _dep(g, "mul", "acc")
+    g.add_dependence("acc", "acc", RESULT_LATENCY["fadd_s"], distance=1)
+    _loop_control(g, "acc")
+    return g
+
+
+def first_difference() -> DependenceGraph:
+    """LFK 12, first difference: ``x[k] = y[k+1] - y[k]``."""
+    g = DependenceGraph("lfk12-first-diff")
+    for name, opcode in [
+        ("a_y0", "addr_gen"), ("a_y1", "addr_gen"), ("a_x", "addr_gen"),
+        ("ld_y0", "load_s"), ("ld_y1", "load_s"),
+        ("sub", "fadd_s"), ("st_x", "store_s"),
+    ]:
+        g.add_operation(name, opcode)
+    _dep(g, "a_y0", "ld_y0")
+    _dep(g, "a_y1", "ld_y1")
+    _dep(g, "ld_y0", "sub")
+    _dep(g, "ld_y1", "sub")
+    _dep(g, "sub", "st_x")
+    _dep(g, "a_x", "st_x")
+    _loop_control(g, "st_x")
+    return g
+
+
+def tridiagonal() -> DependenceGraph:
+    """LFK 5, tri-diagonal elimination: ``x[i] = z[i]*(y[i] - x[i-1])`` —
+    a first-order linear recurrence through an add and a multiply."""
+    g = DependenceGraph("lfk5-tridiag")
+    for name, opcode in [
+        ("a_y", "addr_gen"), ("a_z", "addr_gen"), ("a_x", "addr_gen"),
+        ("ld_y", "load_s"), ("ld_z", "load_s"),
+        ("sub", "fadd_s"), ("mul", "fmul_s"), ("st_x", "store_s"),
+    ]:
+        g.add_operation(name, opcode)
+    _dep(g, "a_y", "ld_y")
+    _dep(g, "a_z", "ld_z")
+    _dep(g, "ld_y", "sub")
+    _dep(g, "ld_z", "mul")
+    _dep(g, "sub", "mul")
+    _dep(g, "mul", "st_x")
+    _dep(g, "a_x", "st_x")
+    # x[i-1] feeds the subtract of the next iteration.
+    g.add_dependence("mul", "sub", RESULT_LATENCY["fmul_s"], distance=1)
+    _loop_control(g, "st_x")
+    return g
+
+
+def daxpy() -> DependenceGraph:
+    """BLAS daxpy: ``y[i] += a * x[i]`` (SPEC-89 style vector update)."""
+    g = DependenceGraph("daxpy")
+    for name, opcode in [
+        ("a_x", "addr_gen"), ("a_y", "addr_gen"),
+        ("ld_x", "load_s"), ("ld_y", "load_s"),
+        ("mul", "fmul_s"), ("add", "fadd_s"), ("st_y", "store_s"),
+    ]:
+        g.add_operation(name, opcode)
+    _dep(g, "a_x", "ld_x")
+    _dep(g, "a_y", "ld_y")
+    _dep(g, "ld_x", "mul")
+    _dep(g, "mul", "add")
+    _dep(g, "ld_y", "add")
+    _dep(g, "add", "st_y")
+    _dep(g, "a_y", "st_y")
+    _loop_control(g, "st_y")
+    return g
+
+
+def state_fragment() -> DependenceGraph:
+    """LFK 7-style equation-of-state fragment: a wide expression tree with
+    reused subexpressions and heavy FP traffic."""
+    g = DependenceGraph("lfk7-state")
+    names = [
+        ("a_u", "addr_gen"), ("a_z", "addr_gen"), ("a_y", "addr_gen"),
+        ("a_x", "addr_gen"),
+        ("ld_u0", "load_s"), ("ld_u1", "load_s"), ("ld_u2", "load_s"),
+        ("ld_z", "load_s"), ("ld_y", "load_s"),
+        ("m1", "fmul_s"), ("m2", "fmul_s"), ("m3", "fmul_s"),
+        ("m4", "fmul_s"),
+        ("s1", "fadd_s"), ("s2", "fadd_s"), ("s3", "fadd_s"),
+        ("s4", "fadd_s"),
+        ("st_x", "store_s"),
+    ]
+    for name, opcode in names:
+        g.add_operation(name, opcode)
+    for a, l in [("a_u", "ld_u0"), ("a_u", "ld_u1"), ("a_u", "ld_u2"),
+                 ("a_z", "ld_z"), ("a_y", "ld_y")]:
+        _dep(g, a, l)
+    _dep(g, "ld_u0", "m1")
+    _dep(g, "ld_z", "m1")
+    _dep(g, "ld_u1", "m2")
+    _dep(g, "ld_y", "m2")
+    _dep(g, "m1", "s1")
+    _dep(g, "m2", "s1")
+    _dep(g, "ld_u2", "m3")
+    _dep(g, "s1", "m3")
+    _dep(g, "m3", "s2")
+    _dep(g, "ld_u0", "s2")
+    _dep(g, "s2", "m4")
+    _dep(g, "ld_z", "m4")
+    _dep(g, "m4", "s3")
+    _dep(g, "s1", "s3")
+    _dep(g, "s3", "s4")
+    _dep(g, "ld_u1", "s4")
+    _dep(g, "s4", "st_x")
+    _dep(g, "a_x", "st_x")
+    _loop_control(g, "st_x")
+    return g
+
+
+def matmul_inner() -> DependenceGraph:
+    """Matrix-multiply inner loop: ``c += a[i][k] * b[k][j]`` with the
+    b-column stride handled by an address increment."""
+    g = DependenceGraph("matmul-inner")
+    for name, opcode in [
+        ("a_a", "addr_gen"), ("a_b", "addr_gen"), ("inc_b", "iadd"),
+        ("ld_a", "load_s"), ("ld_b", "load_s"),
+        ("mul", "fmul_s"), ("acc", "fadd_s"),
+    ]:
+        g.add_operation(name, opcode)
+    _dep(g, "a_a", "ld_a")
+    _dep(g, "a_b", "ld_b")
+    # Strided address recurrence: next iteration's b address.
+    g.add_dependence("inc_b", "inc_b", RESULT_LATENCY["iadd"], distance=1)
+    _dep(g, "inc_b", "ld_b")
+    _dep(g, "ld_a", "mul")
+    _dep(g, "ld_b", "mul")
+    _dep(g, "mul", "acc")
+    g.add_dependence("acc", "acc", RESULT_LATENCY["fadd_s"], distance=1)
+    _loop_control(g, "acc")
+    return g
+
+
+def partial_sums() -> DependenceGraph:
+    """LFK 11, first-order partial sums: ``x[k] = x[k-1] + y[k]`` — the
+    tightest useful recurrence (one add per iteration)."""
+    g = DependenceGraph("lfk11-partial-sums")
+    for name, opcode in [
+        ("a_y", "addr_gen"), ("a_x", "addr_gen"),
+        ("ld_y", "load_s"), ("sum", "fadd_s"), ("st_x", "store_s"),
+    ]:
+        g.add_operation(name, opcode)
+    _dep(g, "a_y", "ld_y")
+    _dep(g, "ld_y", "sum")
+    g.add_dependence("sum", "sum", RESULT_LATENCY["fadd_s"], distance=1)
+    _dep(g, "sum", "st_x")
+    _dep(g, "a_x", "st_x")
+    _loop_control(g, "st_x")
+    return g
+
+
+def banded_linear() -> DependenceGraph:
+    """LFK 2-flavoured excerpt of ICCG: a reduction over strided pairs
+    with heavy load traffic relative to arithmetic."""
+    g = DependenceGraph("lfk2-banded")
+    for name, opcode in [
+        ("a_0", "addr_gen"), ("a_1", "addr_gen"),
+        ("ld_0", "load_s"), ("ld_1", "load_s"),
+        ("ld_2", "load_s"), ("ld_3", "load_s"),
+        ("m_0", "fmul_s"), ("m_1", "fmul_s"),
+        ("sum", "fadd_s"), ("acc", "fadd_s"),
+    ]:
+        g.add_operation(name, opcode)
+    for addr, load in [("a_0", "ld_0"), ("a_0", "ld_1"),
+                       ("a_1", "ld_2"), ("a_1", "ld_3")]:
+        _dep(g, addr, load)
+    _dep(g, "ld_0", "m_0")
+    _dep(g, "ld_1", "m_0")
+    _dep(g, "ld_2", "m_1")
+    _dep(g, "ld_3", "m_1")
+    _dep(g, "m_0", "sum")
+    _dep(g, "m_1", "sum")
+    _dep(g, "sum", "acc")
+    g.add_dependence("acc", "acc", RESULT_LATENCY["fadd_s"], distance=1)
+    _loop_control(g, "acc")
+    return g
+
+
+def predicated_select() -> DependenceGraph:
+    """An if-converted select: compare feeds a conditional move — the
+    pattern predicated machines run without branches."""
+    g = DependenceGraph("predicated-select")
+    for name, opcode in [
+        ("a_x", "addr_gen"), ("ld_x", "load_s"),
+        ("cmp", "icmp"), ("take_a", "mov"), ("take_b", "mov"),
+        ("st", "store_s"),
+    ]:
+        g.add_operation(name, opcode)
+    _dep(g, "a_x", "ld_x")
+    _dep(g, "ld_x", "cmp")
+    _dep(g, "cmp", "take_a")
+    _dep(g, "cmp", "take_b")
+    _dep(g, "take_a", "st")
+    _dep(g, "take_b", "st")
+    _dep(g, "a_x", "st")
+    _loop_control(g, "st")
+    return g
+
+
+#: All named kernels, in a stable order.
+KERNELS: Dict[str, Callable[[], DependenceGraph]] = {
+    "hydro": hydro_fragment,
+    "inner-product": inner_product,
+    "first-difference": first_difference,
+    "tridiagonal": tridiagonal,
+    "daxpy": daxpy,
+    "state": state_fragment,
+    "matmul-inner": matmul_inner,
+    "partial-sums": partial_sums,
+    "banded-linear": banded_linear,
+    "predicated-select": predicated_select,
+}
+
+
+def all_kernels() -> List[DependenceGraph]:
+    """Instantiate every named kernel."""
+    return [build() for build in KERNELS.values()]

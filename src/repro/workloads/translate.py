@@ -1,0 +1,68 @@
+"""Porting dependence graphs between machines.
+
+The loop suite is generated over the Cydra 5 subset's opcode vocabulary;
+to evaluate another machine on the *same* loop shapes, translate each
+graph: map opcodes through a table and recompute edge latencies from the
+target machine's latency metadata (producers keep their dataflow, only
+their costs change).  This is how the benchmark harness runs the 1327
+loops on the PlayDoh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.machine import MachineDescription
+from repro.errors import ScheduleError
+from repro.scheduler.ddg import DependenceGraph
+
+#: Cydra-5-subset opcodes -> PlayDoh opcodes.
+CYDRA_TO_PLAYDOH: Dict[str, str] = {
+    "load_s": "ld",
+    "store_s": "st",
+    "addr_gen": "ialu",
+    "iadd": "ialu",
+    "icmp": "icmpp",
+    "fadd_s": "fma",
+    "fmul_s": "fma",
+    "mov": "xmove",
+    "brtop": "br",
+}
+
+
+def translate_graph(
+    graph: DependenceGraph,
+    opcode_map: Dict[str, str],
+    machine: MachineDescription,
+    default_latency: int = 1,
+    name: Optional[str] = None,
+) -> DependenceGraph:
+    """Port ``graph`` onto ``machine``'s opcode vocabulary.
+
+    Every operation's opcode is mapped through ``opcode_map`` (missing
+    opcodes are an error — translation must be total to be meaningful);
+    every edge's latency is recomputed from the *translated producer's*
+    latency on the target machine, except zero-latency edges, which stay
+    zero (they encode ordering, not dataflow cost).
+    """
+    translated = DependenceGraph(name or (graph.name + "-ported"))
+    for op in graph.operations():
+        if op.opcode not in opcode_map:
+            raise ScheduleError(
+                "no translation for opcode %r" % op.opcode
+            )
+        translated.add_operation(op.name, opcode_map[op.opcode])
+    for edge in graph.edges():
+        if edge.latency <= 0:
+            latency = edge.latency
+        else:
+            producer = translated.operation(edge.src).opcode
+            latency = machine.latency_of(producer, default=default_latency)
+        translated.add_dependence(
+            edge.src,
+            edge.dst,
+            latency,
+            distance=edge.distance,
+            kind=edge.kind,
+        )
+    return translated

@@ -1,0 +1,64 @@
+"""Shared fixtures: machines, matrices, and reduction results.
+
+Session-scoped fixtures cache the expensive artifacts (full Cydra 5
+reduction, automata) so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ForbiddenLatencyMatrix, reduce_machine
+from repro.machines import (
+    alpha21064,
+    alternatives_machine,
+    cydra5,
+    cydra5_subset,
+    example_machine,
+    mips_r3000,
+)
+
+
+@pytest.fixture
+def example():
+    return example_machine()
+
+
+@pytest.fixture
+def example_matrix(example):
+    return ForbiddenLatencyMatrix.from_machine(example)
+
+
+@pytest.fixture(scope="session")
+def mips():
+    return mips_r3000()
+
+
+@pytest.fixture(scope="session")
+def alpha():
+    return alpha21064()
+
+
+@pytest.fixture(scope="session")
+def cydra_full():
+    return cydra5()
+
+
+@pytest.fixture(scope="session")
+def cydra_sub():
+    return cydra5_subset()
+
+
+@pytest.fixture(scope="session")
+def mips_reduction(mips):
+    return reduce_machine(mips)
+
+
+@pytest.fixture(scope="session")
+def subset_reduction(cydra_sub):
+    return reduce_machine(cydra_sub)
+
+
+@pytest.fixture
+def dual_pipe():
+    return alternatives_machine()

@@ -1,0 +1,127 @@
+"""Tests for alternative-operation selection policies."""
+
+import pytest
+
+from repro.machines import playdoh, PLAYDOH_LATENCIES
+from repro.query import (
+    FIRST_FIT,
+    LEAST_USED,
+    POLICIES,
+    ROUND_ROBIN,
+    DiscreteQueryModule,
+    order_variants,
+)
+from repro.scheduler import DependenceGraph, IterativeModuloScheduler
+
+
+class TestOrderVariants:
+    VARIANTS = ("v0", "v1", "v2")
+
+    def test_first_fit_keeps_order(self):
+        assert order_variants(FIRST_FIT, self.VARIANTS, 5, {}) == self.VARIANTS
+
+    def test_round_robin_rotates(self):
+        assert order_variants(ROUND_ROBIN, self.VARIANTS, 0, {}) == (
+            "v0", "v1", "v2",
+        )
+        assert order_variants(ROUND_ROBIN, self.VARIANTS, 1, {}) == (
+            "v1", "v2", "v0",
+        )
+        assert order_variants(ROUND_ROBIN, self.VARIANTS, 4, {}) == (
+            "v1", "v2", "v0",
+        )
+
+    def test_least_used_sorts_by_load(self):
+        counts = {"v0": 3, "v1": 0, "v2": 1}
+        assert order_variants(LEAST_USED, self.VARIANTS, 0, counts) == (
+            "v1", "v2", "v0",
+        )
+
+    def test_least_used_tie_break_is_declaration_order(self):
+        assert order_variants(LEAST_USED, self.VARIANTS, 0, {}) == (
+            "v0", "v1", "v2",
+        )
+
+    def test_single_variant_short_circuit(self):
+        assert order_variants(ROUND_ROBIN, ("only",), 7, {}) == ("only",)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            order_variants("bogus", self.VARIANTS, 0, {})
+
+
+class TestModulePolicies:
+    def test_round_robin_spreads(self, dual_pipe):
+        qm = DiscreteQueryModule(dual_pipe)
+        qm.alternative_policy = ROUND_ROBIN
+        first = qm.check_with_alternatives("mov", 0)
+        qm.assign(first, 0)
+        second = qm.check_with_alternatives("mov", 1)
+        assert {first, second} == {"mov.0", "mov.1"}
+
+    def test_first_fit_repeats_when_free(self, dual_pipe):
+        qm = DiscreteQueryModule(dual_pipe)
+        assert qm.check_with_alternatives("mov", 0) == "mov.0"
+        assert qm.check_with_alternatives("mov", 1) == "mov.0"
+
+    def test_least_used_balances(self, dual_pipe):
+        qm = DiscreteQueryModule(dual_pipe)
+        qm.alternative_policy = LEAST_USED
+        a = qm.check_with_alternatives("mov", 0)
+        qm.assign(a, 0)
+        b = qm.check_with_alternatives("mov", 1)
+        assert b != a
+        qm.assign(b, 1)
+        token = qm.scheduled()[0]
+        qm.free(token)
+        # After freeing the first, it becomes the least used again.
+        assert qm.check_with_alternatives("mov", 2) == token.op
+
+    def test_policy_never_accepts_a_blocked_variant(self, dual_pipe):
+        for policy in POLICIES:
+            qm = DiscreteQueryModule(dual_pipe)
+            qm.alternative_policy = policy
+            qm.assign("add", 0)
+            qm.assign("mul", 0)
+            assert qm.check_with_alternatives("mov", 0) is None
+
+    def test_reset_clears_policy_state(self, dual_pipe):
+        qm = DiscreteQueryModule(dual_pipe)
+        qm.alternative_policy = ROUND_ROBIN
+        qm.check_with_alternatives("mov", 0)
+        qm.reset()
+        assert qm.check_with_alternatives("mov", 0) == "mov.0"
+
+
+class TestSchedulerIntegration:
+    def _wide_graph(self):
+        graph = DependenceGraph("wide")
+        for index in range(8):
+            graph.add_operation("a%d" % index, "ialu")
+        for index in range(4):
+            graph.add_operation("f%d" % index, "fma")
+            graph.add_dependence(
+                "a%d" % index, "f%d" % index, PLAYDOH_LATENCIES["ialu"]
+            )
+        return graph
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_playdoh_schedules_under_every_policy(self, policy):
+        scheduler = IterativeModuloScheduler(
+            playdoh(), alternative_policy=policy
+        )
+        result = scheduler.schedule(self._wide_graph())
+        assert result.ii >= result.mii
+        result.graph.verify_schedule(result.times, ii=result.ii)
+
+    def test_policies_achieve_same_or_better_ii(self):
+        """Smarter probing can't worsen the II on this workload."""
+        graph = self._wide_graph()
+        baseline = IterativeModuloScheduler(
+            playdoh(), alternative_policy=FIRST_FIT
+        ).schedule(graph)
+        for policy in (ROUND_ROBIN, LEAST_USED):
+            other = IterativeModuloScheduler(
+                playdoh(), alternative_policy=policy
+            ).schedule(self._wide_graph())
+            assert other.ii <= baseline.ii + 1

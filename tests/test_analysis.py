@@ -1,0 +1,99 @@
+"""Tests for the analysis utilities (redundancy pruning, reports)."""
+
+import pytest
+
+from repro.analysis import (
+    describe_machine,
+    describe_reduction,
+    diff_constraints,
+    drop_resources,
+    manually_optimize,
+    redundant_resources,
+)
+from repro.core import (
+    MachineDescription,
+    matrices_equal,
+    reduce_machine,
+)
+from repro.machines import STUDY_MACHINES, example_machine
+
+
+class TestRedundantResources:
+    def test_duplicate_row_is_redundant(self):
+        md = MachineDescription(
+            "dup",
+            {"A": {"stage": [0], "mirror": [0]}, "B": {"stage": [1]}},
+        )
+        # 'mirror' duplicates a subset of 'stage' constraints... it is
+        # used only by A at 0; stage covers (A,A,0); mirror adds nothing.
+        assert "mirror" in redundant_resources(md)
+
+    def test_unique_constraint_row_kept(self, example):
+        removed = redundant_resources(example)
+        # r3 is the only source of the long B self-latencies.
+        assert "r3" not in removed
+
+    def test_manual_optimize_is_exact(self):
+        for name, factory in STUDY_MACHINES.items():
+            machine = factory()
+            pruned, removed = manually_optimize(machine)
+            assert matrices_equal(machine, pruned), name
+            assert pruned.num_resources == machine.num_resources - len(
+                removed
+            )
+
+    def test_manual_weaker_than_full_reduction(self):
+        """Manual row-dropping keeps more usages than the synthesis —
+        the quantitative reason the paper's approach wins."""
+        for name, factory in STUDY_MACHINES.items():
+            machine = factory()
+            pruned, _removed = manually_optimize(machine)
+            full = reduce_machine(machine).reduced
+            assert full.total_usages <= pruned.total_usages, name
+
+    def test_drop_resources(self, example):
+        smaller = drop_resources(example, ["r0"])
+        assert "r0" not in smaller.resources
+        assert smaller.table("A").usage_count == 2
+
+    def test_drop_preserves_alternatives(self, dual_pipe):
+        smaller = drop_resources(dual_pipe, [])
+        assert smaller.alternatives_of("mov") == ("mov.0", "mov.1")
+
+
+class TestReports:
+    def test_describe_machine_mentions_key_numbers(self, mips):
+        text = describe_machine(mips)
+        assert "15 classes" in text
+        assert "forbidden latencies" in text
+
+    def test_describe_machine_lists_alternative_groups(self):
+        from repro.machines import cydra5
+
+        text = describe_machine(cydra5())
+        assert "alternative groups" in text
+        assert "load_s" in text
+
+    def test_describe_reduction(self, example):
+        text = describe_reduction(reduce_machine(example))
+        assert "5 -> 2 resources" in text
+        assert "state bits/cycle: 5 -> 2" in text
+
+    def test_diff_equivalent(self, example):
+        other = reduce_machine(example).reduced
+        assert "EQUIVALENT" in diff_constraints(example, other)
+
+    def test_diff_not_equivalent(self, example):
+        broken = MachineDescription(
+            "broken", {"A": {"r0": [0]}, "B": {"r1": [0]}}
+        )
+        text = diff_constraints(example, broken)
+        assert "NOT EQUIVALENT" in text
+        assert "forbidden only in" in text
+
+    def test_diff_respects_limit(self, example):
+        broken = MachineDescription(
+            "broken", {"A": {"x": [0]}, "B": {"x": [0]}}
+        )
+        text = diff_constraints(example, broken, limit=1)
+        assert "more pairs" in text

@@ -1,0 +1,124 @@
+"""Tests for the pipeline automata (monolithic and factored)."""
+
+import pytest
+
+from repro.automata import (
+    ADVANCE,
+    AutomatonTooLarge,
+    FactoredAutomata,
+    PER_RESOURCE,
+    PipelineAutomaton,
+    factor_resources,
+)
+from repro.machines import example_machine, mips_r3000
+
+
+class TestMonolithic:
+    def test_start_is_empty_state(self, example):
+        automaton = PipelineAutomaton.build(example)
+        assert automaton.start() == 0
+        assert automaton.can_issue(0, "A")
+        assert automaton.can_issue(0, "B")
+
+    def test_self_conflict_at_distance_zero(self, example):
+        automaton = PipelineAutomaton.build(example)
+        after_a = automaton.issue(0, "A")
+        assert not automaton.can_issue(after_a, "A")
+
+    def test_forbidden_latency_via_advance(self, example):
+        """B then advance once: another B is rejected (1 in F[B][B])."""
+        automaton = PipelineAutomaton.build(example)
+        state = automaton.issue(0, "B")
+        state = automaton.advance(state)
+        assert not automaton.can_issue(state, "B")
+
+    def test_allowed_latency_accepted(self, example):
+        automaton = PipelineAutomaton.build(example)
+        state = automaton.issue(0, "B")
+        for _ in range(4):
+            state = automaton.advance(state)
+        assert automaton.can_issue(state, "B")
+
+    def test_drains_to_start(self, example):
+        automaton = PipelineAutomaton.build(example)
+        state = automaton.issue(0, "B")
+        for _ in range(20):
+            state = automaton.advance(state)
+        assert state == automaton.start()
+
+    def test_reverse_automaton_builds(self, example):
+        forward = PipelineAutomaton.build(example)
+        backward = PipelineAutomaton.build(example, reverse=True)
+        assert backward.reverse
+        # Same machine: reversing does not change the state-count order
+        # of magnitude (identical for this symmetric example).
+        assert backward.num_states > 1
+        assert forward.num_states > 1
+
+    def test_max_states_enforced(self):
+        with pytest.raises(AutomatonTooLarge):
+            PipelineAutomaton.build(mips_r3000(), max_states=1000)
+
+    def test_memory_estimate_positive(self, example):
+        automaton = PipelineAutomaton.build(example)
+        assert automaton.memory_bytes() > 0
+
+
+class TestFactoring:
+    def test_unit_groups_by_prefix(self, mips):
+        groups = factor_resources(mips, "unit")
+        prefixes = {group[0].split(".")[0] for group in groups}
+        assert prefixes == {"iu", "fp"}
+
+    def test_per_resource_groups(self, mips):
+        groups = factor_resources(mips, PER_RESOURCE)
+        assert len(groups) == mips.num_resources
+
+    def test_unknown_mode(self, mips):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            factor_resources(mips, "bogus")
+
+    def test_factored_accepts_iff_monolithic(self, example):
+        mono = PipelineAutomaton.build(example)
+        fact = FactoredAutomata.build(example, mode=PER_RESOURCE)
+        # Exhaustive comparison over a schedule prefix tree of depth 4.
+        def explore(m_state, f_state, depth):
+            if depth == 0:
+                return
+            for op in example.operation_names:
+                assert mono.can_issue(m_state, op) == fact.can_issue(
+                    f_state, op
+                )
+                if mono.can_issue(m_state, op):
+                    explore(
+                        mono.issue(m_state, op),
+                        fact.issue(f_state, op),
+                        depth - 1,
+                    )
+            explore(
+                mono.advance(m_state), fact.advance(f_state), depth - 1
+            )
+
+        explore(mono.start(), fact.start(), 4)
+
+    def test_per_resource_small_on_example(self, example):
+        fact = FactoredAutomata.build(example, mode=PER_RESOURCE)
+        assert fact.num_factors == example.num_resources
+        mono = PipelineAutomaton.build(example)
+        assert fact.max_factor_states < mono.num_states
+
+    def test_per_resource_explodes_without_issue_limiter(self):
+        """A lone result-bus row reachable at many offsets blows up when
+        factored away from the unit-busy rows that serialize it — the
+        automata-size hazard the paper's Section 2 describes."""
+        with pytest.raises(AutomatonTooLarge):
+            FactoredAutomata.build(
+                mips_r3000(), mode=PER_RESOURCE, max_states=50_000
+            )
+
+    def test_issue_rejects_conflicts(self, example):
+        fact = FactoredAutomata.build(example)
+        state = fact.issue(fact.start(), "B")
+        assert fact.issue(state, "B") is None

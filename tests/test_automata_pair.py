@@ -1,0 +1,117 @@
+"""Tests for the Bala-Rubin forward/reverse pair query module."""
+
+import random
+
+import pytest
+
+from repro.automata import PairedAutomatonQueryModule, PipelineAutomaton
+from repro.errors import QueryError
+from repro.machines import alternatives_machine, example_machine
+from repro.query import CHECK, DiscreteQueryModule
+
+
+@pytest.fixture(scope="module")
+def prebuilt():
+    machine = example_machine()
+    forward = PipelineAutomaton.build(machine)
+    return machine, forward
+
+
+@pytest.fixture
+def module(prebuilt):
+    machine, forward = prebuilt
+    return PairedAutomatonQueryModule(machine, forward=forward)
+
+
+class TestBasics:
+    def test_check_assign_free_roundtrip(self, module):
+        token = module.assign("B", 0)
+        assert not module.check("B", 2)
+        module.free(token)
+        assert module.check("B", 2)
+
+    def test_insert_before_scheduled(self, module):
+        module.assign("B", 10)
+        assert not module.check("B", 9)
+        assert not module.check("B", 11)
+        assert module.check("B", 6)
+
+    def test_nested_short_op_detected(self, module):
+        """A short op strictly inside a long op's span is invisible to
+        the quick pair test — the full confirmation must catch it."""
+        module.assign("B", 0)  # spans cycles 0..7
+        module.assign("A", 3)  # spans 3..5 inside B's span, no clash
+        # A@-1 clashes with B on r1 at cycle 0 even though A's span is
+        # nested before B's end.
+        assert not module.check("A", -1)
+
+    def test_assign_over_hazard_raises(self, module):
+        module.assign("B", 0)
+        with pytest.raises(QueryError):
+            module.assign("B", 1)
+
+    def test_assign_free_unsupported(self, module):
+        module.assign("B", 0)
+        with pytest.raises(QueryError):
+            module.assign_free("B", 1)
+
+    def test_alternatives_work(self):
+        machine = alternatives_machine()
+        module = PairedAutomatonQueryModule(machine)
+        module.assign("add", 0)
+        assert module.check_with_alternatives("mov", 0) == "mov.1"
+
+
+class TestPrefilter:
+    def test_prefilter_rejects_cheaply(self, module):
+        module.assign("B", 0)
+        before = module.work.units[CHECK]
+        assert not module.check("B", 1)
+        # Rejected by the first forward lookup: a couple of units only.
+        assert module.work.units[CHECK] - before <= 3
+        assert module.prefilter_rejects >= 1
+
+    def test_accepting_checks_run_full_confirmation(self, module):
+        module.assign("B", 0)
+        module.check("B", 12)
+        assert module.full_confirmations >= 1
+
+    def test_reset_clears_stats(self, module):
+        module.assign("B", 0)
+        module.check("B", 1)
+        module.reset()
+        assert module.prefilter_rejects == 0
+        assert module.stored_states == 0
+
+
+class TestMemoryAccounting:
+    def test_two_states_per_cycle(self, module):
+        module.assign("B", 0)
+        span_states = module.stored_states
+        # Forward lane caches ~span cycles, backward lane the same.
+        assert span_states >= 2 * 8  # B's table spans 8 cycles
+
+    def test_automata_memory_positive(self, module):
+        assert module.automata_memory_bytes() > 0
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_interleavings_match_discrete(self, prebuilt, seed):
+        machine, forward = prebuilt
+        rng = random.Random(400 + seed)
+        paired = PairedAutomatonQueryModule(machine, forward=forward)
+        discrete = DiscreteQueryModule(machine)
+        tokens = []
+        for _step in range(30):
+            op = rng.choice(machine.operation_names)
+            cycle = rng.randint(-4, 18)
+            assert paired.check(op, cycle) == discrete.check(op, cycle)
+            if discrete.check(op, cycle):
+                tokens.append(
+                    (paired.assign(op, cycle), discrete.assign(op, cycle))
+                )
+            elif tokens and rng.random() < 0.3:
+                tp, td = tokens.pop(rng.randrange(len(tokens)))
+                paired.free(tp)
+                discrete.free(td)

@@ -1,0 +1,123 @@
+"""Tests for the automaton-based query module (Bala & Rubin baseline)."""
+
+import pytest
+
+from repro.automata import AutomatonQueryModule, PipelineAutomaton
+from repro.errors import QueryError
+from repro.query import CHECK, DiscreteQueryModule
+
+
+@pytest.fixture
+def aqm(example):
+    return AutomatonQueryModule(
+        example, automaton=PipelineAutomaton.build(example)
+    )
+
+
+class TestBasics:
+    def test_check_and_assign(self, aqm):
+        assert aqm.check("B", 0)
+        aqm.assign("B", 0)
+        assert not aqm.check("B", 1)
+        assert aqm.check("B", 4)
+
+    def test_free_restores(self, aqm):
+        token = aqm.assign("B", 0)
+        aqm.free(token)
+        assert aqm.check("B", 1)
+
+    def test_factored_default(self, example):
+        module = AutomatonQueryModule(example)
+        assert module.check("A", 0)
+
+    def test_wrong_machine_rejected(self, example, dual_pipe):
+        automaton = PipelineAutomaton.build(dual_pipe)
+        with pytest.raises(QueryError):
+            AutomatonQueryModule(example, automaton=automaton)
+
+    def test_assign_free_unsupported(self, aqm):
+        aqm.assign("B", 0)
+        # assign_free is the reservation tables' advantage (paper §2).
+        with pytest.raises(QueryError):
+            aqm.assign_free("B", 1)
+
+    def test_assign_over_hazard_raises(self, aqm):
+        aqm.assign("B", 0)
+        with pytest.raises(QueryError):
+            aqm.assign("B", 1)
+
+
+class TestInsertionSemantics:
+    def test_insert_before_existing(self, aqm):
+        """Unrestricted order: placing an op EARLIER than scheduled ones
+        must still see their reservations."""
+        aqm.assign("B", 5)
+        assert not aqm.check("B", 4)  # 1 before: -1 in F[B][B]
+        assert not aqm.check("B", 6)
+        assert aqm.check("B", 1)
+
+    def test_insert_in_middle_detects_future_conflict(self, aqm):
+        aqm.assign("A", 0)
+        aqm.assign("B", 6)
+        # B@3 conflicts with B@6 (distance 3) but not with A@0.
+        assert not aqm.check("B", 3)
+        assert aqm.check("B", 2)
+
+    def test_short_op_inside_long_span(self, aqm):
+        """An op fully inside another's reservation span — the case a
+        naive forward/reverse pair misses without re-propagation."""
+        aqm.assign("B", 0)  # occupies r3 cycles 2..5, r4 6..7
+        # A@1 uses r1@2: B@0 uses r1 only at 0 -> free; but A@-1 collides.
+        assert aqm.check("A", 1)
+        assert not aqm.check("A", -1)
+
+    def test_insertion_work_exceeds_append_work(self, example):
+        """Appending at the end is cheap; inserting in the middle pays
+        re-propagation through later cycles — the paper's criticism."""
+        automaton = PipelineAutomaton.build(example)
+        appender = AutomatonQueryModule(example, automaton=automaton)
+        inserter = AutomatonQueryModule(example, automaton=automaton)
+        for module in (appender, inserter):
+            module.assign("B", 0)
+            module.assign("B", 8)
+            module.assign("B", 16)
+        appender.work.reset()
+        inserter.work.reset()
+        appender.check("B", 24)  # beyond everything scheduled
+        inserter.check("B", 4)  # middle insertion
+        assert (
+            inserter.work.units[CHECK] > appender.work.units[CHECK]
+        )
+
+    def test_stored_state_grows_with_schedule_span(self, aqm):
+        aqm.assign("B", 0)
+        small = aqm.stored_state_cycles
+        aqm.assign("B", 30)
+        assert aqm.stored_state_cycles > small
+
+
+class TestAgainstDiscrete:
+    def test_interleaved_assign_free_matches(self, example):
+        import random
+
+        rng = random.Random(31)
+        automaton = PipelineAutomaton.build(example)
+        for _trial in range(10):
+            aqm = AutomatonQueryModule(example, automaton=automaton)
+            dqm = DiscreteQueryModule(example)
+            tokens = []
+            for _step in range(25):
+                action = rng.random()
+                op = rng.choice(example.operation_names)
+                cycle = rng.randint(0, 18)
+                if action < 0.7 or not tokens:
+                    agree = aqm.check(op, cycle)
+                    assert agree == dqm.check(op, cycle)
+                    if agree:
+                        tokens.append(
+                            (aqm.assign(op, cycle), dqm.assign(op, cycle))
+                        )
+                else:
+                    ta, td = tokens.pop(rng.randrange(len(tokens)))
+                    aqm.free(ta)
+                    dqm.free(td)

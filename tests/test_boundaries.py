@@ -1,0 +1,153 @@
+"""Tests for dangling requirements and trace scheduling."""
+
+import pytest
+
+from repro.core import schedule_is_contention_free
+from repro.errors import ScheduleError
+from repro.machines import example_machine, mips_r3000
+from repro.scheduler import (
+    DependenceGraph,
+    OperationDrivenScheduler,
+    TraceScheduler,
+    chain,
+    dangling_requirements,
+)
+
+
+@pytest.fixture
+def machine():
+    return example_machine()
+
+
+@pytest.fixture
+def scheduler(machine):
+    return OperationDrivenScheduler(machine)
+
+
+def _single_op_block(opcode, name="blk"):
+    graph = DependenceGraph(name)
+    graph.add_operation("x", opcode)
+    return graph
+
+
+class TestDanglingRequirements:
+    def test_op_contained_in_block_does_not_dangle(self, scheduler):
+        result = scheduler.schedule(_single_op_block("A"))
+        # A's table spans 3 cycles; with block_length >= 3 nothing hangs.
+        assert dangling_requirements(result, block_length=3) == []
+
+    def test_long_tail_dangles(self, scheduler):
+        result = scheduler.schedule(_single_op_block("B"))
+        # B spans 8 cycles; cutting the block at 5 leaves a 3-cycle tail.
+        dangling = dangling_requirements(result, block_length=5)
+        assert dangling == [("B", -5)]
+
+    def test_default_block_length_is_schedule_length(self, scheduler):
+        result = scheduler.schedule(_single_op_block("B"))
+        # Block ends right after the last *issue*: B@0 -> length 1, its
+        # reservation tail of 7 cycles dangles.
+        assert dangling_requirements(result) == [("B", -1)]
+
+    def test_dangling_sorted_by_cycle(self, scheduler):
+        graph = DependenceGraph("blk")
+        graph.add_operation("b1", "B")
+        graph.add_operation("b2", "B")
+        result = scheduler.schedule(graph)
+        dangling = dangling_requirements(result, block_length=6)
+        cycles = [cycle for _op, cycle in dangling]
+        assert cycles == sorted(cycles)
+
+    def test_mips_divide_dangles_across_blocks(self):
+        machine = mips_r3000()
+        result = OperationDrivenScheduler(machine).schedule(
+            _single_op_block("div")
+        )
+        dangling = dangling_requirements(result, block_length=4)
+        assert ("div", -4) in dangling
+
+
+class TestTraceScheduler:
+    def test_empty_trace_rejected(self, machine):
+        with pytest.raises(ScheduleError):
+            TraceScheduler(machine).schedule([])
+
+    def test_single_block_matches_plain_scheduler(self, machine):
+        graph = chain("c", ["A", "B"], latency=1)
+        plain = OperationDrivenScheduler(machine).schedule(
+            chain("c", ["A", "B"], latency=1)
+        )
+        trace = TraceScheduler(machine).schedule([graph])
+        assert trace.blocks[0].times == plain.times
+
+    def test_boundary_threads_into_next_block(self, machine):
+        first = _single_op_block("B", "first")
+        second = _single_op_block("B", "second")
+        trace = TraceScheduler(machine).schedule([first, second])
+        # Block 1 is 1 cycle long (single issue at 0), so B@-1 dangles;
+        # the second block's B must dodge distances -3..3 from it.
+        assert trace.boundaries[0] == [("B", -1)]
+        assert trace.blocks[1].times["x"] >= 3
+
+    def test_flat_trace_is_contention_free(self, machine):
+        blocks = [
+            _single_op_block("B", "b0"),
+            chain("b1", ["A", "B"], latency=1),
+            _single_op_block("B", "b2"),
+        ]
+        trace = TraceScheduler(machine).schedule(blocks)
+        assert schedule_is_contention_free(
+            machine, trace.flat_placements()
+        )
+
+    def test_requirements_reach_through_short_blocks(self):
+        """A 34-cycle MIPS divide tail must constrain a block two hops
+        downstream when the middle block is short."""
+        machine = mips_r3000()
+        trace = TraceScheduler(machine).schedule(
+            [
+                _single_op_block("div", "head"),
+                _single_op_block("jump", "middle"),
+                _single_op_block("div", "tail"),
+            ]
+        )
+        assert any(op == "div" for op, _c in trace.boundaries[1])
+        assert trace.blocks[2].times["x"] > 20
+        assert schedule_is_contention_free(
+            machine, trace.flat_placements()
+        )
+
+    def test_block_start_offsets(self, machine):
+        blocks = [chain("b0", ["A", "A"], latency=1), _single_op_block("A")]
+        trace = TraceScheduler(machine).schedule(blocks)
+        assert trace.block_start(0) == 0
+        assert trace.block_start(1) == trace.blocks[0].length
+
+
+class TestWitness:
+    def test_witness_for_weakened_machine(self, machine):
+        from repro.core import MachineDescription, find_witness
+
+        weak = MachineDescription(
+            "weak",
+            {"A": {"r0": [0]}, "B": {"r3": [2, 3, 4, 5], "r4": [6, 7]}},
+        )
+        witness = find_witness(machine, weak)
+        assert witness is not None
+        assert witness.conflicts_on == machine.name
+        assert schedule_is_contention_free(weak, witness.placements)
+        assert not schedule_is_contention_free(
+            machine, witness.placements
+        )
+
+    def test_no_witness_for_equivalent(self, machine):
+        from repro.core import find_witness, reduce_machine
+
+        assert find_witness(machine, reduce_machine(machine).reduced) is None
+
+    def test_describe_mentions_both_machines(self, machine):
+        from repro.core import MachineDescription, find_witness
+
+        other = MachineDescription("other", {"A": {"x": [0]}, "B": {"x": [0]}})
+        witness = find_witness(machine, other)
+        text = witness.describe()
+        assert machine.name in text and "other" in text

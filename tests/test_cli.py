@@ -1,0 +1,148 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import mdl
+from repro.cli import main
+from repro.machines import example_machine
+
+
+class TestReduce:
+    def test_reduce_builtin(self, capsys):
+        assert main(["reduce", "example"]) == 0
+        out = capsys.readouterr().out
+        assert "5 -> 2 resources" in out
+
+    def test_reduce_writes_output(self, tmp_path, capsys):
+        out_path = str(tmp_path / "reduced.mdl")
+        assert main(["reduce", "example", "-o", out_path]) == 0
+        reduced = mdl.load_file(out_path)
+        assert reduced.num_resources == 2
+
+    def test_reduce_word_objective(self, capsys):
+        assert main(
+            ["reduce", "example", "--objective", "word-uses",
+             "--word-cycles", "4"]
+        ) == 0
+        assert "k=4" in capsys.readouterr().out
+
+    def test_reduce_mdl_file(self, tmp_path, capsys):
+        path = str(tmp_path / "m.mdl")
+        mdl.dump_file(example_machine(), path)
+        assert main(["reduce", path]) == 0
+
+
+class TestVerify:
+    def test_equivalent(self, tmp_path, capsys):
+        out_path = str(tmp_path / "r.mdl")
+        main(["reduce", "example", "-o", out_path])
+        assert main(["verify", "example", out_path]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_not_equivalent(self, tmp_path, capsys):
+        path = str(tmp_path / "broken.mdl")
+        with open(path, "w") as handle:
+            handle.write("machine broken\noperation A\n  r0: 0\n"
+                         "operation B\n  r0: 0\n")
+        assert main(["verify", "example", path]) == 1
+        assert "NOT EQUIVALENT" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_output(self, capsys):
+        assert main(["stats", "mips-r3000", "--word-cycles", "1", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "operation classes:      15" in out
+        assert "9-cycle-word" in out
+
+
+class TestShow:
+    def test_show_dumps_mdl(self, capsys):
+        assert main(["show", "example"]) == 0
+        out = capsys.readouterr().out
+        assert "machine paper-example" in out
+        assert "operation B" in out
+
+    def test_show_round_trips(self, capsys):
+        main(["show", "cydra5-subset"])
+        out = capsys.readouterr().out
+        assert mdl.loads(out).num_operations == 12
+
+
+class TestSchedule:
+    def test_kernel(self, capsys):
+        assert main(
+            ["schedule", "cydra5-subset", "--kernel", "daxpy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "daxpy" in out
+        assert "scheduled at MII" in out
+
+    def test_generated_loops(self, capsys):
+        assert main(
+            ["schedule", "cydra5-subset", "--loops", "3",
+             "--representation", "bitvector", "--word-cycles", "4"]
+        ) == 0
+
+    def test_missing_machine_errors(self, capsys):
+        with pytest.raises(Exception):
+            main(["stats", "/nonexistent/machine.mdl"])
+
+
+class TestReport:
+    def test_report_basic(self, capsys):
+        assert main(["report", "example"]) == 0
+        out = capsys.readouterr().out
+        assert "forbidden latencies: 6 (max 3)" in out
+
+    def test_report_with_reduction(self, capsys):
+        assert main(["report", "example", "--reduce"]) == 0
+        out = capsys.readouterr().out
+        assert "state bits/cycle: 5 -> 2" in out
+
+
+class TestDiff:
+    def test_diff_equivalent(self, tmp_path, capsys):
+        path = str(tmp_path / "copy.mdl")
+        mdl.dump_file(example_machine(), path)
+        assert main(["diff", "example", path]) == 0
+
+    def test_diff_not_equivalent(self, tmp_path, capsys):
+        path = str(tmp_path / "other.mdl")
+        with open(path, "w") as handle:
+            handle.write("machine o\noperation A\n r: 0\noperation B\n r: 0\n")
+        assert main(["diff", "example", path]) == 1
+        assert "NOT EQUIVALENT" in capsys.readouterr().out
+
+
+class TestExpand:
+    def test_expand_kernel(self, capsys):
+        assert main(
+            ["expand", "cydra5-subset", "--kernel", "daxpy",
+             "--iterations", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "kernel (II=" in out
+        assert "[2]" in out  # third iteration appears in the timeline
+
+
+class TestAutomata:
+    def test_automata_report(self, capsys):
+        assert main(["automata", "example"]) == 0
+        out = capsys.readouterr().out
+        assert "monolithic automaton: 116 states" in out
+        assert "reserved bits per cycle" in out
+
+    def test_automata_cap(self, capsys):
+        assert main(
+            ["automata", "mips-r3000", "--max-states", "2000",
+             "--factor", "resource"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "exceeds 2000 states" in out
+
+
+class TestPlayDohBuiltin:
+    def test_playdoh_available(self, capsys):
+        assert main(["stats", "playdoh", "--word-cycles", "1"]) == 0
+        assert "playdoh" in capsys.readouterr().out

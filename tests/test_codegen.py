@@ -1,0 +1,103 @@
+"""Tests for the compiled-checker code generator."""
+
+import random
+
+import pytest
+
+from repro.codegen import compile_checker, generate_checker_source
+from repro.core import reduce_machine, schedule_is_contention_free
+from repro.machines import STUDY_MACHINES, example_machine
+from repro.query import BitvectorQueryModule
+
+
+class TestSource:
+    def test_source_is_valid_python(self):
+        source = generate_checker_source(example_machine(), 4)
+        compile(source, "<test>", "exec")
+
+    def test_source_mentions_machine(self):
+        source = generate_checker_source(example_machine(), 2)
+        assert "paper-example" in source
+        assert "WORD_CYCLES = 2" in source
+
+    def test_bad_word_cycles(self):
+        with pytest.raises(ValueError):
+            generate_checker_source(example_machine(), 0)
+
+    def test_masks_cover_every_operation(self):
+        checker = compile_checker(example_machine(), 3)
+        masks = checker._module["MASKS"]
+        assert set(masks) == {"A", "B"}
+        assert all(len(masks[op]) == 3 for op in masks)
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_matches_interpreted_module(self, k):
+        machine = example_machine()
+        compiled = compile_checker(machine, k).new()
+        interpreted = BitvectorQueryModule(machine, word_cycles=k)
+        rng = random.Random(17)
+        placed = []
+        for _step in range(60):
+            op = rng.choice(machine.operation_names)
+            cycle = rng.randint(0, 40)
+            a = compiled.check(op, cycle)
+            b = interpreted.check(op, cycle)
+            assert a == b, (op, cycle)
+            if a:
+                compiled.assign(op, cycle)
+                interpreted.assign(op, cycle)
+                placed.append((op, cycle))
+        assert schedule_is_contention_free(machine, placed)
+
+    def test_free_restores(self):
+        checker = compile_checker(example_machine(), 2).new()
+        checker.assign("B", 0)
+        assert not checker.check("B", 1)
+        checker.free("B", 0)
+        assert checker.check("B", 1)
+
+    def test_reset(self):
+        checker = compile_checker(example_machine(), 2).new()
+        checker.assign("A", 0)
+        checker.reset()
+        assert checker.check("A", 0)
+
+    def test_instances_are_independent(self):
+        handle = compile_checker(example_machine(), 2)
+        first = handle.new()
+        second = handle.new()
+        first.assign("A", 0)
+        assert second.check("A", 0)
+
+    @pytest.mark.parametrize("name", sorted(STUDY_MACHINES))
+    def test_reduced_study_machines_compile(self, name):
+        machine = reduce_machine(STUDY_MACHINES[name]()).reduced
+        checker = compile_checker(machine, 4).new()
+        ops = machine.operation_names
+        assert all(checker.check(op, 0) for op in ops if True)
+
+
+class TestSpeed:
+    def test_compiled_not_slower_than_interpreted(self):
+        """Sanity rather than a benchmark: the compiled checker should
+        at least keep up on a check-heavy workload."""
+        import time
+
+        machine = reduce_machine(example_machine()).reduced
+        compiled = compile_checker(machine, 4).new()
+        interpreted = BitvectorQueryModule(machine, word_cycles=4)
+        queries = [("B", c % 64) for c in range(20_000)]
+
+        start = time.perf_counter()
+        for op, cycle in queries:
+            compiled.check(op, cycle)
+        compiled_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for op, cycle in queries:
+            interpreted.check(op, cycle)
+        interpreted_time = time.perf_counter() - start
+        # Generous factor: we only guard against gross regressions.
+        assert compiled_time < interpreted_time * 1.5

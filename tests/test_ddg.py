@@ -1,0 +1,114 @@
+"""Unit tests for dependence graphs."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.scheduler import DependenceGraph, chain
+
+
+@pytest.fixture
+def diamond():
+    g = DependenceGraph("diamond")
+    for name in "abcd":
+        g.add_operation(name, "op")
+    g.add_dependence("a", "b", 2)
+    g.add_dependence("a", "c", 3)
+    g.add_dependence("b", "d", 1)
+    g.add_dependence("c", "d", 1)
+    return g
+
+
+class TestConstruction:
+    def test_basic(self, diamond):
+        assert diamond.num_operations == 4
+        assert diamond.num_edges == 4
+
+    def test_duplicate_node_rejected(self, diamond):
+        with pytest.raises(ScheduleError):
+            diamond.add_operation("a", "op")
+
+    def test_unknown_endpoint_rejected(self, diamond):
+        with pytest.raises(ScheduleError):
+            diamond.add_dependence("a", "ghost", 1)
+
+    def test_negative_distance_rejected(self, diamond):
+        with pytest.raises(ScheduleError):
+            diamond.add_dependence("a", "b", 1, distance=-1)
+
+    def test_self_edge_needs_distance(self):
+        g = DependenceGraph("self")
+        g.add_operation("x", "op")
+        g.add_dependence("x", "x", 1, distance=1)
+        g.validate()
+
+    def test_chain_helper(self):
+        g = chain("c", ["op1", "op2", "op3"], latency=2)
+        assert g.num_operations == 3
+        assert g.num_edges == 2
+        assert g.critical_path_length() == 4
+
+
+class TestAnalysis:
+    def test_topological_order(self, diamond):
+        order = diamond.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+
+    def test_cycle_detected(self):
+        g = DependenceGraph("cyclic")
+        g.add_operation("x", "op")
+        g.add_operation("y", "op")
+        g.add_dependence("x", "y", 1)
+        g.add_dependence("y", "x", 1)
+        assert g.topological_order() is None
+        assert not g.is_acyclic()
+        with pytest.raises(ScheduleError):
+            g.validate()
+
+    def test_loop_carried_cycle_is_fine(self):
+        g = DependenceGraph("rec")
+        g.add_operation("x", "op")
+        g.add_operation("y", "op")
+        g.add_dependence("x", "y", 1)
+        g.add_dependence("y", "x", 1, distance=1)
+        g.validate()
+
+    def test_critical_path(self, diamond):
+        assert diamond.critical_path_length() == 4
+
+    def test_empty_graph_invalid(self):
+        with pytest.raises(ScheduleError):
+            DependenceGraph("empty").validate()
+
+    def test_predecessors_successors(self, diamond):
+        assert {e.src for e in diamond.predecessors("d")} == {"b", "c"}
+        assert {e.dst for e in diamond.successors("a")} == {"b", "c"}
+
+    def test_opcodes_with_multiplicity(self, diamond):
+        assert diamond.opcodes() == ["op"] * 4
+
+
+class TestVerifySchedule:
+    def test_valid_acyclic(self, diamond):
+        diamond.verify_schedule({"a": 0, "b": 2, "c": 3, "d": 4})
+
+    def test_violation_detected(self, diamond):
+        with pytest.raises(ScheduleError):
+            diamond.verify_schedule({"a": 0, "b": 1, "c": 3, "d": 4})
+
+    def test_missing_operation(self, diamond):
+        with pytest.raises(ScheduleError):
+            diamond.verify_schedule({"a": 0})
+
+    def test_modulo_form_uses_distance(self):
+        g = DependenceGraph("rec")
+        g.add_operation("x", "op")
+        g.add_dependence("x", "x", 3, distance=1)
+        g.verify_schedule({"x": 0}, ii=3)
+        with pytest.raises(ScheduleError):
+            g.verify_schedule({"x": 0}, ii=2)
+
+    def test_acyclic_form_ignores_carried_edges(self):
+        g = DependenceGraph("rec")
+        g.add_operation("x", "op")
+        g.add_dependence("x", "x", 3, distance=1)
+        g.verify_schedule({"x": 0})  # no ii: carried edge ignored

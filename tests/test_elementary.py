@@ -1,0 +1,126 @@
+"""Unit tests for elementary pairs and the compatibility relation."""
+
+from repro.core import (
+    ForbiddenLatencyMatrix,
+    MachineDescription,
+    elementary_pair,
+    elementary_pairs,
+    generated_instances,
+    is_maximal,
+    normalize_resource,
+    resource_is_valid,
+    usages_compatible,
+)
+
+
+class TestNormalize:
+    def test_shifts_to_zero(self):
+        assert normalize_resource([("A", 2), ("B", 5)]) == frozenset(
+            {("A", 0), ("B", 3)}
+        )
+
+    def test_empty(self):
+        assert normalize_resource([]) == frozenset()
+
+    def test_already_normalized(self):
+        usages = [("A", 0), ("B", 3)]
+        assert normalize_resource(usages) == frozenset(usages)
+
+
+class TestCompatibility:
+    def test_pair_generating_forbidden_latency_is_compatible(
+        self, example_matrix
+    ):
+        # B@0 with A@1 generates 1 in F[B][A], which is forbidden.
+        assert usages_compatible(("B", 0), ("A", 1), example_matrix)
+
+    def test_pair_generating_allowed_latency_is_incompatible(
+        self, example_matrix
+    ):
+        # B@0 with A@3 would generate 3 in F[B][A]; only 1 is forbidden.
+        assert not usages_compatible(("B", 0), ("A", 3), example_matrix)
+
+    def test_symmetric(self, example_matrix):
+        assert usages_compatible(("A", 1), ("B", 0), example_matrix)
+
+    def test_same_op_zero_distance(self, example_matrix):
+        assert usages_compatible(("A", 0), ("A", 0), example_matrix)
+
+
+class TestElementaryPairs:
+    def test_pair_for_instance(self):
+        assert elementary_pair(("X", "Y", 3)) == frozenset(
+            {("X", 0), ("Y", 3)}
+        )
+
+    def test_pair_for_self_zero_degenerates(self):
+        assert elementary_pair(("X", "X", 0)) == frozenset({("X", 0)})
+
+    def test_example_worklist_matches_paper_order(self, example_matrix):
+        """Figure 3 processes 1 in F[B][A], then 1, 2, 3 in F[B][B]."""
+        pairs = elementary_pairs(example_matrix)
+        assert pairs == [
+            frozenset({("B", 0), ("A", 1)}),
+            frozenset({("B", 0), ("B", 1)}),
+            frozenset({("B", 0), ("B", 2)}),
+            frozenset({("B", 0), ("B", 3)}),
+        ]
+
+    def test_zero_self_contentions_excluded(self, example_matrix):
+        for pair in elementary_pairs(example_matrix):
+            assert len(pair) == 2
+
+    def test_cross_zero_latency_included(self):
+        md = MachineDescription(
+            "z", {"A": {"bus": [0]}, "B": {"bus": [0]}}
+        )
+        matrix = ForbiddenLatencyMatrix.from_machine(md)
+        assert frozenset({("A", 0), ("B", 0)}) in elementary_pairs(matrix)
+
+
+class TestGeneratedInstances:
+    def test_single_usage_generates_self_contention(self):
+        assert generated_instances(frozenset({("A", 0)})) == {("A", "A", 0)}
+
+    def test_pair_generates_cross_latency(self):
+        got = generated_instances(frozenset({("B", 0), ("A", 1)}))
+        assert got == {("A", "A", 0), ("B", "B", 0), ("B", "A", 1)}
+
+    def test_same_op_span(self):
+        got = generated_instances(frozenset({("B", 0), ("B", 2)}))
+        assert got == {("B", "B", 0), ("B", "B", 2)}
+
+
+class TestValidity:
+    def test_paper_maximal_resources_are_valid(self, example_matrix):
+        for resource in (
+            frozenset({("B", 0), ("A", 1)}),
+            frozenset({("B", 0), ("B", 1), ("B", 2), ("B", 3)}),
+        ):
+            assert resource_is_valid(resource, example_matrix)
+
+    def test_overfull_resource_is_invalid(self, example_matrix):
+        assert not resource_is_valid(
+            frozenset({("B", 0), ("B", 4)}), example_matrix
+        )
+
+
+class TestMaximality:
+    def test_paper_maximal_resources(self, example_matrix):
+        """Figure 1c: exactly these two resources are maximal."""
+        assert is_maximal(frozenset({("B", 0), ("A", 1)}), example_matrix)
+        assert is_maximal(
+            frozenset({("B", 0), ("B", 1), ("B", 2), ("B", 3)}),
+            example_matrix,
+        )
+
+    def test_submaximal_detected(self, example_matrix):
+        assert not is_maximal(frozenset({("B", 0), ("B", 1)}), example_matrix)
+
+    def test_empty_not_maximal(self, example_matrix):
+        assert not is_maximal(frozenset(), example_matrix)
+
+    def test_invalid_not_maximal(self, example_matrix):
+        assert not is_maximal(
+            frozenset({("B", 0), ("B", 5)}), example_matrix
+        )

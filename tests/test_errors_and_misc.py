@@ -1,0 +1,103 @@
+"""Tests for the error hierarchy and miscellaneous public surface."""
+
+import pytest
+
+from repro import __version__
+from repro.errors import (
+    EquivalenceError,
+    MachineDescriptionError,
+    ParseError,
+    QueryError,
+    ReductionError,
+    ReproError,
+    ScheduleError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            MachineDescriptionError,
+            ReductionError,
+            EquivalenceError,
+            ScheduleError,
+            QueryError,
+            ParseError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_equivalence_is_a_reduction_error(self):
+        assert issubclass(EquivalenceError, ReductionError)
+
+    def test_equivalence_carries_mismatches(self):
+        mismatches = [("A", "B", frozenset({1}), frozenset())]
+        error = EquivalenceError("boom", mismatches)
+        assert error.mismatches == mismatches
+        assert EquivalenceError("boom").mismatches == []
+
+    def test_parse_error_formats_line(self):
+        error = ParseError("bad token", line=7)
+        assert "line 7" in str(error)
+        assert error.line == 7
+        assert ParseError("no line").line is None
+
+    def test_single_catch_covers_library(self):
+        from repro import mdl
+
+        with pytest.raises(ReproError):
+            mdl.loads("not a machine at all\n")
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert __version__.count(".") == 2
+
+    def test_root_reexports(self):
+        import repro
+
+        for name in (
+            "MachineDescription",
+            "reduce_machine",
+            "example_machine",
+            "ForbiddenLatencyMatrix",
+        ):
+            assert hasattr(repro, name)
+
+    def test_main_module_runs(self, capsys):
+        import runpy
+        import sys
+
+        argv = sys.argv
+        sys.argv = ["repro", "stats", "example", "--word-cycles", "1"]
+        try:
+            with pytest.raises(SystemExit) as info:
+                runpy.run_module("repro", run_name="__main__")
+            assert info.value.code == 0
+        finally:
+            sys.argv = argv
+        assert "paper-example" in capsys.readouterr().out
+
+    def test_cli_table_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["table", "example", "--word-cycles", "1", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4-cycle-word" in out
+        assert "resources" in out
+
+
+class TestFullCydraReduction:
+    def test_full_machine_reduces_exactly(self):
+        """The big one: the complete Cydra 5 model, both objectives."""
+        from repro.core import matrices_equal, reduce_machine
+        from repro.machines import cydra5
+
+        machine = cydra5()
+        for kwargs in (
+            {},
+            {"objective": "word-uses", "word_cycles": 4},
+            {"collapse_classes": True},
+        ):
+            reduction = reduce_machine(machine, **kwargs)
+            assert matrices_equal(machine, reduction.reduced)
+            assert reduction.reduced.num_resources < machine.num_resources

@@ -1,0 +1,94 @@
+"""Tests for the exact minimum-cover solver and heuristic quality."""
+
+import pytest
+
+from repro.core import (
+    ForbiddenLatencyMatrix,
+    SearchExhausted,
+    build_generating_set,
+    exact_minimum_cover,
+    generated_instances,
+    machine_from_selection,
+    matrices_equal,
+    prune_covered_resources,
+    select_resources,
+)
+from repro.machines import (
+    alternatives_machine,
+    dense_conflict_machine,
+    example_machine,
+    single_op_machine,
+)
+
+
+def _setup(machine):
+    matrix = ForbiddenLatencyMatrix.from_machine(machine)
+    pool = prune_covered_resources(build_generating_set(matrix))
+    return matrix, pool
+
+
+class TestExactCover:
+    def test_example_optimum_is_five_usages(self):
+        """The paper's Figure 1d cover (5 usages) is provably optimal."""
+        machine = example_machine()
+        matrix, pool = _setup(machine)
+        exact = exact_minimum_cover(matrix, pool)
+        assert exact.total_usages == 5
+
+    def test_heuristic_matches_optimum_on_example(self):
+        machine = example_machine()
+        matrix, pool = _setup(machine)
+        heuristic = select_resources(matrix, pool)
+        exact = exact_minimum_cover(matrix, pool)
+        assert heuristic.total_usages == exact.total_usages
+
+    def test_exact_solution_covers_everything(self):
+        machine = dense_conflict_machine()
+        matrix, pool = _setup(machine)
+        exact = exact_minimum_cover(matrix, pool)
+        covered = set()
+        for usages in exact.resources:
+            covered |= generated_instances(usages)
+        assert covered >= set(matrix.instances())
+
+    def test_exact_reduction_is_equivalent(self):
+        machine = dense_conflict_machine()
+        matrix, pool = _setup(machine)
+        exact = exact_minimum_cover(matrix, pool)
+        reduced = machine_from_selection(machine, exact)
+        assert matrices_equal(machine, reduced)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [example_machine, single_op_machine, alternatives_machine,
+         dense_conflict_machine],
+    )
+    def test_exact_never_beats_by_construction(self, factory):
+        """Exact optimum <= heuristic, always (when search completes)."""
+        machine = factory()
+        matrix, pool = _setup(machine)
+        heuristic = select_resources(matrix, pool)
+        exact = exact_minimum_cover(
+            matrix, pool, upper_bound=heuristic.total_usages + 1
+        )
+        assert exact.total_usages <= heuristic.total_usages
+
+    def test_upper_bound_priming(self):
+        machine = example_machine()
+        matrix, pool = _setup(machine)
+        exact = exact_minimum_cover(matrix, pool, upper_bound=6)
+        assert exact.total_usages == 5
+
+    def test_node_limit_raises(self):
+        machine = dense_conflict_machine()
+        matrix, pool = _setup(machine)
+        with pytest.raises(SearchExhausted):
+            exact_minimum_cover(matrix, pool, node_limit=2)
+
+    def test_unreachable_upper_bound(self):
+        from repro.errors import ReductionError
+
+        machine = example_machine()
+        matrix, pool = _setup(machine)
+        with pytest.raises(ReductionError):
+            exact_minimum_cover(matrix, pool, upper_bound=1)

@@ -1,0 +1,94 @@
+"""Tests for modulo-schedule expansion (prologue/kernel/epilogue)."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.machines import cydra5_subset
+from repro.scheduler import IterativeModuloScheduler, expand
+from repro.workloads import KERNELS
+
+
+@pytest.fixture(scope="module")
+def daxpy_result():
+    return IterativeModuloScheduler(cydra5_subset()).schedule(
+        KERNELS["daxpy"]()
+    )
+
+
+class TestExpand:
+    def test_basic_expansion(self, daxpy_result):
+        expanded = expand(daxpy_result, iterations=6)
+        assert expanded.iterations == 6
+        assert len(expanded.placements) == 6 * daxpy_result.num_operations
+
+    def test_iteration_offsets_are_ii(self, daxpy_result):
+        expanded = expand(daxpy_result, iterations=4)
+        for name in daxpy_result.times:
+            cycles = [
+                expanded.issue_cycle(name, i) for i in range(4)
+            ]
+            deltas = {b - a for a, b in zip(cycles, cycles[1:])}
+            assert deltas == {daxpy_result.ii}
+
+    def test_validation_passes_for_legal_kernel(self, daxpy_result):
+        # expand() validates internally; explicit call must also pass.
+        expand(daxpy_result, iterations=8).validate()
+
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_all_kernels_expand_conflict_free(self, kernel):
+        result = IterativeModuloScheduler(cydra5_subset()).schedule(
+            KERNELS[kernel]()
+        )
+        expand(result, iterations=5)
+
+    def test_zero_iterations_rejected(self, daxpy_result):
+        with pytest.raises(ScheduleError):
+            expand(daxpy_result, iterations=0)
+
+    def test_num_stages(self, daxpy_result):
+        expanded = expand(daxpy_result, iterations=2)
+        span = max(daxpy_result.times.values()) + 1
+        assert expanded.num_stages == -(-span // daxpy_result.ii)
+
+    def test_stage_of_matches_time(self, daxpy_result):
+        expanded = expand(daxpy_result, iterations=2)
+        for name, time in daxpy_result.times.items():
+            assert expanded.stage_of(name) == time // daxpy_result.ii
+
+    def test_length_covers_last_usage(self, daxpy_result):
+        expanded = expand(daxpy_result, iterations=3)
+        assert expanded.length > max(expanded.placements.values())
+
+    def test_render_kernel_lists_every_slot(self, daxpy_result):
+        expanded = expand(daxpy_result, iterations=2)
+        art = expanded.render_kernel()
+        assert art.count("slot") == daxpy_result.ii
+
+    def test_render_timeline(self, daxpy_result):
+        expanded = expand(daxpy_result, iterations=2)
+        art = expanded.render_timeline()
+        assert "[0]" in art and "[1]" in art
+
+    def test_broken_kernel_detected(self, daxpy_result):
+        """Corrupting the kernel must make flat validation fail."""
+        import copy
+
+        broken = copy.deepcopy(daxpy_result)
+        # Move two same-opcode operations onto the same modulo slot.
+        names = [
+            n
+            for n, o in broken.chosen_opcodes.items()
+            if o.startswith("addr_gen")
+        ]
+        if len(names) < 2:
+            # force a collision between the two loads instead
+            names = [
+                n
+                for n, o in broken.chosen_opcodes.items()
+                if o.startswith("load_s")
+            ]
+            broken.chosen_opcodes[names[0]] = broken.chosen_opcodes[names[1]]
+        broken.times[names[0]] = broken.times[names[1]]
+        broken.chosen_opcodes[names[0]] = broken.chosen_opcodes[names[1]]
+        with pytest.raises(ScheduleError):
+            expand(broken, iterations=3)

@@ -1,0 +1,149 @@
+"""Failure-injection tests: corrupted artifacts must be *detected*.
+
+The paper's pitch is that manual reductions were error-prone and errors
+silently produced wrong schedules.  This suite injects exactly those
+errors — dropped usages, shifted usages, merged rows, forged reductions —
+and asserts that the library's verification layers catch every one.
+"""
+
+import pytest
+
+from repro.core import (
+    ForbiddenLatencyMatrix,
+    MachineDescription,
+    assert_equivalent,
+    machine_from_selection,
+    matrices_equal,
+    reduce_machine,
+)
+from repro.core.selection import SelectionResult
+from repro.errors import EquivalenceError, ScheduleError
+from repro.machines import cydra5_subset, example_machine, mips_r3000
+
+
+def _drop_one_usage(machine, op, resource, cycle):
+    operations = {}
+    for name, table in machine.items():
+        usages = {
+            r: set(table.usage_set(r)) for r in table.resources
+        }
+        if name == op:
+            usages[resource].discard(cycle)
+        operations[name] = usages
+    return MachineDescription(machine.name + "-corrupt", operations)
+
+
+class TestCorruptedDescriptions:
+    def test_dropped_usage_detected(self):
+        machine = example_machine()
+        # Dropping r3@4 would NOT change the matrix (the original is
+        # redundant — the paper's point); dropping the endpoint r3@5
+        # loses the distance-3 self-conflict of B.
+        corrupt = _drop_one_usage(machine, "B", "r3", 5)
+        with pytest.raises(EquivalenceError) as info:
+            assert_equivalent(machine, corrupt)
+        # The mismatch names the affected operation pair.
+        pairs = {(x, y) for x, y, _a, _b in info.value.mismatches}
+        assert ("B", "B") in pairs
+
+    def test_every_single_usage_matters_on_reduced_machines(self):
+        """Reduced descriptions are minimal for their objective: removing
+        ANY usage from the reduced example machine changes the matrix."""
+        machine = example_machine()
+        reduced = reduce_machine(machine).reduced
+        for op, table in reduced.items():
+            for resource, cycle in table.iter_usages():
+                corrupt = _drop_one_usage(reduced, op, resource, cycle)
+                assert not matrices_equal(machine, corrupt), (
+                    op, resource, cycle,
+                )
+
+    def test_shifted_usage_detected(self):
+        machine = mips_r3000()
+        operations = {op: table for op, table in machine.items()}
+        operations["fdiv_d"] = operations["fdiv_d"].shifted(1)
+        corrupt = MachineDescription("shifted", operations)
+        assert not matrices_equal(machine, corrupt)
+
+    def test_merged_rows_detected(self):
+        """Merging two distinct rows into one (a classic hand-reduction
+        mistake) adds phantom forbidden latencies."""
+        machine = example_machine()
+        operations = {}
+        for op, table in machine.items():
+            usages = {}
+            for resource in table.resources:
+                target = "r12" if resource in ("r1", "r2") else resource
+                usages.setdefault(target, set()).update(
+                    table.usage_set(resource)
+                )
+            operations[op] = usages
+        corrupt = MachineDescription("merged", operations)
+        diffs = ForbiddenLatencyMatrix.from_machine(machine).differences(
+            ForbiddenLatencyMatrix.from_machine(corrupt)
+        )
+        assert any(extra for _x, _y, _missing, extra in diffs)
+
+
+class TestForgedReductions:
+    def test_under_covering_selection_rejected(self):
+        """machine_from_selection + verification must reject a selection
+        that misses latencies."""
+        machine = example_machine()
+        matrix = ForbiddenLatencyMatrix.from_machine(machine)
+        forged = SelectionResult(
+            resources=[frozenset({("A", 1), ("B", 0)})],  # misses F[B][B]
+            origins=[frozenset({("A", 1), ("B", 0)})],
+            objective="res-uses",
+            word_cycles=1,
+        )
+        reduced = machine_from_selection(machine, forged)
+        assert matrix.differences(
+            ForbiddenLatencyMatrix.from_machine(reduced)
+        )
+
+    def test_over_constraining_selection_rejected(self):
+        machine = example_machine()
+        forged = SelectionResult(
+            resources=[
+                frozenset({("A", 1), ("B", 0)}),
+                frozenset({("B", 0), ("B", 1), ("B", 2), ("B", 3)}),
+                frozenset({("A", 0), ("B", 0)}),  # forbids allowed 0-pair
+            ],
+            origins=[frozenset()] * 3,
+            objective="res-uses",
+            word_cycles=1,
+        )
+        reduced = machine_from_selection(machine, forged)
+        assert not matrices_equal(machine, reduced)
+
+
+class TestSchedulerGuards:
+    def test_scheduler_verifier_catches_planted_conflict(self):
+        """The scheduler's final _verify rejects schedules with MRT
+        conflicts even if the query module were broken."""
+        from repro.scheduler import IterativeModuloScheduler
+        from repro.workloads import KERNELS
+
+        scheduler = IterativeModuloScheduler(cydra5_subset())
+        result = scheduler.schedule(KERNELS["daxpy"]())
+        # Plant a conflict: move one load onto the other's slot & port.
+        loads = [
+            name
+            for name, opcode in result.chosen_opcodes.items()
+            if opcode.startswith("load_s")
+        ]
+        result.times[loads[0]] = result.times[loads[1]]
+        result.chosen_opcodes[loads[0]] = result.chosen_opcodes[loads[1]]
+        with pytest.raises(ScheduleError):
+            scheduler._verify(result)
+
+    def test_dependence_verifier_catches_planted_violation(self):
+        from repro.scheduler import IterativeModuloScheduler
+        from repro.workloads import KERNELS
+
+        scheduler = IterativeModuloScheduler(cydra5_subset())
+        result = scheduler.schedule(KERNELS["inner-product"]())
+        result.times["mul"] = result.times["acc"] + 100
+        with pytest.raises(ScheduleError):
+            result.graph.verify_schedule(result.times, ii=result.ii)

@@ -1,0 +1,103 @@
+"""Tests for value lifetimes and register-pressure metrics."""
+
+import pytest
+
+from repro.machines import cydra5_subset
+from repro.scheduler import (
+    DependenceGraph,
+    IterativeModuloScheduler,
+    lifetime_report,
+    max_live,
+    register_requirement,
+    value_lifetimes,
+)
+from repro.workloads import KERNELS, loop_suite
+
+
+@pytest.fixture(scope="module")
+def scheduler():
+    return IterativeModuloScheduler(cydra5_subset())
+
+
+@pytest.fixture(scope="module")
+def inner_product(scheduler):
+    return scheduler.schedule(KERNELS["inner-product"]())
+
+
+class TestValueLifetimes:
+    def test_only_flow_producers_counted(self, scheduler):
+        """Operations without flow successors produce no value; in the
+        daxpy kernel every op anchors something (the store feeds the
+        loop control), so add a true sink and check it is skipped."""
+        graph = KERNELS["daxpy"]()
+        graph.add_operation("dead_store", "store_s")
+        result = scheduler.schedule(graph)
+        producers = {lt.producer for lt in value_lifetimes(result)}
+        assert "dead_store" not in producers
+        assert all(lt.length >= 0 for lt in value_lifetimes(result))
+
+    def test_accumulator_lifetime_spans_ii(self, inner_product):
+        """The accumulator is consumed by itself one iteration later:
+        its lifetime is exactly II."""
+        acc = next(
+            lt
+            for lt in value_lifetimes(inner_product)
+            if lt.producer == "acc"
+        )
+        assert acc.length == inner_product.ii
+        assert acc.registers == 1
+
+    def test_long_latency_values_need_multiple_registers(
+        self, inner_product
+    ):
+        loads = [
+            lt
+            for lt in value_lifetimes(inner_product)
+            if lt.producer.startswith("ld_")
+        ]
+        assert loads
+        # Memory latency 18 over a small II forces overlapped copies.
+        assert all(lt.registers >= 2 for lt in loads)
+
+    def test_registers_formula(self, inner_product):
+        for lt in value_lifetimes(inner_product):
+            assert lt.registers == max(
+                1, -(-lt.length // inner_product.ii)
+            )
+
+    def test_lifetimes_sorted(self, inner_product):
+        starts = [lt.start for lt in value_lifetimes(inner_product)]
+        assert starts == sorted(starts)
+
+
+class TestAggregates:
+    def test_register_requirement_is_sum(self, inner_product):
+        assert register_requirement(inner_product) == sum(
+            lt.registers for lt in value_lifetimes(inner_product)
+        )
+
+    def test_max_live_bounded_by_total(self, inner_product):
+        assert 1 <= max_live(inner_product) <= register_requirement(
+            inner_product
+        )
+
+    def test_max_live_counts_overlap(self, scheduler):
+        """A single self-recurrent op whose value lives exactly II has
+        one value live in every slot."""
+        graph = DependenceGraph("one")
+        graph.add_operation("x", "iadd")
+        graph.add_dependence("x", "x", 2, distance=1)
+        result = scheduler.schedule(graph)
+        assert max_live(result) == 1
+
+    def test_suite_metrics_are_finite_and_positive(self, scheduler):
+        for graph in loop_suite(15, seed=9):
+            result = scheduler.schedule(graph)
+            assert register_requirement(result) >= 1
+            assert max_live(result) >= 1
+
+    def test_report_mentions_totals(self, inner_product):
+        text = lifetime_report(inner_product)
+        assert "MaxLive" in text
+        assert "rotating registers" in text
+        assert "acc" in text

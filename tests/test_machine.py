@@ -1,0 +1,277 @@
+"""Unit tests for machine descriptions and the builder."""
+
+import pytest
+
+from repro.core import MachineBuilder, MachineDescription, ReservationTable
+from repro.errors import MachineDescriptionError
+
+
+class TestMachineDescription:
+    def test_basic(self):
+        md = MachineDescription(
+            "toy", {"A": {"alu": [0]}, "B": {"alu": [0], "mul": [0, 1]}}
+        )
+        assert md.operation_names == ("A", "B")
+        assert md.num_operations == 2
+        assert md.num_resources == 2
+        assert md.total_usages == 4
+
+    def test_requires_operations(self):
+        with pytest.raises(MachineDescriptionError):
+            MachineDescription("empty", {})
+
+    def test_table_accepts_reservation_table(self):
+        table = ReservationTable({"r": [0]})
+        md = MachineDescription("toy", {"A": table})
+        assert md.table("A") == table
+
+    def test_unknown_operation(self):
+        md = MachineDescription("toy", {"A": {"r": [0]}})
+        with pytest.raises(MachineDescriptionError):
+            md.table("Z")
+
+    def test_contains(self):
+        md = MachineDescription("toy", {"A": {"r": [0]}})
+        assert "A" in md
+        assert "B" not in md
+
+    def test_resource_order_preserved(self):
+        md = MachineDescription(
+            "toy", {"A": {"z": [0], "a": [1]}}, resources=["z", "a"]
+        )
+        assert md.resources == ("z", "a")
+
+    def test_resources_sorted_when_inferred(self):
+        md = MachineDescription("toy", {"A": {"z": [0], "a": [1]}})
+        assert md.resources == ("a", "z")
+
+    def test_undeclared_resource_rejected(self):
+        with pytest.raises(MachineDescriptionError):
+            MachineDescription("toy", {"A": {"r": [0]}}, resources=["other"])
+
+    def test_duplicate_resources_rejected(self):
+        with pytest.raises(MachineDescriptionError):
+            MachineDescription("toy", {"A": {"r": [0]}}, resources=["r", "r"])
+
+    def test_unused_declared_resource_kept(self):
+        md = MachineDescription(
+            "toy", {"A": {"r": [0]}}, resources=["r", "idle"]
+        )
+        assert "idle" in md.resources
+
+    def test_max_table_length(self):
+        md = MachineDescription(
+            "toy", {"A": {"r": [0]}, "B": {"r": [5]}}
+        )
+        assert md.max_table_length == 6
+
+    def test_equality(self):
+        a = MachineDescription("m", {"A": {"r": [0]}})
+        b = MachineDescription("m", {"A": {"r": [0]}})
+        assert a == b
+
+    def test_repr(self):
+        md = MachineDescription("toy", {"A": {"r": [0]}})
+        assert "toy" in repr(md)
+
+
+class TestAlternatives:
+    def test_alternatives_of_plain_op(self):
+        md = MachineDescription("toy", {"A": {"r": [0]}})
+        assert md.alternatives_of("A") == ("A",)
+
+    def test_alternatives_of_group(self):
+        md = MachineDescription(
+            "toy",
+            {"X.0": {"p": [0]}, "X.1": {"q": [0]}},
+            alternatives={"X": ["X.0", "X.1"]},
+        )
+        assert md.alternatives_of("X") == ("X.0", "X.1")
+
+    def test_alternatives_of_unknown(self):
+        md = MachineDescription("toy", {"A": {"r": [0]}})
+        with pytest.raises(MachineDescriptionError):
+            md.alternatives_of("nope")
+
+    def test_group_member_must_exist(self):
+        with pytest.raises(MachineDescriptionError):
+            MachineDescription(
+                "toy", {"A": {"r": [0]}}, alternatives={"X": ["ghost"]}
+            )
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(MachineDescriptionError):
+            MachineDescription(
+                "toy", {"A": {"r": [0]}}, alternatives={"X": []}
+            )
+
+
+class TestDerived:
+    def test_with_operations(self):
+        md = MachineDescription(
+            "toy", {"A": {"r": [0]}, "B": {"s": [0]}}
+        )
+        sub = md.with_operations(["A"])
+        assert sub.operation_names == ("A",)
+        assert sub.resources == md.resources  # resource rows preserved
+
+    def test_with_operations_prunes_alternatives(self):
+        md = MachineDescription(
+            "toy",
+            {"X.0": {"p": [0]}, "X.1": {"q": [0]}, "A": {"p": [1]}},
+            alternatives={"X": ["X.0", "X.1"]},
+        )
+        sub = md.with_operations(["X.0", "A"])
+        assert sub.alternatives_of("X") == ("X.0",)
+
+    def test_with_operations_unknown(self):
+        md = MachineDescription("toy", {"A": {"r": [0]}})
+        with pytest.raises(MachineDescriptionError):
+            md.with_operations(["Z"])
+
+    def test_renamed(self):
+        md = MachineDescription("toy", {"A": {"r": [0]}})
+        assert md.renamed("new").name == "new"
+        assert md.renamed("new") == md.renamed("other")  # name not compared
+
+
+class TestBuilder:
+    def test_operations_and_resources(self):
+        b = MachineBuilder("m")
+        b.resource("first")
+        b.operation("A", {"second": [0], "first": [1]})
+        md = b.build()
+        assert md.resources[0] == "first"
+        assert md.table("A").usage_count == 2
+
+    def test_duplicate_operation_rejected(self):
+        b = MachineBuilder("m")
+        b.operation("A", {"r": [0]})
+        with pytest.raises(MachineDescriptionError):
+            b.operation("A", {"r": [1]})
+
+    def test_alternatives_expand(self):
+        b = MachineBuilder("m")
+        b.operation_with_alternatives("X", [{"p": [0]}, {"q": [0]}])
+        md = b.build()
+        assert md.alternatives_of("X") == ("X.0", "X.1")
+        assert md.table("X.0").resources == ("p",)
+
+    def test_single_variant_stays_plain(self):
+        b = MachineBuilder("m")
+        b.operation_with_alternatives("X", [{"p": [0]}])
+        md = b.build()
+        assert md.alternatives_of("X") == ("X",)
+
+    def test_no_variants_rejected(self):
+        b = MachineBuilder("m")
+        with pytest.raises(MachineDescriptionError):
+            b.operation_with_alternatives("X", [])
+
+    def test_chaining(self):
+        md = (
+            MachineBuilder("m")
+            .operation("A", {"r": [0]})
+            .operation("B", {"r": [1]})
+            .build()
+        )
+        assert md.num_operations == 2
+
+
+class TestLatencies:
+    def test_latency_metadata_carried(self):
+        md = MachineDescription(
+            "toy", {"A": {"r": [0]}}, latencies={"A": 3}
+        )
+        assert md.latencies == {"A": 3}
+        assert md.latency_of("A") == 3
+
+    def test_latency_for_unknown_op_rejected(self):
+        with pytest.raises(MachineDescriptionError):
+            MachineDescription(
+                "toy", {"A": {"r": [0]}}, latencies={"ghost": 1}
+            )
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(MachineDescriptionError):
+            MachineDescription(
+                "toy", {"A": {"r": [0]}}, latencies={"A": -1}
+            )
+
+    def test_variant_falls_back_to_group_latency(self):
+        md = MachineDescription(
+            "toy",
+            {"X.0": {"p": [0]}, "X.1": {"q": [0]}},
+            alternatives={"X": ["X.0", "X.1"]},
+            latencies={"X": 7},
+        )
+        assert md.latency_of("X") == 7
+        assert md.latency_of("X.0") == 7
+        assert md.latency_of("X.1") == 7
+
+    def test_default_when_no_entry(self):
+        md = MachineDescription("toy", {"A": {"r": [0]}})
+        assert md.latency_of("A") is None
+        assert md.latency_of("A", default=1) == 1
+
+    def test_latency_of_unknown_op_raises(self):
+        md = MachineDescription("toy", {"A": {"r": [0]}})
+        with pytest.raises(MachineDescriptionError):
+            md.latency_of("ghost")
+
+    def test_latencies_survive_subsetting(self):
+        md = MachineDescription(
+            "toy",
+            {"A": {"r": [0]}, "B": {"s": [0]}},
+            latencies={"A": 2, "B": 5},
+        )
+        sub = md.with_operations(["A"])
+        assert sub.latencies == {"A": 2}
+
+    def test_latencies_in_equality(self):
+        a = MachineDescription("m", {"A": {"r": [0]}}, latencies={"A": 1})
+        b = MachineDescription("m", {"A": {"r": [0]}}, latencies={"A": 2})
+        c = MachineDescription("m", {"A": {"r": [0]}})
+        assert a != b and a != c
+
+    def test_builder_latency(self):
+        md = (
+            MachineBuilder("m")
+            .operation("A", {"r": [0]}, latency=4)
+            .build()
+        )
+        assert md.latency_of("A") == 4
+
+    def test_builder_group_latency(self):
+        b = MachineBuilder("m")
+        b.operation_with_alternatives(
+            "X", [{"p": [0]}, {"q": [0]}], latency=9
+        )
+        md = b.build()
+        assert md.latency_of("X.1") == 9
+
+    def test_study_machines_carry_latencies(self):
+        from repro.machines import STUDY_MACHINES, playdoh
+
+        for factory in list(STUDY_MACHINES.values()) + [playdoh]:
+            machine = factory()
+            assert machine.latencies, machine.name
+            # Every latency entry resolves for its own key.
+            for op in machine.latencies:
+                assert machine.latency_of(op) is not None
+
+    def test_latency_survives_reduction(self):
+        from repro.core import reduce_machine
+        from repro.machines import mips_r3000
+
+        reduced = reduce_machine(mips_r3000()).reduced
+        assert reduced.latency_of("div") == 35
+
+    def test_latency_mdl_round_trip(self):
+        from repro import mdl
+        from repro.machines import playdoh
+
+        machine = playdoh()
+        again = mdl.loads(mdl.dumps(machine))
+        assert again.latencies == machine.latencies
+        assert again == machine

@@ -1,0 +1,126 @@
+"""Tests for the machine description language parser and writer."""
+
+import pytest
+
+from repro import mdl
+from repro.core import matrices_equal
+from repro.errors import ParseError
+from repro.machines import STUDY_MACHINES, example_machine
+
+SAMPLE = """
+# a toy machine
+machine toy
+
+resources alu mul wb
+
+operation add
+    alu: 0
+    wb: 1
+
+operation mac
+    alu: 0
+    mul: 1-3        # range
+    wb: 4
+
+alternatives move = add mac
+"""
+
+
+class TestParse:
+    def test_sample(self):
+        md = mdl.loads(SAMPLE)
+        assert md.name == "toy"
+        assert md.resources == ("alu", "mul", "wb")
+        assert md.table("mac").usage_set("mul") == frozenset({1, 2, 3})
+        assert md.alternatives_of("move") == ("add", "mac")
+
+    def test_comments_and_blank_lines_ignored(self):
+        md = mdl.loads("machine m\noperation a\n  r: 0 # trailing\n\n")
+        assert md.num_operations == 1
+
+    def test_comma_separated_cycles(self):
+        md = mdl.loads("machine m\noperation a\n  r: 0, 2, 4\n")
+        assert md.table("a").usage_set("r") == frozenset({0, 2, 4})
+
+    def test_repeated_usage_lines_accumulate(self):
+        md = mdl.loads("machine m\noperation a\n  r: 0\n  r: 2\n")
+        assert md.table("a").usage_set("r") == frozenset({0, 2})
+
+    def test_inferred_resources_when_not_declared(self):
+        md = mdl.loads("machine m\noperation a\n  z: 0\n  b: 1\n")
+        assert md.resources == ("b", "z")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "operation a\n  r: 0\n",  # missing machine header
+            "machine m\n",  # no operations
+            "machine m\nmachine n\noperation a\n r: 0\n",  # ok? no: dup is fine
+        ],
+    )
+    def test_structural_errors(self, text):
+        if text.count("machine") == 2:
+            # Second header simply renames; not an error. Parse succeeds.
+            mdl.loads(text)
+        else:
+            with pytest.raises(ParseError):
+                mdl.loads(text)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as info:
+            mdl.loads("machine m\noperation a\n  r: banana\n")
+        assert info.value.line == 3
+
+    def test_usage_outside_operation(self):
+        with pytest.raises(ParseError):
+            mdl.loads("machine m\n  r: 0\n")
+
+    def test_duplicate_operation(self):
+        with pytest.raises(ParseError):
+            mdl.loads(
+                "machine m\noperation a\n r: 0\noperation a\n r: 1\n"
+            )
+
+    def test_descending_range(self):
+        with pytest.raises(ParseError):
+            mdl.loads("machine m\noperation a\n  r: 5-2\n")
+
+    def test_unrecognized_line(self):
+        with pytest.raises(ParseError):
+            mdl.loads("machine m\nbogus directive\n")
+
+    def test_bad_alternatives(self):
+        with pytest.raises(ParseError):
+            mdl.loads("machine m\noperation a\n r: 0\nalternatives x\n")
+
+    def test_alternative_of_unknown_op(self):
+        with pytest.raises(ParseError):
+            mdl.loads(
+                "machine m\noperation a\n r: 0\nalternatives x = ghost\n"
+            )
+
+
+class TestRoundTrip:
+    def test_example_round_trips(self):
+        md = example_machine()
+        again = mdl.loads(mdl.dumps(md))
+        assert again == md
+
+    @pytest.mark.parametrize("name", sorted(STUDY_MACHINES))
+    def test_study_machines_round_trip(self, name):
+        md = STUDY_MACHINES[name]()
+        again = mdl.loads(mdl.dumps(md))
+        assert again == md
+        assert matrices_equal(md, again)
+
+    def test_ranges_collapse_in_output(self, mips):
+        text = mdl.dumps(mips)
+        assert "2-35" in text  # the divide's multdiv hold
+
+    def test_file_round_trip(self, tmp_path):
+        md = example_machine()
+        path = str(tmp_path / "m.mdl")
+        mdl.dump_file(md, path)
+        assert mdl.load_file(path) == md

@@ -1,0 +1,115 @@
+"""Unit tests for the MII bounds (ResMII / RecMII)."""
+
+import pytest
+
+from repro.core import ForbiddenLatencyMatrix, MachineDescription
+from repro.errors import ScheduleError
+from repro.scheduler import (
+    DependenceGraph,
+    min_feasible_ii_for_op,
+    min_ii,
+    rec_mii,
+    res_mii,
+)
+
+
+@pytest.fixture
+def simple_machine():
+    return MachineDescription(
+        "simple",
+        {
+            "alu": {"alu": [0]},
+            "mul": {"mul": [0, 1]},  # partially pipelined: rate 1/2
+        },
+    )
+
+
+class TestResMII:
+    def test_counts_most_used_resource(self, simple_machine):
+        assert res_mii(simple_machine, ["alu", "alu", "alu"]) == 3
+
+    def test_self_infeasibility_bound(self, simple_machine):
+        # One mul: the unit is busy 2 cycles, so II=1 self-collides.
+        assert res_mii(simple_machine, ["mul"]) == 2
+
+    def test_empty_oplist(self, simple_machine):
+        assert res_mii(simple_machine, []) == 1
+
+    def test_alternatives_spread_round_robin(self, dual_pipe):
+        # Two movs can go one to each pipe: II bound stays 1... but each
+        # pipe also serves add/mul; two movs alone need only 1 slot each.
+        assert res_mii(dual_pipe, ["mov", "mov"]) == 1
+        assert res_mii(dual_pipe, ["mov", "mov", "mov", "mov"]) == 2
+
+    def test_min_feasible_ii_skips_colliding_divisors(self):
+        md = MachineDescription("gap", {"X": {"u": [0, 4]}})
+        matrix = ForbiddenLatencyMatrix.from_machine(md)
+        # F[X][X] = {0, 4}: II in {1, 2, 4} wraps 4 onto 0; II=3 is fine.
+        assert min_feasible_ii_for_op(matrix, "X") == 3
+
+    def test_min_feasible_ii_simple(self, example):
+        matrix = ForbiddenLatencyMatrix.from_machine(example)
+        assert min_feasible_ii_for_op(matrix, "A") == 1
+        assert min_feasible_ii_for_op(matrix, "B") == 4
+
+
+class TestRecMII:
+    def test_no_recurrence_gives_one(self):
+        g = DependenceGraph("line")
+        g.add_operation("a", "op")
+        g.add_operation("b", "op")
+        g.add_dependence("a", "b", 5)
+        assert rec_mii(g) == 1
+
+    def test_accumulator(self):
+        g = DependenceGraph("acc")
+        g.add_operation("a", "op")
+        g.add_dependence("a", "a", 4, distance=1)
+        assert rec_mii(g) == 4
+
+    def test_distance_two_halves_bound(self):
+        g = DependenceGraph("d2")
+        g.add_operation("a", "op")
+        g.add_dependence("a", "a", 5, distance=2)
+        assert rec_mii(g) == 3  # ceil(5/2)
+
+    def test_multi_node_cycle(self):
+        g = DependenceGraph("cyc")
+        g.add_operation("a", "op")
+        g.add_operation("b", "op")
+        g.add_dependence("a", "b", 3)
+        g.add_dependence("b", "a", 4, distance=1)
+        assert rec_mii(g) == 7
+
+    def test_max_over_cycles(self):
+        g = DependenceGraph("two")
+        for name in "abc":
+            g.add_operation(name, "op")
+        g.add_dependence("a", "a", 2, distance=1)
+        g.add_dependence("b", "c", 6)
+        g.add_dependence("c", "b", 6, distance=2)
+        assert rec_mii(g) == 6  # max(2, ceil(12/2))
+
+    def test_zero_distance_cycle_rejected(self):
+        g = DependenceGraph("bad")
+        g.add_operation("a", "op")
+        g.add_operation("b", "op")
+        g.add_dependence("a", "b", 1)
+        g.add_dependence("b", "a", 1)
+        with pytest.raises(ScheduleError):
+            rec_mii(g)
+
+
+class TestMinII:
+    def test_takes_the_max(self, simple_machine):
+        g = DependenceGraph("loop")
+        g.add_operation("m", "mul")
+        g.add_dependence("m", "m", 1, distance=1)
+        # ResMII = 2 (mul unit), RecMII = 1.
+        assert min_ii(simple_machine, g) == 2
+
+    def test_recurrence_dominates(self, simple_machine):
+        g = DependenceGraph("loop")
+        g.add_operation("a", "alu")
+        g.add_dependence("a", "a", 7, distance=1)
+        assert min_ii(simple_machine, g) == 7

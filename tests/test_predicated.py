@@ -1,0 +1,137 @@
+"""Tests for predicate-aware contention queries (EMS extension)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.machines import example_machine
+from repro.query.predicated import (
+    TRUE,
+    PredicatedDiscreteQueryModule,
+    PredicateSpace,
+)
+
+
+@pytest.fixture
+def space():
+    return PredicateSpace()
+
+
+@pytest.fixture
+def module(space):
+    return PredicatedDiscreteQueryModule(example_machine(), predicates=space)
+
+
+class TestPredicateSpace:
+    def test_complement_is_disjoint(self, space):
+        other = space.complement("p1")
+        assert other == "!p1"
+        assert not space.may_overlap("p1", "!p1")
+
+    def test_complement_of_complement(self, space):
+        assert space.complement("!p1") == "p1"
+
+    def test_unrelated_predicates_may_overlap(self, space):
+        assert space.may_overlap("p1", "p2")
+
+    def test_same_predicate_overlaps_itself(self, space):
+        assert space.may_overlap("p1", "p1")
+
+    def test_true_overlaps_everything(self, space):
+        space.complement("p1")
+        assert space.may_overlap(TRUE, "p1")
+        assert space.may_overlap("!p1", TRUE)
+
+    def test_explicit_disjointness(self, space):
+        space.declare_disjoint("case_a", "case_b")
+        assert not space.may_overlap("case_a", "case_b")
+        assert not space.may_overlap("case_b", "case_a")
+
+    def test_true_cannot_be_disjoint(self, space):
+        with pytest.raises(QueryError):
+            space.declare_disjoint(TRUE, "p")
+        with pytest.raises(QueryError):
+            space.complement(TRUE)
+
+    def test_self_disjoint_rejected(self, space):
+        with pytest.raises(QueryError):
+            space.declare_disjoint("p", "p")
+
+
+class TestPredicatedQueries:
+    def test_default_predicate_behaves_like_plain_module(self, module):
+        module.assign("B", 0)
+        assert not module.check("B", 1)
+        assert module.check("B", 4)
+
+    def test_disjoint_predicates_share_slots(self, module, space):
+        not_p = space.complement("p")
+        module.assign("B", 0, predicate="p")
+        # The if-converted else-branch twin fits in the very same cycle.
+        assert module.check("B", 0, predicate=not_p)
+        module.assign("B", 0, predicate=not_p)
+        # A third op under TRUE overlaps both.
+        assert not module.check("B", 0, predicate=TRUE)
+
+    def test_overlapping_predicates_conflict(self, module):
+        module.assign("B", 0, predicate="p")
+        assert not module.check("B", 1, predicate="q")
+
+    def test_holders_recorded(self, module, space):
+        not_p = space.complement("p")
+        module.assign("A", 0, predicate="p")
+        module.assign("A", 0, predicate=not_p)
+        holders = module.holders_at("r0", 0)
+        assert [pred for pred, _ident in holders] == ["p", "!p"]
+
+    def test_free_removes_only_own_holding(self, module, space):
+        not_p = space.complement("p")
+        t1 = module.assign("A", 0, predicate="p")
+        module.assign("A", 0, predicate=not_p)
+        module.free(t1)
+        holders = module.holders_at("r0", 0)
+        assert [pred for pred, _ident in holders] == ["!p"]
+
+    def test_free_unknown_token(self, module):
+        token = module.assign("A", 0)
+        module.free(token)
+        with pytest.raises(QueryError):
+            module.free(token)
+
+    def test_assign_free_evicts_only_overlapping(self, module, space):
+        not_p = space.complement("p")
+        module.assign_free("B", 0, predicate="p")
+        kept, _ = module.assign_free("B", 0, predicate=not_p)
+        # TRUE overlaps both: evicts the pair.
+        _t, evicted = module.assign_free("B", 0, predicate=TRUE)
+        assert len(evicted) == 2
+        assert kept in evicted
+
+    def test_assign_free_no_eviction_when_disjoint(self, module, space):
+        not_p = space.complement("p")
+        module.assign_free("B", 0, predicate="p")
+        _t, evicted = module.assign_free("B", 0, predicate=not_p)
+        assert evicted == []
+
+    def test_modulo_wrap(self, space):
+        module = PredicatedDiscreteQueryModule(
+            example_machine(), predicates=space, modulo=5
+        )
+        not_p = space.complement("p")
+        module.assign("A", 0, predicate="p")
+        assert not module.check("A", 5, predicate="p")
+        assert module.check("A", 5, predicate=not_p)
+
+    def test_modulo_self_collision_still_detected(self, space):
+        module = PredicatedDiscreteQueryModule(
+            example_machine(), predicates=space, modulo=2
+        )
+        assert not module.check("B", 0, predicate="p")
+
+    def test_work_counts_holders(self, module, space):
+        not_p = space.complement("p")
+        module.assign("B", 0, predicate="p")
+        module.assign("B", 0, predicate=not_p)
+        before = module.work.units["check"]
+        module.check("B", 0, predicate="q")
+        # First slot has two holders: 1 slot + 2 holders = 3 units.
+        assert module.work.units["check"] - before == 3

@@ -1,0 +1,75 @@
+"""Tests for covered-resource pruning (Section 5, step 1)."""
+
+from repro.core import (
+    build_generating_set,
+    generated_instances,
+    is_maximal,
+    prune_covered_resources,
+)
+from repro.core.pruning import coverage_map
+
+
+class TestPruneCovered:
+    def test_example_prunes_to_the_two_maximal_resources(
+        self, example_matrix
+    ):
+        resources = build_generating_set(example_matrix)
+        pruned = prune_covered_resources(resources)
+        assert set(pruned) == {
+            frozenset({("B", 0), ("A", 1)}),
+            frozenset({("B", 0), ("B", 1), ("B", 2), ("B", 3)}),
+        }
+
+    def test_subset_coverage_removed(self):
+        big = frozenset({("B", 0), ("B", 1), ("B", 2), ("B", 3)})
+        small = frozenset({("B", 0), ("B", 1)})
+        assert prune_covered_resources([small, big]) == [big]
+
+    def test_duplicates_collapse(self):
+        r = frozenset({("A", 0), ("B", 1)})
+        assert prune_covered_resources([r, r, r]) == [r]
+
+    def test_coverage_dominance_not_just_subset(self):
+        # {A@0, A@1, A@3} covers self-latencies {0,1,2,3}, strictly more
+        # than {A@0, A@1, A@2}'s {0,1,2}, without being a superset of it.
+        smaller = frozenset({("A", 0), ("A", 1), ("A", 2)})
+        larger = frozenset({("A", 0), ("A", 1), ("A", 3)})
+        assert generated_instances(smaller) < generated_instances(larger)
+        assert prune_covered_resources([smaller, larger]) == [larger]
+
+    def test_union_coverage_preserved(self, example_matrix):
+        resources = build_generating_set(example_matrix)
+        pruned = prune_covered_resources(resources)
+        before = set()
+        for r in resources:
+            before |= generated_instances(r)
+        after = set()
+        for r in pruned:
+            after |= generated_instances(r)
+        assert before == after
+
+    def test_incomparable_resources_both_kept(self):
+        a = frozenset({("A", 0), ("A", 1)})
+        b = frozenset({("B", 0), ("B", 2)})
+        assert set(prune_covered_resources([a, b])) == {a, b}
+
+    def test_pruned_set_is_maximal_on_study_machine(self, mips):
+        from repro.core import ForbiddenLatencyMatrix
+
+        matrix = ForbiddenLatencyMatrix.from_machine(mips)
+        pruned = prune_covered_resources(build_generating_set(matrix))
+        # No pruned resource's coverage is contained in another's.
+        coverages = coverage_map(pruned)
+        for r in pruned:
+            for other in pruned:
+                if r != other:
+                    assert not coverages[r] <= coverages[other]
+
+
+class TestCoverageMap:
+    def test_maps_every_resource(self):
+        a = frozenset({("A", 0)})
+        b = frozenset({("B", 0), ("B", 1)})
+        cov = coverage_map([a, b])
+        assert cov[a] == {("A", "A", 0)}
+        assert ("B", "B", 1) in cov[b]

@@ -1,0 +1,152 @@
+"""Unit tests for the bitvector-representation query module."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import ASSIGN_FREE, CHECK, BitvectorQueryModule
+
+
+@pytest.fixture(params=[1, 2, 4])
+def k(request):
+    return request.param
+
+
+class TestBasics:
+    def test_check_assign_free_roundtrip(self, example, k):
+        qm = BitvectorQueryModule(example, word_cycles=k)
+        token = qm.assign("B", 0)
+        assert not qm.check("B", 0)
+        qm.free(token)
+        assert qm.check("B", 0)
+        assert qm.word_at(0) == 0
+
+    def test_conflicts_match_semantics(self, example, k):
+        qm = BitvectorQueryModule(example, word_cycles=k)
+        qm.assign("B", 0)
+        for f in (-3, -2, -1, 0, 1, 2, 3):
+            assert not qm.check("B", f)
+        assert qm.check("B", 4)
+        assert qm.check("B", -4)
+
+    def test_negative_cycles(self, example, k):
+        qm = BitvectorQueryModule(example, word_cycles=k)
+        qm.assign("A", -7)
+        assert not qm.check("A", -7)
+        assert qm.check("A", -6)
+
+    def test_bad_word_cycles(self, example):
+        with pytest.raises(ValueError):
+            BitvectorQueryModule(example, word_cycles=0)
+
+    def test_bits_per_word(self, example):
+        qm = BitvectorQueryModule(example, word_cycles=4)
+        assert qm.bits_per_word() == 4 * 5
+
+
+class TestWordWork:
+    def test_check_work_counts_words_not_usages(self, example):
+        # B uses cycles 0..7: with k=4 that is 2 words.
+        qm = BitvectorQueryModule(example, word_cycles=4)
+        qm.check("B", 0)
+        assert qm.work.units[CHECK] == 2
+
+    def test_alignment_affects_word_count(self, example):
+        qm = BitvectorQueryModule(example, word_cycles=4)
+        qm.check("B", 3)  # cycles 3..10 -> words 0,1,2
+        assert qm.work.units[CHECK] == 3
+
+    def test_k1_words_equal_distinct_cycles(self, example):
+        qm = BitvectorQueryModule(example, word_cycles=1)
+        qm.check("B", 0)
+        assert qm.work.units[CHECK] == len(
+            example.table("B").cycles_used()
+        )
+
+
+class TestOptimisticAssignFree:
+    def test_stays_optimistic_without_conflicts(self, example):
+        qm = BitvectorQueryModule(example, word_cycles=2)
+        qm.assign_free("A", 0)
+        qm.assign_free("B", 4)
+        assert not qm.in_update_mode
+
+    def test_transition_on_first_conflict(self, example):
+        qm = BitvectorQueryModule(example, word_cycles=2)
+        first, _ = qm.assign_free("B", 0)
+        _t, evicted = qm.assign_free("B", 1)
+        assert evicted == [first]
+        assert qm.in_update_mode
+
+    def test_transition_charged_as_work(self, example):
+        qm = BitvectorQueryModule(example, word_cycles=2)
+        qm.assign_free("B", 0)
+        before = qm.work.units[ASSIGN_FREE]
+        qm.assign_free("B", 1)
+        delta = qm.work.units[ASSIGN_FREE] - before
+        # At least: scan of the scheduled list (8 usages of B) plus the
+        # incoming op's own usages.
+        assert delta >= example.table("B").usage_count
+
+    def test_update_mode_keeps_owner_fields(self, example):
+        qm = BitvectorQueryModule(example, word_cycles=2)
+        qm.assign_free("B", 0)
+        t2, _ = qm.assign_free("B", 1)  # evicts, enters update mode
+        t3, evicted = qm.assign_free("B", 2)  # evicts t2 via owner fields
+        assert evicted == [t2]
+        qm.free(t3)
+        assert qm.check("B", 0)
+
+    def test_free_in_optimistic_mode(self, example):
+        qm = BitvectorQueryModule(example, word_cycles=2)
+        token, _ = qm.assign_free("B", 0)
+        qm.free(token)
+        assert qm.check("B", 0)
+        assert not qm.in_update_mode
+
+
+class TestModulo:
+    def test_wraps(self, example, k):
+        qm = BitvectorQueryModule(example, word_cycles=k, modulo=5)
+        qm.assign("A", 1)
+        assert not qm.check("A", 6)
+        assert not qm.check("A", 11)
+
+    def test_self_collision(self, example, k):
+        qm = BitvectorQueryModule(example, word_cycles=k, modulo=3)
+        assert not qm.check("B", 0)  # r3 held 4 cycles wraps onto itself
+
+    def test_partial_last_word(self, example):
+        # II=5 with k=2: words cover cycles {0,1},{2,3},{4}.
+        qm = BitvectorQueryModule(example, word_cycles=2, modulo=5)
+        token = qm.assign("B", 0)
+        qm.free(token)
+        for t in range(5):
+            assert qm.check("A", t)
+
+    def test_eviction_under_modulo(self, example):
+        qm = BitvectorQueryModule(example, word_cycles=2, modulo=8)
+        first, _ = qm.assign_free("B", 0)
+        _t, evicted = qm.assign_free("B", 9)  # distance 1 mod 8
+        assert evicted == [first]
+
+
+class TestConsistencyWithGroundTruth:
+    def test_randomized_against_oracle(self, example):
+        import random
+
+        from repro.core import schedule_is_contention_free
+
+        rng = random.Random(7)
+        for _trial in range(50):
+            qm = BitvectorQueryModule(example, word_cycles=rng.choice((1, 2, 3, 4)))
+            placed = []
+            for _step in range(10):
+                op = rng.choice(example.operation_names)
+                cycle = rng.randint(-4, 12)
+                expected = schedule_is_contention_free(
+                    example, placed + [(op, cycle)]
+                )
+                assert qm.check(op, cycle) == expected
+                if expected:
+                    qm.assign(op, cycle)
+                    placed.append((op, cycle))

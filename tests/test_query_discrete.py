@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-representation query module."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import CHECK, DiscreteQueryModule
+
+
+class TestCheckAssignFree:
+    def test_empty_schedule_accepts(self, example):
+        qm = DiscreteQueryModule(example)
+        assert qm.check("A", 0)
+        assert qm.check("B", 5)
+
+    def test_conflict_detected(self, example):
+        qm = DiscreteQueryModule(example)
+        qm.assign("B", 0)
+        assert not qm.check("B", 1)  # 1 in F[B][B]
+        assert not qm.check("A", -1)  # -1 in F[A][B] (A one cycle early)
+        assert qm.check("A", 1)  # +1 is NOT forbidden for A after B
+
+    def test_self_conflict_at_zero(self, example):
+        qm = DiscreteQueryModule(example)
+        qm.assign("A", 3)
+        assert not qm.check("A", 3)
+        assert qm.check("A", 2)
+
+    def test_free_releases(self, example):
+        qm = DiscreteQueryModule(example)
+        token = qm.assign("B", 0)
+        assert not qm.check("B", 0)
+        qm.free(token)
+        assert qm.check("B", 0)
+
+    def test_negative_cycles_supported(self, example):
+        """Dangling resource requirements from predecessor blocks."""
+        qm = DiscreteQueryModule(example)
+        qm.assign("B", -6)
+        # B@-6 holds r3 during cycles -4..-1 and r4 during 0..1.
+        assert qm.owner_at("r4", 0) is not None
+        assert not qm.check("B", -5)
+
+    def test_free_twice_raises(self, example):
+        qm = DiscreteQueryModule(example)
+        token = qm.assign("A", 0)
+        qm.free(token)
+        with pytest.raises(QueryError):
+            qm.free(token)
+
+    def test_unknown_op_raises(self, example):
+        qm = DiscreteQueryModule(example)
+        with pytest.raises(QueryError):
+            qm.assign("Z", 0)
+
+
+class TestAssignFreeEviction:
+    def test_no_conflict_no_eviction(self, example):
+        qm = DiscreteQueryModule(example)
+        _token, evicted = qm.assign_free("A", 0)
+        assert evicted == []
+
+    def test_conflicting_owner_evicted(self, example):
+        qm = DiscreteQueryModule(example)
+        first, _ = qm.assign_free("B", 0)
+        _second, evicted = qm.assign_free("B", 2)
+        assert evicted == [first]
+        # The victim's other reservations are fully released.
+        assert qm.owner_at("r1", 0) is None
+
+    def test_evicted_resources_released(self, example):
+        qm = DiscreteQueryModule(example)
+        qm.assign_free("B", 0)
+        qm.assign_free("B", 1)  # evicts B@0
+        # B@0's r4 usages at 6,7 must be gone; B@1 holds r4 at 7,8.
+        assert qm.owner_at("r4", 6) is None
+
+    def test_mixing_assign_and_assign_free_rejected(self, example):
+        qm = DiscreteQueryModule(example)
+        qm.assign("A", 0)
+        with pytest.raises(QueryError):
+            qm.assign_free("A", 5)
+
+    def test_mixing_other_direction_rejected(self, example):
+        qm = DiscreteQueryModule(example)
+        qm.assign_free("A", 0)
+        with pytest.raises(QueryError):
+            qm.assign("A", 5)
+
+
+class TestModulo:
+    def test_wraps(self, example):
+        qm = DiscreteQueryModule(example, modulo=4)
+        qm.assign("A", 0)
+        assert not qm.check("A", 4)  # same MRT slot
+        assert not qm.check("A", 8)
+
+    def test_self_collision_rejected(self, example):
+        # B holds r3 for 4 consecutive cycles: II=2 wraps it onto itself.
+        qm = DiscreteQueryModule(example, modulo=2)
+        assert not qm.check("B", 0)
+
+    def test_feasible_ii_accepts(self, example):
+        qm = DiscreteQueryModule(example, modulo=4)
+        assert qm.check("B", 0)
+
+    def test_bad_ii_rejected(self, example):
+        with pytest.raises(ValueError):
+            DiscreteQueryModule(example, modulo=0)
+
+
+class TestBookkeeping:
+    def test_scheduled_lists_tokens(self, example):
+        qm = DiscreteQueryModule(example)
+        t1 = qm.assign("A", 0)
+        t2 = qm.assign("A", 1)
+        assert qm.scheduled() == [t1, t2]
+
+    def test_reset_clears_schedule_keeps_work(self, example):
+        qm = DiscreteQueryModule(example)
+        qm.assign("A", 0)
+        qm.check("A", 0)
+        calls_before = qm.work.calls[CHECK]
+        qm.reset()
+        assert qm.scheduled() == []
+        assert qm.check("A", 0)
+        assert qm.work.calls[CHECK] == calls_before + 1
+
+    def test_reserved_entries_counts(self, example):
+        qm = DiscreteQueryModule(example)
+        qm.assign("A", 0)
+        assert qm.reserved_entries == 3
+
+    def test_state_bits_per_cycle(self, example):
+        assert DiscreteQueryModule(example).state_bits_per_cycle() == 5
+
+
+class TestWorkAccounting:
+    def test_check_charges_at_most_usage_count(self, example):
+        qm = DiscreteQueryModule(example)
+        qm.check("B", 0)
+        assert qm.work.units[CHECK] == example.table("B").usage_count
+
+    def test_check_early_out(self, example):
+        qm = DiscreteQueryModule(example)
+        qm.assign("B", 0)
+        before = qm.work.units[CHECK]
+        qm.check("B", 1)  # aborts at the first colliding usage (r3@3)
+        assert qm.work.units[CHECK] - before == 3
+
+    def test_minimum_one_unit(self):
+        from repro.machines import empty_op_machine
+
+        qm = DiscreteQueryModule(empty_op_machine())
+        qm.check("NOP", 0)
+        assert qm.work.units[CHECK] == 1
+
+
+class TestAlternatives:
+    def test_first_free_variant_returned(self, dual_pipe):
+        qm = DiscreteQueryModule(dual_pipe)
+        qm.assign("add", 0)  # occupies pipe0 at 0
+        assert qm.check_with_alternatives("mov", 0) == "mov.1"
+
+    def test_none_when_all_blocked(self, dual_pipe):
+        qm = DiscreteQueryModule(dual_pipe)
+        qm.assign("add", 0)
+        qm.assign("mul", 0)
+        assert qm.check_with_alternatives("mov", 0) is None
+
+    def test_plain_op_is_its_own_alternative(self, dual_pipe):
+        qm = DiscreteQueryModule(dual_pipe)
+        assert qm.check_with_alternatives("add", 0) == "add"

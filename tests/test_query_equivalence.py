@@ -1,0 +1,138 @@
+"""Cross-representation equivalence: discrete, bitvector, automaton, and
+reduced-machine modules must answer every query identically.
+
+This is the paper's core guarantee: querying with the original or the
+reduced description — in any representation — yields the same answer.
+"""
+
+import random
+
+import pytest
+
+from repro.automata import AutomatonQueryModule, PipelineAutomaton
+from repro.core import reduce_machine, schedule_is_contention_free
+from repro.machines import alternatives_machine, example_machine
+from repro.query import BitvectorQueryModule, DiscreteQueryModule
+
+
+def _modules(machine, reduced):
+    return [
+        DiscreteQueryModule(machine),
+        BitvectorQueryModule(machine, word_cycles=1),
+        BitvectorQueryModule(machine, word_cycles=3),
+        DiscreteQueryModule(reduced),
+        BitvectorQueryModule(reduced, word_cycles=2),
+        BitvectorQueryModule(reduced, word_cycles=4),
+    ]
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_scalar_equivalence(seed, example):
+    reduced = reduce_machine(example).reduced
+    rng = random.Random(seed)
+    modules = _modules(example, reduced)
+    placed = []
+    for _step in range(40):
+        op = rng.choice(example.operation_names)
+        cycle = rng.randint(-5, 25)
+        answers = {module.check(op, cycle) for module in modules}
+        assert len(answers) == 1
+        truth = schedule_is_contention_free(example, placed + [(op, cycle)])
+        assert answers.pop() == truth
+        if truth:
+            for module in modules:
+                module.assign(op, cycle)
+            placed.append((op, cycle))
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_modulo_equivalence(seed, example):
+    reduced = reduce_machine(example).reduced
+    rng = random.Random(1000 + seed)
+    ii = rng.randint(1, 10)
+    modules = [
+        DiscreteQueryModule(example, modulo=ii),
+        BitvectorQueryModule(example, word_cycles=2, modulo=ii),
+        DiscreteQueryModule(reduced, modulo=ii),
+        BitvectorQueryModule(reduced, word_cycles=4, modulo=ii),
+    ]
+    placed = []
+    for _step in range(25):
+        op = rng.choice(example.operation_names)
+        cycle = rng.randint(0, 40)
+        answers = {module.check(op, cycle) for module in modules}
+        assert len(answers) == 1
+        reserved = {}
+        truth = True
+        for other_op, other_cycle in placed + [(op, cycle)]:
+            for resource, c in example.table(other_op).iter_usages():
+                slot = (resource, (other_cycle + c) % ii)
+                if slot in reserved:
+                    truth = False
+                reserved[slot] = True
+        assert answers.pop() == truth
+        if truth:
+            for module in modules:
+                module.assign(op, cycle)
+            placed.append((op, cycle))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_automaton_agrees_with_tables(seed):
+    machine = example_machine()
+    automaton = PipelineAutomaton.build(machine)
+    rng = random.Random(2000 + seed)
+    aqm = AutomatonQueryModule(machine, automaton=automaton)
+    dqm = DiscreteQueryModule(machine)
+    tokens = []
+    for _step in range(30):
+        op = rng.choice(machine.operation_names)
+        cycle = rng.randint(0, 15)
+        assert aqm.check(op, cycle) == dqm.check(op, cycle)
+        if dqm.check(op, cycle):
+            tokens.append((aqm.assign(op, cycle), dqm.assign(op, cycle)))
+        elif tokens and rng.random() < 0.4:
+            ta, td = tokens.pop(rng.randrange(len(tokens)))
+            aqm.free(ta)
+            dqm.free(td)
+
+
+def test_eviction_equivalence(example):
+    """assign&free must evict the same operations in both representations."""
+    rng = random.Random(99)
+    reduced = reduce_machine(example).reduced
+    for _trial in range(20):
+        modules = [
+            DiscreteQueryModule(example),
+            BitvectorQueryModule(example, word_cycles=2),
+            DiscreteQueryModule(reduced),
+            BitvectorQueryModule(reduced, word_cycles=2),
+        ]
+        live = [dict() for _ in modules]
+        for _step in range(12):
+            op = rng.choice(example.operation_names)
+            cycle = rng.randint(0, 10)
+            evicted_sets = []
+            for index, module in enumerate(modules):
+                token, evicted = module.assign_free(op, cycle)
+                live[index][token.ident] = (op, cycle)
+                evicted_sets.append(
+                    sorted((t.op, t.cycle) for t in evicted)
+                )
+            assert all(e == evicted_sets[0] for e in evicted_sets)
+
+
+def test_alternatives_equivalence(dual_pipe):
+    rng = random.Random(5)
+    reduced = reduce_machine(dual_pipe).reduced
+    first = DiscreteQueryModule(dual_pipe)
+    second = BitvectorQueryModule(reduced, word_cycles=2)
+    for _step in range(30):
+        op = rng.choice(("add", "mul", "mov"))
+        cycle = rng.randint(0, 8)
+        a = first.check_with_alternatives(op, cycle)
+        b = second.check_with_alternatives(op, cycle)
+        assert a == b
+        if a is not None:
+            first.assign(a, cycle)
+            second.assign(a, cycle)

@@ -1,0 +1,82 @@
+"""Tests for work-unit accounting (the currency of Table 6)."""
+
+from repro.query import (
+    ASSIGN,
+    ASSIGN_FREE,
+    CHECK,
+    FREE,
+    FUNCTIONS,
+    WorkCounters,
+)
+
+
+class TestCharge:
+    def test_basic(self):
+        work = WorkCounters()
+        work.charge(CHECK, 3)
+        assert work.calls[CHECK] == 1
+        assert work.units[CHECK] == 3
+
+    def test_minimum_one_unit(self):
+        work = WorkCounters()
+        work.charge(CHECK, 0)
+        assert work.units[CHECK] == 1
+
+    def test_per_call_average(self):
+        work = WorkCounters()
+        work.charge(FREE, 2)
+        work.charge(FREE, 4)
+        assert work.per_call(FREE) == 3.0
+
+    def test_per_call_zero_when_never_called(self):
+        assert WorkCounters().per_call(ASSIGN) == 0.0
+
+
+class TestAggregation:
+    def test_weighted_average_is_total_over_calls(self):
+        work = WorkCounters()
+        work.charge(CHECK, 1)
+        work.charge(CHECK, 3)
+        work.charge(ASSIGN_FREE, 6)
+        assert work.total_calls == 3
+        assert work.total_units == 10
+        assert work.weighted_average() == 10 / 3
+
+    def test_frequencies_sum_to_one(self):
+        work = WorkCounters()
+        work.charge(CHECK, 1)
+        work.charge(CHECK, 1)
+        work.charge(FREE, 1)
+        freq = work.frequencies()
+        assert abs(sum(freq.values()) - 1.0) < 1e-12
+        assert freq[CHECK] == 2 / 3
+
+    def test_empty_frequencies(self):
+        freq = WorkCounters().frequencies()
+        assert set(freq) == set(FUNCTIONS)
+        assert all(v == 0.0 for v in freq.values())
+
+    def test_merge(self):
+        a = WorkCounters()
+        b = WorkCounters()
+        a.charge(CHECK, 2)
+        b.charge(CHECK, 4)
+        b.charge(FREE, 1)
+        a.merge(b)
+        assert a.calls[CHECK] == 2
+        assert a.units[CHECK] == 6
+        assert a.calls[FREE] == 1
+
+    def test_reset(self):
+        work = WorkCounters()
+        work.charge(CHECK, 5)
+        work.reset()
+        assert work.total_calls == 0
+        assert work.weighted_average() == 0.0
+
+    def test_report_mentions_functions(self):
+        work = WorkCounters()
+        work.charge(CHECK, 2)
+        report = work.report()
+        assert "check" in report
+        assert "weighted" in report

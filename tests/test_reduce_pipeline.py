@@ -1,0 +1,168 @@
+"""End-to-end reduction tests across all machines (Theorem 1 in action)."""
+
+import pytest
+
+from repro.core import (
+    ForbiddenLatencyMatrix,
+    MachineDescription,
+    matrices_equal,
+    machine_from_selection,
+    reduce_machine,
+)
+from repro.errors import EquivalenceError
+from repro.machines import (
+    alternatives_machine,
+    dense_conflict_machine,
+    empty_op_machine,
+    example_machine,
+    independent_ops_machine,
+    issue_limited_machine,
+    single_op_machine,
+)
+
+ALL_SMALL = [
+    example_machine,
+    single_op_machine,
+    independent_ops_machine,
+    empty_op_machine,
+    alternatives_machine,
+    dense_conflict_machine,
+    lambda: issue_limited_machine(2, 2),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_SMALL)
+def test_reduction_is_exact(factory):
+    md = factory()
+    reduction = reduce_machine(md)
+    assert matrices_equal(md, reduction.reduced)
+
+
+@pytest.mark.parametrize("factory", ALL_SMALL)
+@pytest.mark.parametrize("word_cycles", [1, 2, 4])
+def test_word_reduction_is_exact(factory, word_cycles):
+    md = factory()
+    reduction = reduce_machine(
+        md, objective="word-uses", word_cycles=word_cycles
+    )
+    assert matrices_equal(md, reduction.reduced)
+
+
+def test_reduction_never_grows_resources():
+    for factory in ALL_SMALL:
+        md = factory()
+        reduction = reduce_machine(md)
+        assert reduction.reduced.num_resources <= max(1, md.num_resources)
+        assert reduction.reduced.total_usages <= md.total_usages
+
+
+def test_example_headline_numbers(example):
+    """The paper's Figure 1 summary: 5 -> 2 resources, 11 -> 5 usages."""
+    reduction = reduce_machine(example)
+    assert example.num_resources == 5
+    assert example.total_usages == 11
+    assert reduction.reduced.num_resources == 2
+    assert reduction.reduced.total_usages == 5
+    assert reduction.reduced.table("A").usage_count == 1
+    assert reduction.reduced.table("B").usage_count == 4
+
+
+def test_study_machine_reductions(mips_reduction, subset_reduction):
+    for reduction in (mips_reduction, subset_reduction):
+        assert matrices_equal(reduction.original, reduction.reduced)
+        assert reduction.resource_ratio < 1.0
+        assert reduction.usage_ratio < 1.0
+
+
+def test_mips_reduction_shape(mips_reduction):
+    """Table 4 shape: resources drop ~3x, usages ~2x or better."""
+    assert mips_reduction.reduced.num_resources <= 8
+    ratio = mips_reduction.usage_ratio
+    assert ratio < 0.6
+
+
+def test_alternatives_preserved(dual_pipe):
+    reduction = reduce_machine(dual_pipe)
+    assert reduction.reduced.alternatives_of("mov") == ("mov.0", "mov.1")
+
+
+def test_empty_op_preserved():
+    reduction = reduce_machine(empty_op_machine())
+    assert "NOP" in reduction.reduced
+    assert reduction.reduced.table("NOP").is_empty
+
+
+def test_machine_from_selection_names_rows(example):
+    reduction = reduce_machine(example)
+    assert all(r.startswith("q") for r in reduction.reduced.resources)
+
+
+def test_summary_mentions_counts(example):
+    summary = reduce_machine(example).summary()
+    assert "5 -> 2 resources" in summary
+    assert "11 -> 5 usages" in summary
+
+
+def test_verification_catches_bad_selection(example):
+    """Bypassing the selection with an under-covering one must raise."""
+    reduction = reduce_machine(example)
+    broken = MachineDescription(
+        "broken",
+        {"A": {"q0": [0]}, "B": {"q0": [0]}},
+    )
+    matrix = ForbiddenLatencyMatrix.from_machine(example)
+    mismatches = matrix.differences(
+        ForbiddenLatencyMatrix.from_machine(broken)
+    )
+    assert mismatches  # sanity: it is indeed not equivalent
+    with pytest.raises(EquivalenceError):
+        raise EquivalenceError("forced", mismatches)
+    # and reduce_machine itself never returns an unverified reduction
+    assert matrices_equal(example, reduction.reduced)
+
+
+def test_no_subset_pruning_matches(example):
+    fast = reduce_machine(example)
+    slow = reduce_machine(example, prune_subsets_every=None)
+    assert fast.reduced.total_usages == slow.reduced.total_usages
+    assert matrices_equal(fast.reduced, slow.reduced)
+
+
+def test_reduction_of_reduction_is_stable(example):
+    once = reduce_machine(example).reduced
+    twice = reduce_machine(once).reduced
+    assert matrices_equal(once, twice)
+    assert twice.total_usages <= once.total_usages
+
+
+def test_reduce_for_word_size_picks_fixed_point():
+    from repro.core import reduce_for_word_size
+    from repro.machines import mips_r3000
+
+    machine = mips_r3000()
+    reduction = reduce_for_word_size(machine, word_bits=64)
+    bits = reduction.word_cycles * reduction.reduced.num_resources
+    assert bits <= 64
+    # Packing is maximal: one more cycle would overflow the word.
+    assert (
+        (reduction.word_cycles + 1) * reduction.reduced.num_resources > 64
+    )
+    assert matrices_equal(machine, reduction.reduced)
+
+
+def test_reduce_for_word_size_32_vs_64(example):
+    from repro.core import reduce_for_word_size
+
+    narrow = reduce_for_word_size(example, word_bits=32)
+    wide = reduce_for_word_size(example, word_bits=64)
+    assert narrow.word_cycles <= wide.word_cycles
+    for reduction in (narrow, wide):
+        assert matrices_equal(example, reduction.reduced)
+
+
+def test_reduce_for_word_size_rejects_bad_width(example):
+    from repro.core import reduce_for_word_size
+    from repro.errors import ReductionError
+
+    with pytest.raises(ReductionError):
+        reduce_for_word_size(example, word_bits=0)

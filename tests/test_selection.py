@@ -1,0 +1,104 @@
+"""Tests for the usage-selection heuristic (paper Step 3)."""
+
+import pytest
+
+from repro.core import (
+    ForbiddenLatencyMatrix,
+    MachineDescription,
+    build_generating_set,
+    generated_instances,
+    prune_covered_resources,
+    select_resources,
+)
+from repro.core.selection import RES_USES, WORD_USES
+from repro.errors import ReductionError
+
+
+def _pipeline(md, objective=RES_USES, word_cycles=1):
+    matrix = ForbiddenLatencyMatrix.from_machine(md)
+    pool = prune_covered_resources(build_generating_set(matrix))
+    return matrix, select_resources(
+        matrix, pool, objective=objective, word_cycles=word_cycles
+    )
+
+
+class TestResUsesObjective:
+    def test_example_reaches_paper_minimum(self, example):
+        """Figure 1d: 2 resources, 1 usage for A, 4 for B."""
+        _matrix, selection = _pipeline(example)
+        assert len(selection.resources) == 2
+        assert selection.total_usages == 5
+        per_op = {"A": 0, "B": 0}
+        for usages in selection.resources:
+            for op, _cycle in usages:
+                per_op[op] += 1
+        assert per_op == {"A": 1, "B": 4}
+
+    def test_selection_covers_every_instance(self, example):
+        matrix, selection = _pipeline(example)
+        covered = set()
+        for usages in selection.resources:
+            covered |= generated_instances(usages)
+        assert covered >= set(matrix.instances())
+
+    def test_selected_usages_come_from_origins(self, example):
+        _matrix, selection = _pipeline(example)
+        for usages, origin in zip(selection.resources, selection.origins):
+            assert usages <= origin
+
+    def test_no_empty_resources(self, mips):
+        _matrix, selection = _pipeline(mips)
+        assert all(selection.resources)
+
+
+class TestWordUsesObjective:
+    def test_free_fill_adds_word_mates(self):
+        """With k=4 the word objective may select extra usages that cost
+        no additional words; usage count can only grow vs what covering
+        strictly requires, never the word count."""
+        md = MachineDescription(
+            "w",
+            {
+                "P": {"bus": [0, 1, 2, 3]},
+                "Q": {"bus": [0]},
+            },
+        )
+        _m1, res_sel = _pipeline(md, RES_USES)
+        _m2, word_sel = _pipeline(md, WORD_USES, word_cycles=4)
+        assert word_sel.total_usages >= res_sel.total_usages
+
+    def test_word_objective_covers(self, mips):
+        matrix, selection = _pipeline(mips, WORD_USES, word_cycles=4)
+        covered = set()
+        for usages in selection.resources:
+            covered |= generated_instances(usages)
+        assert covered >= set(matrix.instances())
+
+    def test_word_cycles_recorded(self, example):
+        _matrix, selection = _pipeline(example, WORD_USES, word_cycles=3)
+        assert selection.word_cycles == 3
+        assert selection.objective == WORD_USES
+
+
+class TestErrors:
+    def test_unknown_objective(self, example_matrix):
+        with pytest.raises(ReductionError):
+            select_resources(example_matrix, [], objective="bogus")
+
+    def test_bad_word_cycles(self, example_matrix):
+        with pytest.raises(ReductionError):
+            select_resources(
+                example_matrix, [], objective=WORD_USES, word_cycles=0
+            )
+
+    def test_uncoverable_pool_detected(self, example_matrix):
+        pool = [frozenset({("A", 0)})]  # cannot generate F[B][B] etc.
+        with pytest.raises(ReductionError):
+            select_resources(example_matrix, pool)
+
+
+class TestDeterminism:
+    def test_same_input_same_output(self, mips):
+        _m1, first = _pipeline(mips)
+        _m2, second = _pipeline(mips)
+        assert first.resources == second.resources

@@ -1,0 +1,142 @@
+"""Tests for schedule serialization and VLIW bundling."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.machines import cydra5_subset, playdoh
+from repro.scheduler import (
+    DependenceGraph,
+    IterativeModuloScheduler,
+    OperationDrivenScheduler,
+    bundle,
+    issue_unit,
+    serialize,
+)
+from repro.workloads import KERNELS, generate_loop
+
+
+@pytest.fixture(scope="module")
+def daxpy_result():
+    return IterativeModuloScheduler(cydra5_subset()).schedule(
+        KERNELS["daxpy"]()
+    )
+
+
+class TestGraphJson:
+    def test_round_trip(self):
+        graph = KERNELS["tridiagonal"]()
+        data = serialize.graph_to_json(graph)
+        again = serialize.graph_from_json(data)
+        assert [op.name for op in again.operations()] == [
+            op.name for op in graph.operations()
+        ]
+        assert list(again.edges()) == list(graph.edges())
+
+    def test_text_round_trip(self):
+        graph = generate_loop(11)
+        text = serialize.dumps(serialize.graph_to_json(graph))
+        again = serialize.graph_from_json(serialize.loads(text))
+        assert again.num_edges == graph.num_edges
+
+    def test_version_checked(self):
+        with pytest.raises(ScheduleError):
+            serialize.graph_from_json({"version": 99, "name": "x"})
+
+    def test_stable_output(self):
+        graph = KERNELS["daxpy"]()
+        a = serialize.dumps(serialize.graph_to_json(graph))
+        b = serialize.dumps(serialize.graph_to_json(KERNELS["daxpy"]()))
+        assert a == b
+
+
+class TestResultJson:
+    def test_modulo_result(self, daxpy_result):
+        data = serialize.modulo_result_to_json(daxpy_result)
+        assert data["kind"] == "modulo"
+        assert data["ii"] == daxpy_result.ii
+        assert data["times"] == daxpy_result.times
+        assert data["stats"]["optimal"] is True
+        serialize.dumps(data)  # JSON-serializable
+
+    def test_block_result(self):
+        scheduler = OperationDrivenScheduler(cydra5_subset())
+        graph = DependenceGraph("b")
+        graph.add_operation("x", "iadd")
+        result = scheduler.schedule(graph)
+        data = serialize.block_result_to_json(result)
+        assert data["kind"] == "block"
+        assert data["length"] == result.length
+        rebuilt = serialize.graph_from_json(data["graph"])
+        assert rebuilt.num_operations == 1
+
+
+class TestIssueUnit:
+    def test_cydra_units(self):
+        machine = cydra5_subset()
+        assert issue_unit(machine, "iadd") == "fa"
+        assert issue_unit(machine, "fmul_s") == "fm"
+        assert issue_unit(machine, "load_s.0") == "m0"
+        assert issue_unit(machine, "brtop") == "br"
+
+    def test_machine_without_convention_falls_back(self):
+        from repro.machines import example_machine
+
+        assert issue_unit(example_machine(), "A") == "misc"
+
+
+class TestBundle:
+    def test_kernel_bundles_into_ii_words(self, daxpy_result):
+        bundling = bundle(
+            daxpy_result.machine,
+            daxpy_result.times,
+            daxpy_result.chosen_opcodes,
+            modulo=daxpy_result.ii,
+        )
+        assert bundling.num_words == daxpy_result.ii
+        placed = sum(len(word.fields) for word in bundling.words)
+        assert placed == daxpy_result.num_operations
+
+    def test_density_and_nops(self, daxpy_result):
+        bundling = bundle(
+            daxpy_result.machine,
+            daxpy_result.times,
+            daxpy_result.chosen_opcodes,
+            modulo=daxpy_result.ii,
+        )
+        assert 0.0 < bundling.density <= 1.0
+        total = bundling.num_words * len(bundling.units)
+        assert bundling.nop_fields == total - daxpy_result.num_operations
+
+    def test_render(self, daxpy_result):
+        bundling = bundle(
+            daxpy_result.machine,
+            daxpy_result.times,
+            daxpy_result.chosen_opcodes,
+            modulo=daxpy_result.ii,
+        )
+        art = bundling.render()
+        assert "t=" in art
+        assert any(unit in art for unit in bundling.units)
+
+    def test_double_booking_detected(self):
+        machine = cydra5_subset()
+        with pytest.raises(ScheduleError):
+            bundle(
+                machine,
+                {"a": 0, "b": 0},
+                {"a": "iadd", "b": "icmp"},  # both on the fa unit
+            )
+
+    def test_scalar_bundling(self):
+        machine = playdoh()
+        scheduler = OperationDrivenScheduler(machine)
+        graph = DependenceGraph("blk")
+        for index in range(6):
+            graph.add_operation("op%d" % index, "ialu")
+        result = scheduler.schedule(graph)
+        bundling = bundle(
+            machine, result.times, result.chosen_opcodes
+        )
+        # 6 ialu ops over 4 ALUs: at most ceil(6/4) words needed... but
+        # first-fit alternatives may spread them; every word is legal.
+        assert bundling.num_words >= 2

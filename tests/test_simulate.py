@@ -1,0 +1,117 @@
+"""Tests for the cycle-accurate issue simulator."""
+
+import pytest
+
+from repro.analysis import drop_resources
+from repro.core import reduce_machine
+from repro.machines import cydra5_subset, example_machine, mips_r3000
+from repro.scheduler import OperationDrivenScheduler, chain
+from repro.simulate import simulate
+from repro.workloads import block_suite
+
+
+@pytest.fixture
+def machine():
+    return example_machine()
+
+
+class TestCleanSchedules:
+    def test_empty_schedule(self, machine):
+        report = simulate(machine, [])
+        assert report.clean
+        assert report.makespan == 0
+
+    def test_legal_schedule_is_clean(self, machine):
+        report = simulate(machine, [("B", 0), ("A", 0), ("B", 4)])
+        assert report.clean
+        assert report.stall_cycles == 0
+
+    def test_scheduler_output_simulates_cleanly(self, machine):
+        scheduler = OperationDrivenScheduler(machine)
+        result = scheduler.schedule(chain("c", ["B", "B", "A"], latency=1))
+        placements = [
+            (result.chosen_opcodes[n], t) for n, t in result.times.items()
+        ]
+        assert simulate(machine, placements).clean
+
+    def test_suite_of_blocks_simulates_cleanly(self):
+        machine = cydra5_subset()
+        scheduler = OperationDrivenScheduler(machine)
+        for graph in block_suite(10):
+            result = scheduler.schedule(graph)
+            placements = [
+                (result.chosen_opcodes[n], t)
+                for n, t in result.times.items()
+            ]
+            assert simulate(machine, placements).clean
+
+    def test_makespan_covers_tables(self, machine):
+        report = simulate(machine, [("B", 0)])
+        assert report.makespan == 8  # B's table spans 8 cycles
+
+
+class TestInterlockedStalls:
+    def test_conflicting_issue_stalls(self, machine):
+        # Two Bs at distance 1: forbidden; interlock delays the second
+        # until distance 4.
+        report = simulate(machine, [("B", 0), ("B", 1)])
+        assert report.stall_cycles == 3
+        assert report.issue_cycles[1] == 4
+        assert not report.conflicts
+
+    def test_stalls_slip_later_ops_in_order(self, machine):
+        # The stalled B pushes the following A by the same slip.
+        report = simulate(machine, [("B", 0), ("B", 1), ("A", 6)])
+        assert report.issue_cycles[2] == 9
+
+    def test_summary_mentions_stalls(self, machine):
+        report = simulate(machine, [("B", 0), ("B", 1)])
+        assert "stalled 3 cycles" in report.summary()
+
+
+class TestCorruption:
+    def test_conflicts_recorded_without_interlock(self, machine):
+        report = simulate(machine, [("B", 0), ("B", 1)], interlock=False)
+        assert not report.clean
+        assert report.conflicts
+        event = report.conflicts[0]
+        assert event.first_op == "B" and event.second_op == "B"
+        assert "claimed by both" in event.describe()
+
+    def test_conflict_cap(self, machine):
+        placements = [("B", 0)] * 10
+        report = simulate(
+            machine, placements, interlock=False, max_conflicts=5
+        )
+        assert len(report.conflicts) == 5
+
+
+class TestExactnessStory:
+    def test_reduced_schedule_clean_on_original_hardware(self):
+        """Schedules produced against the reduced description simulate
+        cleanly on the original machine — the paper's guarantee."""
+        original = mips_r3000()
+        reduced = reduce_machine(original).reduced
+        scheduler = OperationDrivenScheduler(reduced)
+        result = scheduler.schedule(
+            chain("c", ["div", "fdiv_d", "load", "mult"], latency=1)
+        )
+        placements = [
+            (result.chosen_opcodes[n], t) for n, t in result.times.items()
+        ]
+        assert simulate(original, placements).clean
+
+    def test_weakened_description_causes_stalls(self):
+        """A schedule built against a description missing the divide's
+        unit hold stalls (or corrupts) on the real machine."""
+        original = mips_r3000()
+        weakened = drop_resources(original, ["iu.multdiv", "iu.mdbusy"])
+        scheduler = OperationDrivenScheduler(weakened)
+        result = scheduler.schedule(chain("c", ["div", "div"], latency=0))
+        placements = [
+            (result.chosen_opcodes[n], t) for n, t in result.times.items()
+        ]
+        stalled = simulate(original, placements)
+        assert stalled.stall_cycles > 20  # the 34-cycle divider hold
+        corrupted = simulate(original, placements, interlock=False)
+        assert corrupted.conflicts

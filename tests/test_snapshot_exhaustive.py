@@ -1,0 +1,130 @@
+"""Tests for query-module snapshots and the exhaustive II search."""
+
+import pytest
+
+from repro.machines import cydra5_subset, example_machine
+from repro.query import BitvectorQueryModule, DiscreteQueryModule
+from repro.scheduler import (
+    DependenceGraph,
+    IterativeModuloScheduler,
+    SearchBudgetExceeded,
+    find_schedule_at_ii,
+    is_ii_feasible,
+)
+from repro.workloads import KERNELS, loop_suite
+
+
+@pytest.fixture(params=["discrete", "bitvector"])
+def module(request):
+    machine = example_machine()
+    if request.param == "discrete":
+        return DiscreteQueryModule(machine)
+    return BitvectorQueryModule(machine, word_cycles=2)
+
+
+class TestSnapshot:
+    def test_restore_undoes_assignments(self, module):
+        module.assign("A", 0)
+        checkpoint = module.snapshot()
+        module.assign("B", 0)
+        assert not module.check("B", 1)
+        module.restore(checkpoint)
+        assert module.check("B", 0)
+        assert not module.check("A", 0)
+        assert len(module.scheduled()) == 1
+
+    def test_restore_undoes_frees(self, module):
+        token = module.assign("B", 0)
+        checkpoint = module.snapshot()
+        module.free(token)
+        assert module.check("B", 0)
+        module.restore(checkpoint)
+        assert not module.check("B", 0)
+        assert module.scheduled() == [token]
+
+    def test_snapshot_is_isolated_from_later_mutation(self, module):
+        checkpoint = module.snapshot()
+        module.assign("B", 3)
+        module.restore(checkpoint)
+        assert module.scheduled() == []
+        assert module.check("B", 3)
+
+    def test_work_counters_survive_restore(self, module):
+        checkpoint = module.snapshot()
+        module.check("A", 0)
+        calls = module.work.calls["check"]
+        module.restore(checkpoint)
+        assert module.work.calls["check"] == calls
+
+    def test_nested_snapshots(self, module):
+        first = module.snapshot()
+        module.assign("A", 0)
+        second = module.snapshot()
+        module.assign("A", 1)
+        module.restore(second)
+        assert len(module.scheduled()) == 1
+        module.restore(first)
+        assert module.scheduled() == []
+
+    def test_assign_free_mode_restored(self):
+        machine = example_machine()
+        module = BitvectorQueryModule(machine, word_cycles=2)
+        module.assign_free("B", 0)
+        checkpoint = module.snapshot()
+        module.assign_free("B", 1)  # forces update mode
+        assert module.in_update_mode
+        module.restore(checkpoint)
+        assert not module.in_update_mode
+        # Still usable after restore.
+        _t, evicted = module.assign_free("B", 2)
+        assert [e.cycle for e in evicted] == [0]
+
+
+class TestExhaustiveSearch:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return cydra5_subset()
+
+    def test_finds_schedule_at_mii_for_kernels(self, machine):
+        scheduler = IterativeModuloScheduler(machine)
+        for name in ("daxpy", "inner-product", "first-difference"):
+            result = scheduler.schedule(KERNELS[name]())
+            times = find_schedule_at_ii(machine, KERNELS[name](), result.mii)
+            assert times is not None
+
+    def test_infeasible_ii_detected(self, machine):
+        graph = DependenceGraph("two-movs")
+        graph.add_operation("m1", "fmul_s")
+        graph.add_operation("m2", "fmul_s")
+        # Two multiplier ops cannot share II=1 (fm.issue once per cycle).
+        assert not is_ii_feasible(machine, graph, 1)
+        assert is_ii_feasible(machine, graph, 2)
+
+    def test_found_schedules_verify(self, machine):
+        graph = KERNELS["tridiagonal"]()
+        result = IterativeModuloScheduler(machine).schedule(graph)
+        times = find_schedule_at_ii(machine, KERNELS["tridiagonal"](), result.ii)
+        assert times is not None
+        # find_schedule_at_ii verifies internally; double-check anyway.
+        KERNELS["tridiagonal"]().verify_schedule(times, ii=result.ii)
+
+    def test_budget_exceeded_raises(self, machine):
+        big = loop_suite(1)[0]
+        with pytest.raises(SearchBudgetExceeded):
+            find_schedule_at_ii(machine, big, 40, node_limit=3)
+
+    def test_ims_agrees_with_exhaustive_on_tiny_loops(self, machine):
+        """The audit: IMS rarely misses a feasible MII."""
+        scheduler = IterativeModuloScheduler(machine)
+        missed = checked = 0
+        for graph in loop_suite(60, seed=21):
+            if graph.num_operations > 10:
+                continue
+            result = scheduler.schedule(graph)
+            checked += 1
+            if not result.optimal and is_ii_feasible(
+                machine, graph, result.mii
+            ):
+                missed += 1
+        assert checked >= 10
+        assert missed <= max(1, checked // 20)

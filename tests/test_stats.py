@@ -1,0 +1,136 @@
+"""Tests for the Tables 1-4 metrics."""
+
+import pytest
+
+from repro.core import MachineDescription, ReservationTable
+from repro.stats import (
+    average_usages_per_op,
+    average_word_usages,
+    cycles_per_word,
+    describe,
+    reserved_bits_per_cycle,
+    word_usage_count,
+)
+
+
+class TestWordUsageCount:
+    def test_single_cycle_words(self):
+        table = ReservationTable({"r": [0, 3], "s": [3, 5]})
+        assert word_usage_count(table, 1, 0) == 3  # cycles 0, 3, 5
+
+    def test_packed_words(self):
+        table = ReservationTable({"r": [0, 3], "s": [5]})
+        # k=4: cycles {0,3} -> word 0, {5} -> word 1.
+        assert word_usage_count(table, 4, 0) == 2
+
+    def test_alignment_can_split_words(self):
+        table = ReservationTable({"r": [0, 3]})
+        assert word_usage_count(table, 4, 0) == 1
+        assert word_usage_count(table, 4, 2) == 2  # 2//4=0, 5//4=1
+
+    def test_empty_table(self):
+        assert word_usage_count(ReservationTable({}), 4, 0) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            word_usage_count(ReservationTable({"r": [0]}), 0, 0)
+
+
+class TestAverages:
+    @pytest.fixture
+    def machine(self):
+        return MachineDescription(
+            "m",
+            {"A": {"r": [0], "s": [1]}, "B": {"r": [0, 1, 2, 3]}},
+        )
+
+    def test_average_usages(self, machine):
+        assert average_usages_per_op(machine) == 3.0
+
+    def test_average_word_usages_k1(self, machine):
+        # A: cycles {0,1} -> 2 words; B: {0..3} -> 4 words; avg 3.0.
+        assert average_word_usages(machine, 1) == 3.0
+
+    def test_average_word_usages_k4(self, machine):
+        # Alignment 0: A->1, B->1. Alignment 1: A->1, B->{1,4}->2.
+        # Alignments 2,3 similar; average over 4 alignments and 2 ops.
+        value = average_word_usages(machine, 4)
+        assert 1.0 < value < 2.0
+
+    def test_example_machine_words(self, example):
+        # B spans cycles 0..7: with k=4 and alignment 0 that is 2 words.
+        assert word_usage_count(example.table("B"), 4, 0) == 2
+
+
+class TestHelpers:
+    def test_cycles_per_word(self):
+        assert cycles_per_word(15, 64) == 4  # the paper's Cydra 5 case
+        assert cycles_per_word(15, 32) == 2
+        assert cycles_per_word(7, 64) == 9  # MIPS/Alpha case
+        assert cycles_per_word(100, 64) == 1  # never below 1
+
+    def test_reserved_bits_per_cycle(self, example):
+        assert reserved_bits_per_cycle(example) == 5
+
+    def test_describe_row(self, example):
+        stats = describe(example, word_cycles=(1, 4))
+        assert stats.num_resources == 5
+        row = stats.row((1, 4))
+        assert row[0] == "paper-example"
+        assert len(row) == 5
+
+
+class TestWeightedAverages:
+    def test_frequencies_normalized(self):
+        from repro.stats import operation_frequencies
+
+        freq = operation_frequencies(["a", "a", "b", "c"])
+        assert freq == {"a": 0.5, "b": 0.25, "c": 0.25}
+        assert operation_frequencies([]) == {}
+
+    def test_weighted_usages_pessimism(self, example):
+        """Weighting toward the simple op A lowers the average — the
+        paper's remark that equal frequencies are pessimistic."""
+        from repro.stats import average_usages_per_op
+
+        unweighted = average_usages_per_op(example)
+        weighted = average_usages_per_op(
+            example, weights={"A": 0.9, "B": 0.1}
+        )
+        assert weighted < unweighted
+
+    def test_weighted_word_usages(self, example):
+        from repro.stats import average_word_usages
+
+        equal = average_word_usages(example, 4)
+        mostly_a = average_word_usages(
+            example, 4, weights={"A": 1.0, "B": 0.0}
+        )
+        assert mostly_a <= equal
+
+    def test_zero_weights(self, example):
+        from repro.stats import average_usages_per_op
+
+        assert average_usages_per_op(example, weights={}) == 0.0
+
+    def test_workload_driven_weighting(self):
+        """Dynamic frequencies from the loop suite give the benchmark's
+        own view of the machine's usage cost."""
+        from repro.core import reduce_machine
+        from repro.machines import cydra5_subset
+        from repro.stats import (
+            average_usages_per_op,
+            operation_frequencies,
+        )
+        from repro.workloads import loop_suite
+
+        machine = cydra5_subset()
+        opcodes = []
+        for graph in loop_suite(50):
+            for opcode in graph.opcodes():
+                variants = machine.alternatives_of(opcode)
+                opcodes.append(variants[0])
+        weights = operation_frequencies(opcodes)
+        reduced = reduce_machine(machine).reduced
+        weighted = average_usages_per_op(reduced, weights=weights)
+        assert 0 < weighted < 20

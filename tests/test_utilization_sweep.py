@@ -1,0 +1,107 @@
+"""Tests for utilization analysis and II sweeps."""
+
+import pytest
+
+from repro.analysis import (
+    bottlenecks,
+    ii_sweep,
+    sweep_report,
+    utilization,
+    utilization_report,
+)
+from repro.machines import cydra5_subset
+from repro.scheduler import (
+    DependenceGraph,
+    IterativeModuloScheduler,
+)
+from repro.workloads import KERNELS
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return cydra5_subset()
+
+
+@pytest.fixture(scope="module")
+def scheduler(machine):
+    return IterativeModuloScheduler(machine)
+
+
+@pytest.fixture(scope="module")
+def result(scheduler):
+    return scheduler.schedule(KERNELS["inner-product"]())
+
+
+class TestUtilization:
+    def test_fractions_bounded(self, machine, result):
+        for row in utilization(
+            machine, result.times, result.chosen_opcodes, ii=result.ii
+        ):
+            assert 0.0 < row.fraction <= 1.0
+            assert row.capacity == result.ii
+
+    def test_sorted_most_utilized_first(self, machine, result):
+        rows = utilization(
+            machine, result.times, result.chosen_opcodes, ii=result.ii
+        )
+        fractions = [row.fraction for row in rows]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_saturated_resource_appears_in_bottlenecks(
+        self, machine, scheduler
+    ):
+        """A loop with as many multiplier ops as II slots saturates the
+        multiplier issue row."""
+        graph = DependenceGraph("mul-bound")
+        for index in range(3):
+            graph.add_operation("m%d" % index, "fmul_s")
+        result = scheduler.schedule(graph)
+        assert result.ii == 3
+        tight = bottlenecks(
+            machine, result.times, result.chosen_opcodes, result.ii
+        )
+        assert "fm.issue" in tight
+
+    def test_scalar_interpretation(self, machine, result):
+        rows = utilization(machine, result.times, result.chosen_opcodes)
+        assert all(row.capacity > result.ii for row in rows)
+
+    def test_report_renders_bars(self, machine, result):
+        text = utilization_report(
+            machine, result.times, result.chosen_opcodes, ii=result.ii
+        )
+        assert "%" in text and "|" in text
+
+    def test_report_top_limit(self, machine, result):
+        text = utilization_report(
+            machine, result.times, result.chosen_opcodes,
+            ii=result.ii, top=2,
+        )
+        assert "more resources" in text
+
+
+class TestIISweep:
+    def test_sweep_starts_at_mii(self, machine, result):
+        points = ii_sweep(machine, KERNELS["inner-product"](), extra=2)
+        assert points[0].ii == result.mii
+        assert len(points) == 3
+
+    def test_feasible_points_have_metrics(self, machine):
+        points = ii_sweep(machine, KERNELS["daxpy"](), extra=1)
+        for point in points:
+            assert point.feasible
+            assert point.registers >= 1
+            assert point.max_live >= 1
+
+    def test_register_pressure_never_rises_much_with_ii(self, machine):
+        """Larger II -> less overlap -> (weakly) fewer registers; allow
+        a small wobble from heuristic placement differences."""
+        points = ii_sweep(machine, KERNELS["inner-product"](), extra=4)
+        feasible = [p for p in points if p.feasible]
+        assert feasible[0].max_live >= feasible[-1].max_live
+
+    def test_report_lists_every_ii(self, machine):
+        points = ii_sweep(machine, KERNELS["daxpy"](), extra=2)
+        text = sweep_report(points)
+        for point in points:
+            assert ("\n  %4d " % point.ii) in ("\n" + text)

@@ -1,0 +1,77 @@
+"""Tests for equivalence checking between machine descriptions."""
+
+import pytest
+
+from repro.core import (
+    MachineDescription,
+    assert_equivalent,
+    differences,
+    matrices_equal,
+    schedule_is_contention_free,
+)
+from repro.errors import EquivalenceError
+
+
+@pytest.fixture
+def shifted_example(example):
+    """Same machine with every B usage shifted one cycle later — shifting
+    a whole operation changes its latencies relative to others."""
+    ops = {op: example.table(op) for op in example.operation_names}
+    ops["B"] = ops["B"].shifted(1)
+    return MachineDescription("shifted", ops)
+
+
+class TestEquivalence:
+    def test_machine_equivalent_to_itself(self, example):
+        assert matrices_equal(example, example)
+        assert_equivalent(example, example)
+
+    def test_renamed_resources_equivalent(self, example):
+        renamed = MachineDescription(
+            "renamed",
+            {
+                op: {
+                    "row-" + r: sorted(example.table(op).usage_set(r))
+                    for r in example.table(op).resources
+                }
+                for op in example.operation_names
+            },
+        )
+        assert matrices_equal(example, renamed)
+
+    def test_shifted_op_not_equivalent(self, example, shifted_example):
+        assert not matrices_equal(example, shifted_example)
+
+    def test_assert_equivalent_raises_with_mismatches(
+        self, example, shifted_example
+    ):
+        with pytest.raises(EquivalenceError) as info:
+            assert_equivalent(example, shifted_example)
+        assert info.value.mismatches
+
+    def test_differences_lists_pairs(self, example, shifted_example):
+        diffs = differences(example, shifted_example)
+        pairs = {(x, y) for x, y, _, _ in diffs}
+        assert ("B", "A") in pairs or ("A", "B") in pairs
+
+
+class TestScheduleOracle:
+    def test_empty_schedule_is_free(self, example):
+        assert schedule_is_contention_free(example, [])
+
+    def test_conflicting_schedule_detected(self, example):
+        assert not schedule_is_contention_free(
+            example, [("B", 0), ("B", 1)]
+        )
+
+    def test_legal_schedule_accepted(self, example):
+        assert schedule_is_contention_free(
+            example, [("A", 0), ("B", 0), ("A", 2)]
+        )
+
+    def test_oracle_matches_matrix(self, example, example_matrix):
+        for t in range(-4, 5):
+            free = schedule_is_contention_free(
+                example, [("B", 0), ("A", t)]
+            )
+            assert free == (not example_matrix.is_forbidden("A", "B", t))

@@ -1,0 +1,189 @@
+"""Tests for the loop generator and the named kernels."""
+
+import pytest
+
+from repro.machines import cydra5_subset
+from repro.workloads import (
+    KERNELS,
+    MAX_OPS,
+    MIN_OPS,
+    RESULT_LATENCY,
+    all_kernels,
+    generate_loop,
+    loop_suite,
+)
+
+
+class TestGenerateLoop:
+    def test_deterministic(self):
+        first = generate_loop(42)
+        second = generate_loop(42)
+        assert [op.name for op in first.operations()] == [
+            op.name for op in second.operations()
+        ]
+        assert list(first.edges()) == list(second.edges())
+
+    def test_different_seeds_differ(self):
+        a = generate_loop(1)
+        b = generate_loop(2)
+        assert (
+            a.num_operations != b.num_operations
+            or [op.name for op in a.operations()]
+            != [op.name for op in b.operations()]
+        )
+
+    def test_graphs_are_valid(self):
+        for seed in range(40):
+            generate_loop(seed).validate()
+
+    def test_opcodes_exist_on_subset_machine(self):
+        machine = cydra5_subset()
+        for seed in range(30):
+            for opcode in generate_loop(seed).opcodes():
+                machine.alternatives_of(opcode)  # raises if unknown
+
+    def test_every_loop_has_loop_control(self):
+        for seed in range(30):
+            opcodes = generate_loop(seed).opcodes()
+            assert opcodes.count("brtop") == 1
+
+    def test_named_graph(self):
+        assert generate_loop(3, name="custom").name == "custom"
+
+
+class TestSuiteStatistics:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return loop_suite(400, seed=0)
+
+    def test_size_bounds(self, suite):
+        sizes = [g.num_operations for g in suite]
+        assert min(sizes) >= MIN_OPS
+        assert max(sizes) <= MAX_OPS
+
+    def test_mean_size_near_paper(self, suite):
+        """Table 5 reports a mean of 17.54 ops/loop; ours is calibrated
+        to land in the same band."""
+        sizes = [g.num_operations for g in suite]
+        mean = sum(sizes) / len(sizes)
+        assert 10.0 < mean < 25.0
+
+    def test_minority_of_loops_have_recurrences(self, suite):
+        def has_data_recurrence(graph):
+            return any(
+                e.distance > 0 and e.src != e.dst for e in graph.edges()
+            )
+
+        fraction = sum(map(has_data_recurrence, suite)) / len(suite)
+        assert 0.05 < fraction < 0.7
+
+    def test_suite_reproducible(self):
+        a = loop_suite(10, seed=5)
+        b = loop_suite(10, seed=5)
+        assert [g.num_operations for g in a] == [
+            g.num_operations for g in b
+        ]
+
+
+class TestKernels:
+    def test_all_kernels_build_and_validate(self):
+        for graph in all_kernels():
+            graph.validate()
+
+    def test_kernel_names_registered(self):
+        assert set(KERNELS) == {
+            "hydro",
+            "inner-product",
+            "first-difference",
+            "tridiagonal",
+            "daxpy",
+            "state",
+            "matmul-inner",
+            "partial-sums",
+            "banded-linear",
+            "predicated-select",
+        }
+
+    def test_inner_product_has_accumulator(self):
+        graph = KERNELS["inner-product"]()
+        assert any(
+            e.src == e.dst == "acc" and e.distance == 1
+            for e in graph.edges()
+        )
+
+    def test_tridiagonal_recurrence_spans_two_ops(self):
+        graph = KERNELS["tridiagonal"]()
+        assert any(
+            e.src == "mul" and e.dst == "sub" and e.distance == 1
+            for e in graph.edges()
+        )
+
+    def test_latencies_match_table(self):
+        for graph in all_kernels():
+            for edge in graph.edges():
+                src_opcode = graph.operation(edge.src).opcode
+                assert edge.latency <= RESULT_LATENCY[src_opcode] + 1
+
+
+class TestTranslate:
+    def test_translation_preserves_shape(self):
+        from repro.machines import playdoh
+        from repro.workloads import CYDRA_TO_PLAYDOH, translate_graph
+
+        machine = playdoh()
+        original = generate_loop(5)
+        ported = translate_graph(original, CYDRA_TO_PLAYDOH, machine)
+        assert ported.num_operations == original.num_operations
+        assert ported.num_edges == original.num_edges
+        for before, after in zip(original.edges(), ported.edges()):
+            assert (before.src, before.dst, before.distance) == (
+                after.src, after.dst, after.distance,
+            )
+
+    def test_latencies_recomputed_from_target(self):
+        from repro.machines import playdoh
+        from repro.workloads import CYDRA_TO_PLAYDOH, translate_graph
+
+        machine = playdoh()
+        original = generate_loop(5)
+        ported = translate_graph(original, CYDRA_TO_PLAYDOH, machine)
+        for edge in ported.edges():
+            if edge.latency > 0:
+                producer = ported.operation(edge.src).opcode
+                assert edge.latency == machine.latency_of(producer)
+
+    def test_untranslatable_opcode_rejected(self):
+        from repro.errors import ScheduleError
+        from repro.machines import playdoh
+        from repro.scheduler import DependenceGraph
+        from repro.workloads import translate_graph
+
+        graph = DependenceGraph("g")
+        graph.add_operation("x", "exotic_op")
+        with pytest.raises(ScheduleError):
+            translate_graph(graph, {}, playdoh())
+
+    def test_translated_loops_schedule(self):
+        from repro.machines import playdoh
+        from repro.scheduler import IterativeModuloScheduler
+        from repro.workloads import CYDRA_TO_PLAYDOH, translate_graph
+
+        machine = playdoh()
+        scheduler = IterativeModuloScheduler(machine)
+        for seed in range(8):
+            ported = translate_graph(
+                generate_loop(seed), CYDRA_TO_PLAYDOH, machine
+            )
+            result = scheduler.schedule(ported)
+            result.graph.verify_schedule(result.times, ii=result.ii)
+
+
+class TestLatencyConsistency:
+    def test_loopgen_table_matches_machine_metadata(self):
+        """The workload generator's latency table and the Cydra 5
+        model's embedded metadata must agree — one source of truth."""
+        from repro.machines import cydra5_subset
+
+        machine = cydra5_subset()
+        for opcode, latency in RESULT_LATENCY.items():
+            assert machine.latency_of(opcode) == latency, opcode
