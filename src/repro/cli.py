@@ -11,6 +11,7 @@ Commands
 ``diff``      scheduling-constraint diff between two descriptions
 ``expand``    modulo-schedule a kernel and print its software pipeline
 ``automata``  build the contention-recognizing automata and report sizes
+``lint``      static-analysis audit with structured diagnostics
 
 Machines are referenced either by a built-in name (``cydra5``,
 ``cydra5-subset``, ``alpha21064``, ``mips-r3000``, ``playdoh``,
@@ -20,8 +21,10 @@ Machines are referenced either by a built-in name (``cydra5``,
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro import mdl
 from repro.core import reduce_machine
@@ -42,7 +45,17 @@ _BUILTINS["playdoh"] = playdoh
 def _load_machine(ref: str) -> MachineDescription:
     if ref in _BUILTINS:
         return _BUILTINS[ref]()
-    return mdl.load_file(ref)
+    if os.sep in ref or ref.endswith(".mdl") or os.path.exists(ref):
+        try:
+            return mdl.load_file(ref)
+        except (OSError, UnicodeDecodeError) as exc:
+            raise ReproError(
+                "cannot read machine file %r: %s" % (ref, exc)
+            ) from exc
+    raise ReproError(
+        "unknown machine %r: not a built-in machine and not an existing"
+        " MDL file (built-ins: %s)" % (ref, ", ".join(sorted(_BUILTINS)))
+    )
 
 
 def _cmd_reduce(args: argparse.Namespace) -> int:
@@ -241,6 +254,97 @@ def _cmd_automata(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_machine_with_raw(
+    ref: str,
+) -> Tuple[Optional[MachineDescription], Optional["mdl.RawMachine"]]:
+    """Load ``ref`` keeping the raw parse when it names an MDL file.
+
+    Built-ins return ``(machine, None)``.  Files return ``(None, raw)``
+    so the linter can attach real source lines and can still audit files
+    that fail semantic validation.
+    """
+    if ref in _BUILTINS:
+        return _BUILTINS[ref](), None
+    if os.sep in ref or ref.endswith(".mdl") or os.path.exists(ref):
+        try:
+            return None, mdl.parse_file(ref)
+        except (OSError, UnicodeDecodeError) as exc:
+            raise ReproError(
+                "cannot read machine file %r: %s" % (ref, exc)
+            ) from exc
+    raise ReproError(
+        "unknown machine %r: not a built-in machine and not an existing"
+        " MDL file (built-ins: %s)" % (ref, ", ".join(sorted(_BUILTINS)))
+    )
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        Baseline,
+        lint_machine,
+        lint_source,
+        registered_rules,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for lint_rule in registered_rules():
+            print(
+                "%-24s %-8s %s"
+                % (lint_rule.id, lint_rule.severity, lint_rule.summary)
+            )
+        return 0
+    if args.machine is None:
+        raise ReproError("lint needs a machine (or --list-rules)")
+
+    reference = (
+        _load_machine(args.against) if args.against else None
+    )
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    severity_overrides = {}
+    for override in args.severity or []:
+        rule_id, eq, severity = override.partition("=")
+        if not eq:
+            raise ReproError(
+                "--severity takes RULE=LEVEL, got %r" % override
+            )
+        severity_overrides[rule_id] = severity
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    options = {
+        "max_cycle": args.max_cycle,
+        "mismatch_limit": args.mismatch_limit,
+    }
+
+    machine, raw = _load_machine_with_raw(args.machine)
+    kwargs = dict(
+        against=reference,
+        rules=rules,
+        severity_overrides=severity_overrides,
+        baseline=baseline,
+        options=options,
+    )
+    if raw is not None:
+        report = lint_source(raw, **kwargs)
+    else:
+        report = lint_machine(machine, **kwargs)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, [report])
+        print(
+            "wrote %d suppression(s) to %s"
+            % (len(report.diagnostics), args.write_baseline),
+            file=sys.stderr,
+        )
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text(show_info=args.show_info))
+    return 1 if report.exceeds(args.fail_on) else 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.stats import render_reduction_table
 
@@ -331,6 +435,76 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--factor", choices=("unit", "resource"), default="unit")
     p.add_argument("--max-states", type=int, default=200_000)
     p.set_defaults(func=_cmd_automata)
+
+    p = sub.add_parser(
+        "lint",
+        help="static-analysis audit of a machine description",
+        description="Audit a machine description for constraint-level"
+        " defects: redundant or unused rows, collapsible operations,"
+        " dominated alternatives, ill-formed cycles, and (with --against)"
+        " forbidden-latency disagreement with a reference description.",
+    )
+    p.add_argument(
+        "machine", nargs="?", help="built-in name or MDL file"
+    )
+    p.add_argument(
+        "--against",
+        metavar="REF",
+        help="reference description for the equivalence audit",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    p.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info"),
+        default="error",
+        help="exit 1 when findings reach this severity (default: error)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    p.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings into a baseline file",
+    )
+    p.add_argument(
+        "--rules",
+        metavar="ID[,ID...]",
+        help="run only these rule ids (default: all)",
+    )
+    p.add_argument(
+        "--severity",
+        action="append",
+        metavar="RULE=LEVEL",
+        help="override a rule's severity (repeatable)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    p.add_argument(
+        "--show-info",
+        action="store_true",
+        help="list info-severity findings in text output",
+    )
+    p.add_argument(
+        "--max-cycle",
+        type=int,
+        default=512,
+        help="plausibility bound for the cycle-overflow rule",
+    )
+    p.add_argument(
+        "--mismatch-limit",
+        type=int,
+        default=20,
+        help="cap on reported equivalence mismatches",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("schedule", help="run the modulo scheduler")
     p.add_argument("machine")

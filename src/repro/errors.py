@@ -54,10 +54,25 @@ class ParseError(ReproError):
     ----------
     line:
         1-based line number where the error was detected, or ``None``.
+    token:
+        The offending token (the exact text that failed to parse), or
+        ``None`` when the error is not tied to a single token.
+    source:
+        Name of the file being parsed, or ``None`` for in-memory text.
     """
 
-    def __init__(self, message, line=None):
+    def __init__(self, message, line=None, token=None, source=None):
+        prefix = ""
+        if source is not None:
+            prefix += "%s: " % source
         if line is not None:
-            message = "line %d: %s" % (line, message)
-        super().__init__(message)
+            prefix += "line %d: " % line
+        super().__init__(prefix + message)
+        self.raw_message = message
         self.line = line
+        self.token = token
+        self.source = source
+
+
+class LintConfigError(ReproError):
+    """The lint subsystem was configured with unknown rules or severities."""

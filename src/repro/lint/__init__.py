@@ -1,0 +1,58 @@
+"""Static analysis over machine descriptions (``repro lint``).
+
+The paper's criterion (Section 3) — a description is characterized
+exactly by the forbidden-latency matrix it induces — makes machine
+descriptions *machine-checkable*: redundancy, collapsibility,
+non-maximality, and equivalence against a reference are all decidable
+properties of that matrix.  This package turns those properties into a
+rule-based linter with structured diagnostics:
+
+* :mod:`repro.lint.diagnostics` — :class:`Diagnostic`, :class:`Location`,
+  :class:`LintReport` (text and stable-JSON rendering);
+* :mod:`repro.lint.registry` — the pluggable rule registry
+  (:func:`rule`, :func:`registered_rules`) and the drivers
+  (:func:`lint_machine`, :func:`lint_source`);
+* :mod:`repro.lint.rules` — the built-in rules (see ``docs/lint.md``
+  for the rule reference with paper citations);
+* :mod:`repro.lint.baseline` — suppression files for adopting the
+  linter over descriptions with known findings.
+"""
+
+from repro.lint.baseline import Baseline, write_baseline
+from repro.lint.diagnostics import (
+    REPORT_SCHEMA_VERSION,
+    SEVERITIES,
+    Diagnostic,
+    LintReport,
+    Location,
+    severity_rank,
+)
+from repro.lint.registry import (
+    LintContext,
+    LintRule,
+    finding,
+    get_rules,
+    lint_machine,
+    lint_source,
+    registered_rules,
+    rule,
+)
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "LintContext",
+    "LintReport",
+    "LintRule",
+    "Location",
+    "REPORT_SCHEMA_VERSION",
+    "SEVERITIES",
+    "finding",
+    "get_rules",
+    "lint_machine",
+    "lint_source",
+    "registered_rules",
+    "rule",
+    "severity_rank",
+    "write_baseline",
+]

@@ -1,0 +1,172 @@
+"""Baseline (suppression) files for the lint pass.
+
+A baseline records *known* findings so they stop failing the build while
+new findings still do — the standard ratchet for introducing a static
+analyzer to an existing codebase.  Entries match on machine name, rule
+id, and the structural location (operation / resource / cycle); source
+line numbers are ignored so reformatting an MDL file does not invalidate
+a baseline.
+
+File format (JSON)::
+
+    {
+      "version": 1,
+      "suppressions": [
+        {
+          "machine": "cydra5",
+          "rule": "redundant-resource",
+          "location": {"resource": "m0.issue"}
+        }
+      ]
+    }
+
+``repro lint --write-baseline FILE`` creates or extends such a file from
+the current findings; ``repro lint --baseline FILE`` applies it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.errors import LintConfigError
+from repro.lint.diagnostics import Diagnostic, LintReport, Location
+
+#: Version tag of the baseline file format.
+BASELINE_SCHEMA_VERSION = 1
+
+#: Internal entry identity: (machine name, diagnostic suppression key).
+_Key = Tuple[str, str]
+
+
+def _entry_key(entry: Dict[str, object]) -> _Key:
+    try:
+        machine = entry["machine"]
+        rule = entry["rule"]
+    except (TypeError, KeyError):
+        raise LintConfigError(
+            "baseline suppression entries need 'machine' and 'rule' keys"
+        ) from None
+    location = entry.get("location") or {}
+    diag = Diagnostic(
+        rule=str(rule),
+        severity="info",
+        message="",
+        location=Location(
+            operation=location.get("operation"),
+            resource=location.get("resource"),
+            cycle=location.get("cycle"),
+        ),
+    )
+    return (str(machine), diag.suppression_key())
+
+
+@dataclass
+class Baseline:
+    """A set of suppressed findings, keyed by machine and location."""
+
+    entries: List[Dict[str, object]] = field(default_factory=list)
+    _keys: Set[_Key] = field(default_factory=set, repr=False)
+
+    def __post_init__(self):
+        self._keys = {_entry_key(entry) for entry in self.entries}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def matches(self, machine: str, diagnostic: Diagnostic) -> bool:
+        """True when the finding is recorded in this baseline."""
+        return (machine, diagnostic.suppression_key()) in self._keys
+
+    def add_report(self, report: LintReport) -> int:
+        """Record every finding of a report; returns how many were new."""
+        added = 0
+        for diag in report.diagnostics:
+            entry = {
+                "machine": report.machine,
+                "rule": diag.rule,
+                "location": {
+                    key: value
+                    for key, value in diag.location.to_dict().items()
+                    if key != "line"
+                },
+            }
+            key = _entry_key(entry)
+            if key not in self._keys:
+                self._keys.add(key)
+                self.entries.append(entry)
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Baseline":
+        if not isinstance(data, dict):
+            raise LintConfigError("baseline file must hold a JSON object")
+        version = data.get("version")
+        if version != BASELINE_SCHEMA_VERSION:
+            raise LintConfigError(
+                "unsupported baseline version %r (expected %d)"
+                % (version, BASELINE_SCHEMA_VERSION)
+            )
+        suppressions = data.get("suppressions", [])
+        if not isinstance(suppressions, list):
+            raise LintConfigError("'suppressions' must be a list")
+        return cls(entries=list(suppressions))
+
+    def to_dict(self) -> Dict[str, object]:
+        ordered = sorted(
+            self.entries,
+            key=lambda entry: (
+                str(entry.get("machine", "")),
+                str(entry.get("rule", "")),
+                json.dumps(entry.get("location", {}), sort_keys=True),
+            ),
+        )
+        return {
+            "version": BASELINE_SCHEMA_VERSION,
+            "suppressions": ordered,
+        }
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; a clear error on malformed content."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise LintConfigError(
+                "cannot read baseline %r: %s" % (path, exc)
+            ) from exc
+        except ValueError as exc:
+            raise LintConfigError(
+                "baseline %r is not valid JSON: %s" % (path, exc)
+            ) from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> None:
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            raise LintConfigError(
+                "cannot write baseline %r: %s" % (path, exc)
+            ) from exc
+
+
+def write_baseline(
+    path: str, reports: Iterable[LintReport], merge: bool = True
+) -> Baseline:
+    """Write (or extend) a baseline file covering the given reports."""
+    baseline = Baseline()
+    if merge and os.path.exists(path):
+        baseline = Baseline.load(path)
+    for report in reports:
+        baseline.add_report(report)
+    baseline.save(path)
+    return baseline

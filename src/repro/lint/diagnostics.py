@@ -1,0 +1,226 @@
+"""Structured lint diagnostics and reports.
+
+A :class:`Diagnostic` is one finding of the static analyzer: a rule id, a
+severity, a :class:`Location` inside the machine description (operation /
+resource / cycle, plus the MDL source line when the description came from
+a file), a message, and an optional fix hint and machine-readable
+evidence.  A :class:`LintReport` aggregates the findings of one run and
+renders them as text or as the JSON document consumed by CI.
+
+The JSON layout produced by :meth:`LintReport.to_dict` is stable and
+documented in ``docs/lint.md`` (schema version
+:data:`REPORT_SCHEMA_VERSION`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import LintConfigError
+
+#: Severity levels, weakest first.  Ordering is meaningful: ``--fail-on``
+#: and baseline thresholds compare ranks.
+SEVERITIES: Tuple[str, ...] = ("info", "warning", "error")
+
+#: Version tag embedded in every JSON report.
+REPORT_SCHEMA_VERSION = 1
+
+_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank of a severity name (higher is worse)."""
+    try:
+        return _RANK[severity]
+    except KeyError:
+        raise LintConfigError(
+            "unknown severity %r (choose from %s)"
+            % (severity, ", ".join(SEVERITIES))
+        ) from None
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a finding points: operation, resource, cycle, source line.
+
+    All fields are optional; a location with no fields set refers to the
+    machine description as a whole.
+    """
+
+    operation: Optional[str] = None
+    resource: Optional[str] = None
+    cycle: Optional[int] = None
+    line: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping with ``None`` fields omitted."""
+        result: Dict[str, object] = {}
+        for key in ("operation", "resource", "cycle", "line"):
+            value = getattr(self, key)
+            if value is not None:
+                result[key] = value
+        return result
+
+    def __str__(self) -> str:
+        parts = []
+        if self.operation is not None:
+            parts.append("operation %s" % self.operation)
+        if self.resource is not None:
+            parts.append("resource %s" % self.resource)
+        if self.cycle is not None:
+            parts.append("cycle %d" % self.cycle)
+        text = ", ".join(parts) if parts else "machine"
+        if self.line is not None:
+            text += " (line %d)" % self.line
+        return text
+
+
+@dataclass
+class Diagnostic:
+    """One finding of the lint pass."""
+
+    rule: str
+    severity: str
+    message: str
+    location: Location = field(default_factory=Location)
+    hint: Optional[str] = None
+    evidence: Optional[Dict[str, object]] = None
+
+    @property
+    def rank(self) -> int:
+        return severity_rank(self.severity)
+
+    def suppression_key(self) -> str:
+        """Stable identity used by baseline files.
+
+        Source lines are deliberately excluded so that reformatting an
+        MDL file does not invalidate a baseline.
+        """
+        loc = self.location
+        return "|".join(
+            "" if part is None else str(part)
+            for part in (self.rule, loc.operation, loc.resource, loc.cycle)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (see ``docs/lint.md`` for the schema)."""
+        result: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.location.to_dict(),
+        }
+        if self.hint is not None:
+            result["hint"] = self.hint
+        if self.evidence:
+            result["evidence"] = self.evidence
+        return result
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        text = "%s[%s] %s: %s" % (
+            self.severity,
+            self.rule,
+            self.location,
+            self.message,
+        )
+        if self.hint:
+            text += "\n    hint: %s" % self.hint
+        return text
+
+
+@dataclass
+class LintReport:
+    """The outcome of linting one machine description."""
+
+    machine: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    against: Optional[str] = None
+    rules_run: Tuple[str, ...] = ()
+    suppressed: int = 0
+
+    def count(self, severity: str) -> int:
+        """Number of findings at exactly ``severity``."""
+        severity_rank(severity)  # validate
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Finding counts per severity, every severity present."""
+        return {name: self.count(name) for name in SEVERITIES}
+
+    def at_or_above(self, severity: str) -> List[Diagnostic]:
+        """Findings whose severity is at least ``severity``."""
+        threshold = severity_rank(severity)
+        return [d for d in self.diagnostics if d.rank >= threshold]
+
+    def exceeds(self, severity: str) -> bool:
+        """True when any finding reaches the given severity."""
+        return bool(self.at_or_above(severity))
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no finding is a warning or an error."""
+        return not self.exceeds("warning")
+
+    def sorted(self) -> "LintReport":
+        """Copy with findings ordered worst-first, then by rule and place."""
+        ordered = sorted(
+            self.diagnostics,
+            key=lambda d: (
+                -d.rank,
+                d.rule,
+                d.location.operation or "",
+                d.location.resource or "",
+                d.location.cycle if d.location.cycle is not None else -1,
+            ),
+        )
+        return LintReport(
+            machine=self.machine,
+            diagnostics=ordered,
+            against=self.against,
+            rules_run=self.rules_run,
+            suppressed=self.suppressed,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """The stable JSON document (schema in ``docs/lint.md``)."""
+        summary = self.counts
+        summary["suppressed"] = self.suppressed
+        return {
+            "version": REPORT_SCHEMA_VERSION,
+            "machine": self.machine,
+            "against": self.against,
+            "rules": list(self.rules_run),
+            "summary": summary,
+            "diagnostics": [d.to_dict() for d in self.sorted().diagnostics],
+        }
+
+    def render_text(self, show_info: bool = False) -> str:
+        """Human-readable report.
+
+        ``info`` findings are summarized but not listed unless
+        ``show_info`` is set, so a description with no warnings or errors
+        reads as clean at a glance.
+        """
+        shown = [
+            d
+            for d in self.sorted().diagnostics
+            if show_info or d.severity != "info"
+        ]
+        lines = [d.render() for d in shown]
+        counts = self.counts
+        summary = "%s: %s — %d error(s), %d warning(s), %d info" % (
+            self.machine,
+            "clean" if self.is_clean else "findings",
+            counts["error"],
+            counts["warning"],
+            counts["info"],
+        )
+        if self.suppressed:
+            summary += ", %d suppressed by baseline" % self.suppressed
+        if counts["info"] and not show_info:
+            summary += " (re-run with --show-info to list info findings)"
+        lines.append(summary)
+        return "\n".join(lines)

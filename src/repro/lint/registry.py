@@ -1,0 +1,366 @@
+"""The pluggable lint-rule registry and the analysis driver.
+
+A lint rule is a function from a :class:`LintContext` to an iterable of
+:class:`~repro.lint.diagnostics.Diagnostic` findings, registered with the
+:func:`rule` decorator::
+
+    @rule(
+        "my-rule",
+        severity="warning",
+        summary="what the rule detects",
+    )
+    def _check_my_rule(ctx):
+        if something_is_off(ctx.machine):
+            yield finding("explain it", operation="add")
+
+Rules declare a *scope*:
+
+``machine``
+    Needs a validated :class:`MachineDescription` (``ctx.machine``).
+``usages``
+    Operates on raw ``(operation, resource, cycle, line)`` usages, so it
+    also runs on MDL files that fail semantic validation — this is how
+    well-formedness rules report negative cycles that
+    :class:`~repro.core.reservation.ReservationTable` would reject.
+
+:func:`lint_machine` runs the rules over an in-memory description;
+:func:`lint_source` runs them over a parsed MDL file, falling back to
+the ``usages`` scope (plus an ``invalid-machine`` finding) when the file
+does not validate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.forbidden import ForbiddenLatencyMatrix
+from repro.core.machine import MachineDescription
+from repro.errors import LintConfigError, ParseError
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Location,
+    severity_rank,
+)
+from repro.mdl.format import RawMachine
+
+#: Registry of known rules, id -> LintRule.
+_REGISTRY: Dict[str, "LintRule"] = {}
+
+
+class LintContext:
+    """Everything a rule may inspect.
+
+    Parameters
+    ----------
+    machine:
+        The validated description, or ``None`` when only raw usages are
+        available (an MDL file that failed semantic validation).
+    raw:
+        The :class:`~repro.mdl.format.RawMachine` when linting a file;
+        supplies source line numbers for locations.
+    reference:
+        The ``--against`` reference description, if any.
+    options:
+        Free-form rule options (e.g. ``max_cycle``).
+    """
+
+    def __init__(
+        self,
+        machine: Optional[MachineDescription],
+        raw: Optional[RawMachine] = None,
+        reference: Optional[MachineDescription] = None,
+        options: Optional[Mapping[str, object]] = None,
+    ):
+        self.machine = machine
+        self.raw = raw
+        self.reference = reference
+        self.options = dict(options or {})
+        self._matrix: Optional[ForbiddenLatencyMatrix] = None
+        self._reference_matrix: Optional[ForbiddenLatencyMatrix] = None
+
+    @property
+    def matrix(self) -> ForbiddenLatencyMatrix:
+        """Forbidden-latency matrix of the machine (computed once)."""
+        if self._matrix is None:
+            if self.machine is None:
+                raise LintConfigError(
+                    "matrix unavailable: machine failed validation"
+                )
+            self._matrix = ForbiddenLatencyMatrix.from_machine(self.machine)
+        return self._matrix
+
+    @property
+    def reference_matrix(self) -> ForbiddenLatencyMatrix:
+        """Forbidden-latency matrix of the reference description."""
+        if self._reference_matrix is None:
+            if self.reference is None:
+                raise LintConfigError("no reference description given")
+            self._reference_matrix = ForbiddenLatencyMatrix.from_machine(
+                self.reference
+            )
+        return self._reference_matrix
+
+    def option(self, name: str, default: object = None) -> object:
+        return self.options.get(name, default)
+
+    def usage_items(self) -> Iterable[Tuple[str, str, int, Optional[int]]]:
+        """Every ``(operation, resource, cycle, line)`` usage.
+
+        Drawn from the raw parse when available (so lines are real),
+        otherwise from the built machine (lines are ``None``).
+        """
+        if self.raw is not None:
+            yield from self.raw.iter_usages()
+            return
+        assert self.machine is not None
+        for op in self.machine.operation_names:
+            for resource, cycle in self.machine.table(op).iter_usages():
+                yield op, resource, cycle, None
+
+    def locate(
+        self,
+        operation: Optional[str] = None,
+        resource: Optional[str] = None,
+        cycle: Optional[int] = None,
+        line: Optional[int] = None,
+    ) -> Location:
+        """Build a :class:`Location`, resolving the source line if known."""
+        if line is None and self.raw is not None:
+            if operation is not None and resource is not None and (
+                cycle is not None
+            ):
+                line = self.raw.usage_line(operation, resource, cycle)
+            if line is None and operation is not None:
+                line = self.raw.operation_line(operation)
+            if line is None and resource is not None:
+                line = self.raw.resource_line(resource)
+        return Location(
+            operation=operation, resource=resource, cycle=cycle, line=line
+        )
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered rule: identity, default severity, and its check."""
+
+    id: str
+    severity: str
+    summary: str
+    check: Callable[[LintContext], Iterable[Diagnostic]]
+    scope: str = "machine"
+    requires_reference: bool = False
+
+    def applies(self, ctx: LintContext) -> bool:
+        if self.requires_reference and ctx.reference is None:
+            return False
+        if self.scope == "machine" and ctx.machine is None:
+            return False
+        return True
+
+
+def rule(
+    rule_id: str,
+    severity: str,
+    summary: str,
+    scope: str = "machine",
+    requires_reference: bool = False,
+):
+    """Register a lint rule (decorator).
+
+    The decorated generator yields findings created with :func:`finding`;
+    the driver stamps them with the rule id and (possibly overridden)
+    severity.
+    """
+    severity_rank(severity)  # validate eagerly
+    if scope not in ("machine", "usages"):
+        raise LintConfigError("unknown rule scope %r" % scope)
+
+    def decorate(fn):
+        if rule_id in _REGISTRY:
+            raise LintConfigError("duplicate lint rule id %r" % rule_id)
+        _REGISTRY[rule_id] = LintRule(
+            id=rule_id,
+            severity=severity,
+            summary=summary,
+            check=fn,
+            scope=scope,
+            requires_reference=requires_reference,
+        )
+        return fn
+
+    return decorate
+
+
+def finding(
+    message: str,
+    location: Optional[Location] = None,
+    hint: Optional[str] = None,
+    evidence: Optional[Dict[str, object]] = None,
+) -> Diagnostic:
+    """A partially-filled finding; the driver stamps rule and severity."""
+    return Diagnostic(
+        rule="",
+        severity="info",
+        message=message,
+        location=location or Location(),
+        hint=hint,
+        evidence=evidence,
+    )
+
+
+def registered_rules() -> List[LintRule]:
+    """All known rules, sorted by id (importing the built-ins lazily)."""
+    import repro.lint.rules  # noqa: F401  (registers the built-in rules)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rules(ids: Optional[Sequence[str]] = None) -> List[LintRule]:
+    """Resolve rule ids to rules; ``None`` selects every registered rule."""
+    rules = registered_rules()
+    if ids is None:
+        return rules
+    by_id = {r.id: r for r in rules}
+    unknown = [rule_id for rule_id in ids if rule_id not in by_id]
+    if unknown:
+        raise LintConfigError(
+            "unknown lint rule(s) %s; known rules: %s"
+            % (", ".join(sorted(unknown)), ", ".join(sorted(by_id)))
+        )
+    return [by_id[rule_id] for rule_id in ids]
+
+
+def _run(
+    ctx: LintContext,
+    machine_name: str,
+    rules: Optional[Sequence[str]],
+    severity_overrides: Optional[Mapping[str, str]],
+    baseline,
+    extra: Sequence[Diagnostic] = (),
+) -> LintReport:
+    overrides = dict(severity_overrides or {})
+    for rule_id, severity in overrides.items():
+        severity_rank(severity)
+        get_rules([rule_id])
+    selected = get_rules(rules)
+    diagnostics: List[Diagnostic] = list(extra)
+    ran: List[str] = []
+    for lint_rule in selected:
+        if not lint_rule.applies(ctx):
+            continue
+        ran.append(lint_rule.id)
+        severity = overrides.get(lint_rule.id, lint_rule.severity)
+        for diag in lint_rule.check(ctx):
+            diag.rule = lint_rule.id
+            diag.severity = severity
+            diagnostics.append(diag)
+    suppressed = 0
+    if baseline is not None:
+        kept = []
+        for diag in diagnostics:
+            if baseline.matches(machine_name, diag):
+                suppressed += 1
+            else:
+                kept.append(diag)
+        diagnostics = kept
+    return LintReport(
+        machine=machine_name,
+        diagnostics=diagnostics,
+        against=ctx.reference.name if ctx.reference is not None else None,
+        rules_run=tuple(ran),
+        suppressed=suppressed,
+    ).sorted()
+
+
+def lint_machine(
+    machine: MachineDescription,
+    against: Optional[MachineDescription] = None,
+    raw: Optional[RawMachine] = None,
+    rules: Optional[Sequence[str]] = None,
+    severity_overrides: Optional[Mapping[str, str]] = None,
+    baseline=None,
+    options: Optional[Mapping[str, object]] = None,
+) -> LintReport:
+    """Run the lint rules over a validated machine description.
+
+    Parameters
+    ----------
+    machine:
+        The description under audit.
+    against:
+        Optional reference description; enables the equivalence rules.
+    raw:
+        The raw parse the machine came from, for source locations.
+    rules:
+        Rule ids to run (default: all registered rules).
+    severity_overrides:
+        Mapping ``rule id -> severity`` replacing rule defaults.
+    baseline:
+        A :class:`~repro.lint.baseline.Baseline`; matching findings are
+        dropped and counted in ``report.suppressed``.
+    options:
+        Rule options (e.g. ``{"max_cycle": 512}``).
+    """
+    ctx = LintContext(
+        machine, raw=raw, reference=against, options=options
+    )
+    return _run(ctx, machine.name, rules, severity_overrides, baseline)
+
+
+def lint_source(
+    raw: RawMachine,
+    against: Optional[MachineDescription] = None,
+    rules: Optional[Sequence[str]] = None,
+    severity_overrides: Optional[Mapping[str, str]] = None,
+    baseline=None,
+    options: Optional[Mapping[str, object]] = None,
+) -> LintReport:
+    """Run the lint rules over a parsed MDL document.
+
+    When the document validates, this is :func:`lint_machine` with source
+    locations attached.  When semantic validation fails, the ``usages``
+    -scope rules still run and the validation failure itself is reported
+    as an ``invalid-machine`` error, so a broken file yields diagnostics
+    instead of a crash.
+    """
+    try:
+        machine = raw.build()
+    except ParseError as exc:
+        ctx = LintContext(None, raw=raw, reference=against, options=options)
+        extra = [
+            Diagnostic(
+                rule="invalid-machine",
+                severity="error",
+                message=exc.raw_message,
+                location=Location(line=exc.line),
+                hint="fix the description before semantic rules can run",
+            )
+        ]
+        return _run(
+            ctx,
+            raw.name or "<invalid>",
+            rules,
+            severity_overrides,
+            baseline,
+            extra=extra,
+        )
+    return lint_machine(
+        machine,
+        against=against,
+        raw=raw,
+        rules=rules,
+        severity_overrides=severity_overrides,
+        baseline=baseline,
+        options=options,
+    )

@@ -1,5 +1,25 @@
 """Textual machine description language (parser and writer)."""
 
-from repro.mdl.format import dump_file, dumps, load_file, loads
+from repro.mdl.format import (
+    RawMachine,
+    RawOperation,
+    RawUsage,
+    dump_file,
+    dumps,
+    load_file,
+    loads,
+    parse,
+    parse_file,
+)
 
-__all__ = ["dump_file", "dumps", "load_file", "loads"]
+__all__ = [
+    "RawMachine",
+    "RawOperation",
+    "RawUsage",
+    "dump_file",
+    "dumps",
+    "load_file",
+    "loads",
+    "parse",
+    "parse_file",
+]

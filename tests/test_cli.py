@@ -1,7 +1,5 @@
 """Tests for the command-line interface."""
 
-import pytest
-
 from repro import mdl
 from repro.cli import main
 from repro.machines import example_machine
@@ -84,9 +82,16 @@ class TestSchedule:
              "--representation", "bitvector", "--word-cycles", "4"]
         ) == 0
 
-    def test_missing_machine_errors(self, capsys):
-        with pytest.raises(Exception):
-            main(["stats", "/nonexistent/machine.mdl"])
+    def test_missing_machine_file_exits_2(self, capsys):
+        assert main(["stats", "/nonexistent/machine.mdl"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read machine file" in err
+
+    def test_unknown_machine_name_exits_2(self, capsys):
+        assert main(["stats", "no-such-machine"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown machine" in err
+        assert "cydra5" in err  # the error lists the built-ins
 
 
 class TestReport:

@@ -1,0 +1,468 @@
+"""Unit tests for the lint subsystem: one class per rule, plus the
+registry, baseline, and report machinery."""
+
+import os
+
+import pytest
+
+from repro import mdl
+from repro.core import matrices_equal, reduce_machine
+from repro.core.machine import MachineDescription
+from repro.errors import LintConfigError
+from repro.lint import (
+    Baseline,
+    LintReport,
+    lint_machine,
+    lint_source,
+    registered_rules,
+    write_baseline,
+)
+from repro.machines import STUDY_MACHINES, example_machine, playdoh
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+ALL_BUILTINS = dict(STUDY_MACHINES)
+ALL_BUILTINS["example"] = example_machine
+ALL_BUILTINS["playdoh"] = playdoh
+
+
+def rules_fired(report, rule_id):
+    return [d for d in report.diagnostics if d.rule == rule_id]
+
+
+def clean_machine():
+    """A small description that triggers no findings at all."""
+    return MachineDescription(
+        "clean", {"A": {"r": [0]}, "B": {"r": [1]}}
+    )
+
+
+class TestCleanMachine:
+    def test_no_findings(self):
+        report = lint_machine(clean_machine())
+        assert report.diagnostics == []
+        assert report.is_clean
+
+    def test_builtins_have_no_warnings_or_errors(self):
+        for name, factory in ALL_BUILTINS.items():
+            report = lint_machine(factory())
+            assert report.is_clean, (name, report.render_text(True))
+
+
+class TestUnusedResource:
+    def test_fires_on_declared_but_unused_row(self):
+        machine = MachineDescription(
+            "m", {"A": {"r": [0]}}, resources=["r", "ghost"]
+        )
+        found = rules_fired(lint_machine(machine), "unused-resource")
+        assert len(found) == 1
+        assert found[0].location.resource == "ghost"
+        assert found[0].severity == "warning"
+
+    def test_silent_when_all_rows_used(self):
+        assert not rules_fired(
+            lint_machine(clean_machine()), "unused-resource"
+        )
+
+
+class TestEmptyOperation:
+    def test_fires_on_operation_without_usages(self):
+        machine = MachineDescription(
+            "m", {"A": {"r": [0]}, "nop": {}}
+        )
+        found = rules_fired(lint_machine(machine), "empty-operation")
+        assert [d.location.operation for d in found] == ["nop"]
+        # The message explains the latency-0 self-conflict criterion.
+        assert "latency 0" in found[0].message
+
+    def test_silent_when_every_operation_reserves(self):
+        assert not rules_fired(
+            lint_machine(clean_machine()), "empty-operation"
+        )
+
+
+class TestNegativeCycle:
+    def test_fires_from_source_with_line(self):
+        raw = mdl.parse_file(os.path.join(FIXTURES, "illformed.mdl"))
+        report = lint_source(raw)
+        found = rules_fired(report, "negative-cycle")
+        assert len(found) == 1
+        assert found[0].severity == "error"
+        assert found[0].location.cycle == -2
+        assert found[0].location.line == 6
+        # The unbuildable description is itself reported.
+        assert rules_fired(report, "invalid-machine")
+
+    def test_silent_on_valid_source(self):
+        raw = mdl.parse("machine m\noperation a\n  r: 0\n")
+        assert not rules_fired(lint_source(raw), "negative-cycle")
+
+
+class TestCycleOverflow:
+    def test_fires_beyond_bound(self):
+        machine = MachineDescription("m", {"A": {"r": [0, 600]}})
+        found = rules_fired(lint_machine(machine), "cycle-overflow")
+        assert [d.location.cycle for d in found] == [600]
+
+    def test_bound_is_configurable(self):
+        machine = MachineDescription("m", {"A": {"r": [0, 600]}})
+        report = lint_machine(machine, options={"max_cycle": 1000})
+        assert not rules_fired(report, "cycle-overflow")
+
+
+class TestDuplicateAlternative:
+    def test_fires_on_identical_variants(self):
+        machine = MachineDescription(
+            "m",
+            {"mov.0": {"r": [0]}, "mov.1": {"r": [0]}},
+            alternatives={"mov": ["mov.0", "mov.1"]},
+        )
+        found = rules_fired(
+            lint_machine(machine), "duplicate-alternative"
+        )
+        assert len(found) == 1
+        assert found[0].evidence["group"] == "mov"
+
+    def test_silent_on_distinct_variants(self):
+        machine = MachineDescription(
+            "m",
+            {"mov.0": {"r": [0]}, "mov.1": {"s": [0]}},
+            alternatives={"mov": ["mov.0", "mov.1"]},
+        )
+        assert not rules_fired(
+            lint_machine(machine), "duplicate-alternative"
+        )
+
+
+class TestDominatedAlternative:
+    def test_fires_on_superset_variant(self):
+        machine = MachineDescription(
+            "m",
+            {"mov.0": {"r": [0]}, "mov.1": {"r": [0], "s": [1]}},
+            alternatives={"mov": ["mov.0", "mov.1"]},
+        )
+        found = rules_fired(
+            lint_machine(machine), "dominated-alternative"
+        )
+        assert [d.location.operation for d in found] == ["mov.1"]
+        assert found[0].evidence["dominated_by"] == "mov.0"
+
+    def test_silent_on_builtin_alternatives(self):
+        for name in ("cydra5", "playdoh"):
+            report = lint_machine(ALL_BUILTINS[name]())
+            assert not rules_fired(report, "dominated-alternative")
+
+
+class TestRedundantResource:
+    def test_fires_on_example_machine(self):
+        # The paper's Figure 1 machine: r0, r1, r4 impose nothing beyond
+        # what r2 and r3 already forbid.
+        found = rules_fired(
+            lint_machine(example_machine()), "redundant-resource"
+        )
+        assert {d.location.resource for d in found} == {"r0", "r1", "r4"}
+        assert all(d.severity == "info" for d in found)
+
+    def test_silent_on_reduced_machine(self):
+        reduced = reduce_machine(example_machine()).reduced
+        assert not rules_fired(
+            lint_machine(reduced), "redundant-resource"
+        )
+
+
+class TestCollapsibleOperations:
+    def test_fires_on_identical_operations(self):
+        machine = MachineDescription(
+            "m", {"A": {"r": [0]}, "B": {"r": [0]}, "C": {"s": [0]}}
+        )
+        found = rules_fired(
+            lint_machine(machine), "collapsible-operations"
+        )
+        assert len(found) == 1
+        assert found[0].evidence["class"] == ["A", "B"]
+
+    def test_silent_when_all_classes_singletons(self):
+        assert not rules_fired(
+            lint_machine(clean_machine()), "collapsible-operations"
+        )
+
+
+class TestNonMaximalResource:
+    def _corrupt_reduced(self):
+        original = example_machine()
+        reduced = reduce_machine(original).reduced
+        tables = {
+            op: {
+                res: sorted(reduced.table(op).usage_set(res))
+                for res in reduced.table(op).resources
+            }
+            for op in reduced.operation_names
+        }
+        # Splice A into q0 at cycle 0: the pair (A@0, B@0) makes the row
+        # forbid latency 0 between A and B, which the original machine
+        # allows (its only A/B constraint is latency -1).
+        assert tables["B"]["q0"] == [0, 1, 3]
+        assert "q0" not in tables["A"]
+        tables["A"]["q0"] = [0]
+        broken = MachineDescription(
+            "broken-reduced", tables, resources=reduced.resources
+        )
+        return original, reduced, broken
+
+    def test_fires_on_hand_corrupted_row(self):
+        original, _reduced, broken = self._corrupt_reduced()
+        found = rules_fired(
+            lint_machine(broken, against=original),
+            "non-maximal-resource",
+        )
+        assert [d.location.resource for d in found] == ["q0"]
+        assert found[0].severity == "warning"
+
+    def test_silent_on_genuine_reduction(self):
+        original, reduced, _broken = self._corrupt_reduced()
+        assert not rules_fired(
+            lint_machine(reduced, against=original),
+            "non-maximal-resource",
+        )
+
+    def test_skipped_without_reference(self):
+        _original, _reduced, broken = self._corrupt_reduced()
+        report = lint_machine(broken)
+        assert "non-maximal-resource" not in report.rules_run
+
+
+class TestUnpipelinedOperation:
+    def test_fires_on_multi_cycle_hold(self):
+        machine = MachineDescription("m", {"div": {"unit": [0, 2]}})
+        found = rules_fired(
+            lint_machine(machine), "unpipelined-operation"
+        )
+        assert len(found) == 1
+        assert found[0].evidence["self_latencies"] == [2]
+
+    def test_silent_on_fully_pipelined_operation(self):
+        machine = MachineDescription(
+            "m", {"alu": {"s0": [0], "s1": [1], "s2": [2]}}
+        )
+        assert not rules_fired(
+            lint_machine(machine), "unpipelined-operation"
+        )
+
+
+class TestEquivalenceMismatch:
+    def test_fires_with_witness_evidence(self):
+        first = MachineDescription("a", {"X": {"r": [0]}, "Y": {"r": [0]}})
+        second = MachineDescription("b", {"X": {"r": [0]}, "Y": {"s": [0]}})
+        found = rules_fired(
+            lint_machine(first, against=second), "equivalence-mismatch"
+        )
+        assert found
+        assert all(d.severity == "error" for d in found)
+        witness = found[0].evidence["witness"]
+        assert witness["conflicts_on"] == "a"
+        assert witness["legal_on"] == "b"
+
+    def test_respects_mismatch_limit(self):
+        first = example_machine()
+        second = MachineDescription("empty-ish", {"A": {}, "B": {}})
+        report = lint_machine(
+            first, against=second, options={"mismatch_limit": 1}
+        )
+        found = rules_fired(report, "equivalence-mismatch")
+        assert len(found) == 2  # one mismatch + one "omitted" marker
+        assert any("omitted" in d.message for d in found)
+
+    @pytest.mark.parametrize("name", sorted(ALL_BUILTINS))
+    def test_agrees_with_matrices_equal_on_builtins(self, name):
+        """`lint --against` and core.verify.matrices_equal must agree:
+        the reduced description of every built-in is equivalent, and a
+        perturbed one is not."""
+        machine = ALL_BUILTINS[name]()
+        reduced = reduce_machine(machine).reduced
+        assert matrices_equal(machine, reduced)
+        report = lint_machine(machine, against=reduced)
+        assert not rules_fired(report, "equivalence-mismatch")
+
+        # Drop one operation's usages: matrices now disagree, and the
+        # lint audit must say so.
+        ops = {
+            op: machine.table(op) for op in machine.operation_names
+        }
+        first_op = machine.operation_names[0]
+        ops[first_op] = {}
+        perturbed = MachineDescription(
+            name + "-perturbed", ops, resources=machine.resources
+        )
+        assert not matrices_equal(machine, perturbed)
+        report = lint_machine(machine, against=perturbed)
+        assert rules_fired(report, "equivalence-mismatch")
+
+
+class TestCorruptedFixture:
+    def test_reports_each_planted_defect(self):
+        raw = mdl.parse_file(os.path.join(FIXTURES, "corrupted.mdl"))
+        reference = mdl.load_file(
+            os.path.join(FIXTURES, "corrupted_ref.mdl")
+        )
+        report = lint_source(raw, against=reference)
+        assert {d.location.resource
+                for d in rules_fired(report, "redundant-resource")} == {
+            "alu.mirror"
+        }
+        collapsible = rules_fired(report, "collapsible-operations")
+        assert collapsible and collapsible[0].evidence["class"] == [
+            "add",
+            "sub",
+        ]
+        assert rules_fired(report, "equivalence-mismatch")
+        assert report.exceeds("error")
+        # Findings on a file-based machine carry real source lines.
+        lined = [
+            d
+            for d in report.diagnostics
+            if d.location.line is not None
+        ]
+        assert lined
+
+
+class TestRegistry:
+    def test_rules_are_registered(self):
+        ids = {r.id for r in registered_rules()}
+        assert {
+            "unused-resource",
+            "empty-operation",
+            "negative-cycle",
+            "cycle-overflow",
+            "duplicate-alternative",
+            "dominated-alternative",
+            "redundant-resource",
+            "collapsible-operations",
+            "non-maximal-resource",
+            "unpipelined-operation",
+            "equivalence-mismatch",
+        } <= ids
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(LintConfigError):
+            lint_machine(clean_machine(), rules=["no-such-rule"])
+
+    def test_rule_subset_selection(self):
+        machine = MachineDescription(
+            "m", {"A": {"r": [0]}, "nop": {}}
+        )
+        report = lint_machine(machine, rules=["unused-resource"])
+        assert report.rules_run == ("unused-resource",)
+        assert not report.diagnostics
+
+    def test_severity_override(self):
+        report = lint_machine(
+            example_machine(),
+            severity_overrides={"redundant-resource": "error"},
+        )
+        assert report.exceeds("error")
+        with pytest.raises(LintConfigError):
+            lint_machine(
+                clean_machine(),
+                severity_overrides={"redundant-resource": "fatal"},
+            )
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_known_findings(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        report = lint_machine(example_machine())
+        assert report.diagnostics
+        write_baseline(path, [report])
+        suppressed = lint_machine(
+            example_machine(), baseline=Baseline.load(path)
+        )
+        assert not suppressed.diagnostics
+        assert suppressed.suppressed == len(report.diagnostics)
+
+    def test_write_merges_existing_entries(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [lint_machine(example_machine())])
+        before = len(Baseline.load(path).entries)
+        write_baseline(path, [lint_machine(ALL_BUILTINS["mips-r3000"]())])
+        after = Baseline.load(path)
+        assert len(after.entries) > before
+        # Re-writing the same report adds nothing.
+        write_baseline(path, [lint_machine(example_machine())])
+        assert len(Baseline.load(path).entries) == len(after.entries)
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"version\": 99}")
+        with pytest.raises(LintConfigError):
+            Baseline.load(str(path))
+
+    def test_repo_baseline_covers_builtins(self):
+        """The checked-in baseline keeps every built-in machine silent
+        (this is what CI enforces with --fail-on info)."""
+        repo_baseline = os.path.join(
+            os.path.dirname(__file__), os.pardir, "lint-baseline.json"
+        )
+        baseline = Baseline.load(repo_baseline)
+        for name, factory in ALL_BUILTINS.items():
+            report = lint_machine(factory(), baseline=baseline)
+            assert not report.diagnostics, (name, report.render_text(True))
+
+
+class TestReport:
+    def test_counts_and_thresholds(self):
+        report = lint_machine(example_machine())
+        counts = report.counts
+        assert counts["error"] == 0 and counts["warning"] == 0
+        assert counts["info"] > 0
+        assert report.exceeds("info")
+        assert not report.exceeds("warning")
+        assert report.is_clean
+
+    def test_to_dict_matches_documented_schema(self):
+        report = lint_machine(example_machine())
+        data = report.to_dict()
+        assert data["version"] == 1
+        assert data["machine"] == "paper-example"
+        assert data["against"] is None
+        assert set(data["summary"]) == {
+            "error",
+            "warning",
+            "info",
+            "suppressed",
+        }
+        for diag in data["diagnostics"]:
+            assert set(diag) >= {"rule", "severity", "message", "location"}
+            assert set(diag) <= {
+                "rule",
+                "severity",
+                "message",
+                "location",
+                "hint",
+                "evidence",
+            }
+            assert diag["severity"] in ("info", "warning", "error")
+            assert set(diag["location"]) <= {
+                "operation",
+                "resource",
+                "cycle",
+                "line",
+            }
+
+    def test_text_rendering_hides_info_by_default(self):
+        report = lint_machine(example_machine())
+        text = report.render_text()
+        assert "clean" in text
+        assert "redundant-resource" not in text
+        verbose = report.render_text(show_info=True)
+        assert "redundant-resource" in verbose
+
+    def test_sorted_puts_worst_first(self):
+        report = LintReport(machine="m")
+        report.diagnostics = lint_machine(
+            example_machine(),
+            severity_overrides={"collapsible-operations": "error"},
+        ).diagnostics
+        ordered = [d.severity for d in report.sorted().diagnostics]
+        assert ordered == sorted(
+            ordered, key=("error", "warning", "info").index
+        )

@@ -1,0 +1,286 @@
+"""Tests for the ``repro lint`` command: exit codes, JSON output, the
+baseline round trip, and the corrupted fixture."""
+
+import json
+import os
+
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+CORRUPTED = os.path.join(FIXTURES, "corrupted.mdl")
+CORRUPTED_REF = os.path.join(FIXTURES, "corrupted_ref.mdl")
+ILLFORMED = os.path.join(FIXTURES, "illformed.mdl")
+
+
+def lint_json(capsys, argv):
+    """Run ``repro lint ... --format json`` and return (exit, report)."""
+    code = main(argv)
+    return code, json.loads(capsys.readouterr().out)
+
+
+class TestExitCodes:
+    def test_clean_builtin_exits_0(self, capsys):
+        assert main(["lint", "cydra5"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_all_builtins_exit_0(self, capsys):
+        for name in (
+            "cydra5",
+            "cydra5-subset",
+            "alpha21064",
+            "mips-r3000",
+            "playdoh",
+            "example",
+        ):
+            assert main(["lint", name]) == 0, name
+            capsys.readouterr()
+
+    def test_fail_on_info_flips_exit(self, capsys):
+        # The example machine has info findings (redundant rows) but no
+        # warnings or errors: only --fail-on info makes it fail.
+        assert main(["lint", "example"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "example", "--fail-on", "info"]) == 1
+
+    def test_corrupted_against_reference_exits_1(self, capsys):
+        assert (
+            main(["lint", CORRUPTED, "--against", CORRUPTED_REF]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "equivalence-mismatch" in out
+
+    def test_unknown_machine_exits_2(self, capsys):
+        assert main(["lint", "no-such-machine"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown machine" in err
+        assert "cydra5" in err
+
+    def test_missing_machine_argument_exits_2(self, capsys):
+        assert main(["lint"]) == 2
+        assert "needs a machine" in capsys.readouterr().err
+
+    def test_non_utf8_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "binary.mdl"
+        path.write_bytes(b"\xdc\xfe\x00garbage")
+        assert main(["lint", str(path)]) == 2
+        assert "cannot read machine file" in capsys.readouterr().err
+
+    def test_unwritable_baseline_path_exits_2(self, tmp_path, capsys):
+        missing_dir = str(tmp_path / "no-such-dir" / "base.json")
+        assert (
+            main(["lint", "example", "--write-baseline", missing_dir]) == 2
+        )
+        assert "cannot write baseline" in capsys.readouterr().err
+
+    def test_trailing_comma_in_rules_tolerated(self, capsys):
+        assert main(["lint", "example", "--rules", "unused-resource,"]) == 0
+
+
+class TestJsonOutput:
+    def test_schema_of_clean_run(self, capsys):
+        code, report = lint_json(
+            capsys, ["lint", "cydra5", "--format", "json"]
+        )
+        assert code == 0
+        assert report["version"] == 1
+        assert report["machine"] == "cydra5"
+        assert report["against"] is None
+        assert report["summary"]["error"] == 0
+        assert report["summary"]["warning"] == 0
+        assert "equivalence-mismatch" not in report["rules"]
+        for diag in report["diagnostics"]:
+            assert diag["severity"] == "info"
+
+    def test_corrupted_fixture_reports_each_defect(self, capsys):
+        code, report = lint_json(
+            capsys,
+            [
+                "lint",
+                CORRUPTED,
+                "--against",
+                CORRUPTED_REF,
+                "--format",
+                "json",
+            ],
+        )
+        assert code == 1
+        assert report["against"] == "corrupted-reference"
+        fired = {d["rule"] for d in report["diagnostics"]}
+        assert {
+            "redundant-resource",
+            "collapsible-operations",
+            "equivalence-mismatch",
+        } <= fired
+        by_rule = {}
+        for diag in report["diagnostics"]:
+            by_rule.setdefault(diag["rule"], []).append(diag)
+        assert [
+            d["location"]["resource"]
+            for d in by_rule["redundant-resource"]
+        ] == ["alu.mirror"]
+        assert by_rule["collapsible-operations"][0]["evidence"][
+            "class"
+        ] == ["add", "sub"]
+        # File-based findings carry real source lines.
+        assert any(
+            "line" in d["location"] for d in report["diagnostics"]
+        )
+        # The first mismatch carries a concrete witness schedule.
+        witness = by_rule["equivalence-mismatch"][0]["evidence"]["witness"]
+        assert witness["conflicts_on"] == "corrupted-reference"
+        assert witness["legal_on"] == "corrupted"
+
+    def test_illformed_file_reports_instead_of_crashing(self, capsys):
+        code, report = lint_json(
+            capsys, ["lint", ILLFORMED, "--format", "json"]
+        )
+        assert code == 1
+        fired = {d["rule"]: d for d in report["diagnostics"]}
+        assert fired["negative-cycle"]["location"]["line"] == 6
+        assert fired["negative-cycle"]["location"]["cycle"] == -2
+        assert fired["cycle-overflow"]["location"]["cycle"] == 9999
+        assert fired["invalid-machine"]["severity"] == "error"
+
+
+class TestBaselineFlow:
+    def test_write_then_suppress(self, tmp_path, capsys):
+        path = str(tmp_path / "baseline.json")
+        assert main(["lint", "example", "--write-baseline", path]) == 0
+        capsys.readouterr()
+        code, report = lint_json(
+            capsys,
+            [
+                "lint",
+                "example",
+                "--baseline",
+                path,
+                "--fail-on",
+                "info",
+                "--format",
+                "json",
+            ],
+        )
+        assert code == 0
+        assert report["diagnostics"] == []
+        assert report["summary"]["suppressed"] > 0
+
+    def test_repo_baseline_keeps_builtins_quiet(self, capsys):
+        repo_baseline = os.path.join(
+            os.path.dirname(__file__), os.pardir, "lint-baseline.json"
+        )
+        for name in ("cydra5", "example", "playdoh"):
+            assert (
+                main(
+                    [
+                        "lint",
+                        name,
+                        "--baseline",
+                        repo_baseline,
+                        "--fail-on",
+                        "info",
+                    ]
+                )
+                == 0
+            ), name
+            capsys.readouterr()
+
+    def test_malformed_baseline_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99}')
+        assert main(["lint", "example", "--baseline", str(path)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestOptions:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "equivalence-mismatch" in out
+        assert "redundant-resource" in out
+
+    def test_rule_subset(self, capsys):
+        code, report = lint_json(
+            capsys,
+            [
+                "lint",
+                "example",
+                "--rules",
+                "unused-resource,empty-operation",
+                "--format",
+                "json",
+            ],
+        )
+        assert code == 0
+        assert report["rules"] == ["unused-resource", "empty-operation"]
+        assert report["diagnostics"] == []
+
+    def test_unknown_rule_exits_2(self, capsys):
+        assert main(["lint", "example", "--rules", "bogus"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_severity_override(self, capsys):
+        assert (
+            main(
+                [
+                    "lint",
+                    "example",
+                    "--severity",
+                    "redundant-resource=error",
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "error[redundant-resource]" in out
+
+    def test_bad_severity_syntax_exits_2(self, capsys):
+        assert main(["lint", "example", "--severity", "nonsense"]) == 2
+        assert "RULE=LEVEL" in capsys.readouterr().err
+
+    def test_show_info_lists_info_findings(self, capsys):
+        assert main(["lint", "example", "--show-info"]) == 0
+        out = capsys.readouterr().out
+        assert "info[redundant-resource]" in out
+
+    def test_max_cycle_option(self, tmp_path, capsys):
+        path = str(tmp_path / "deep.mdl")
+        with open(path, "w") as handle:
+            handle.write("machine deep\noperation a\n  r: 0 600\n")
+        code, report = lint_json(
+            capsys, ["lint", path, "--format", "json"]
+        )
+        assert code == 0  # warning, and default --fail-on is error
+        assert any(
+            d["rule"] == "cycle-overflow" for d in report["diagnostics"]
+        )
+        capsys.readouterr()
+        code, report = lint_json(
+            capsys,
+            ["lint", path, "--max-cycle", "1000", "--format", "json"],
+        )
+        assert not any(
+            d["rule"] == "cycle-overflow" for d in report["diagnostics"]
+        )
+
+    def test_against_builtin_reduced_round_trip(self, tmp_path, capsys):
+        reduced_path = str(tmp_path / "reduced.mdl")
+        assert main(["reduce", "example", "-o", reduced_path]) == 0
+        capsys.readouterr()
+        code, report = lint_json(
+            capsys,
+            [
+                "lint",
+                reduced_path,
+                "--against",
+                "example",
+                "--format",
+                "json",
+            ],
+        )
+        assert code == 0
+        assert "equivalence-mismatch" in report["rules"]
+        assert not any(
+            d["rule"] == "equivalence-mismatch"
+            for d in report["diagnostics"]
+        )

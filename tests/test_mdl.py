@@ -102,6 +102,58 @@ class TestParseErrors:
             )
 
 
+class TestSourceAttribution:
+    def test_error_carries_offending_token(self):
+        with pytest.raises(ParseError) as info:
+            mdl.loads("machine m\noperation a\n  r: banana\n")
+        assert info.value.token == "banana"
+        assert info.value.raw_message == "bad cycle 'banana'"
+
+    def test_error_carries_source_name(self, tmp_path):
+        path = tmp_path / "broken.mdl"
+        path.write_text("machine m\nbogus directive\n")
+        with pytest.raises(ParseError) as info:
+            mdl.load_file(str(path))
+        assert info.value.source == str(path)
+        assert info.value.line == 2
+        # The rendered message leads with "<file>: line <n>:".
+        assert str(info.value).startswith("%s: line 2:" % path)
+
+    def test_parse_defers_semantic_validation(self):
+        # A negative cycle is a semantic defect: the lenient scan keeps
+        # it (with its line) and only build() rejects it.
+        raw = mdl.parse("machine m\noperation a\n  r: -1\n")
+        assert list(raw.iter_usages()) == [("a", "r", -1, 3)]
+        with pytest.raises(ParseError) as info:
+            raw.build()
+        assert info.value.line == 3
+        assert info.value.token == "-1"
+
+    def test_undeclared_resource_points_at_usage_line(self):
+        text = "machine m\nresources r\noperation a\n  r: 0\n  ghost: 1\n"
+        with pytest.raises(ParseError) as info:
+            mdl.loads(text)
+        assert info.value.line == 5
+        assert info.value.token == "ghost"
+
+    def test_raw_machine_line_lookups(self):
+        raw = mdl.parse(SAMPLE)
+        assert raw.name == "toy"
+        assert raw.name_line == 3
+        assert raw.operation_line("mac") == 11
+        assert raw.resource_line("mul") == 5
+        assert raw.usage_line("mac", "mul", 2) == 13
+        assert raw.operation_line("ghost") is None
+        assert raw.usage_line("mac", "mul", 99) is None
+
+    def test_resource_line_falls_back_to_first_usage(self):
+        raw = mdl.parse("machine m\noperation a\n  undeclared: 0\n")
+        assert raw.resource_line("undeclared") == 3
+
+    def test_build_round_trips_with_loads(self):
+        assert mdl.parse(SAMPLE).build() == mdl.loads(SAMPLE)
+
+
 class TestRoundTrip:
     def test_example_round_trips(self):
         md = example_machine()
