@@ -1,5 +1,59 @@
-"""Shim: the table renderer lives in the library proper."""
+"""Shared benchmark-output helpers.
+
+The table renderer lives in the library proper; this module adds the
+machine-readable companion format: every benchmark that records a
+``results/<name>.txt`` table can also emit ``results/BENCH_<name>.json``
+with the numbers behind the table, so perf trajectories can be tracked
+by tooling instead of by diffing formatted text.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
 
 from repro.stats.tables import render_reduction_table
 
-__all__ = ["render_reduction_table"]
+#: Schema of the ``BENCH_*.json`` documents.  Bump on breaking changes
+#: and record the migration in docs/observability.md.
+BENCH_SCHEMA_NAME = "repro-bench"
+BENCH_SCHEMA_VERSION = 1
+
+
+def bench_document(
+    name: str, data: object, meta: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """Envelope for one benchmark's machine-readable results."""
+    return {
+        "schema": BENCH_SCHEMA_NAME,
+        "version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "meta": dict(meta or {}),
+        "data": data,
+    }
+
+
+def write_bench_json(
+    name: str,
+    data: object,
+    results_dir: str,
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` next to the text table; returns path."""
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, "BENCH_%s.json" % name)
+    document = bench_document(name, data, meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+__all__ = [
+    "BENCH_SCHEMA_NAME",
+    "BENCH_SCHEMA_VERSION",
+    "bench_document",
+    "render_reduction_table",
+    "write_bench_json",
+]

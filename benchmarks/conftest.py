@@ -30,13 +30,22 @@ BENCH_LOOPS = int(os.environ.get("REPRO_BENCH_LOOPS", "1327"))
 
 @pytest.fixture(scope="session")
 def record():
-    """Write one reproduced table to the results directory and stdout."""
+    """Write one reproduced table to the results directory and stdout.
+
+    When ``data`` is given, a machine-readable ``BENCH_<name>.json``
+    companion (see ``_tables.write_bench_json``) is written next to the
+    text table.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
 
-    def _record(name: str, text: str) -> str:
+    def _record(name: str, text: str, data=None, meta=None) -> str:
         path = os.path.join(RESULTS_DIR, name + ".txt")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text if text.endswith("\n") else text + "\n")
+        if data is not None:
+            from _tables import write_bench_json
+
+            write_bench_json(name, data, RESULTS_DIR, meta=meta)
         print("\n" + "=" * 72)
         print("[%s]" % name)
         print(text)

@@ -86,6 +86,7 @@ def test_memory_and_work_summary(
         ("alpha21064", alpha_reductions, 9),
         ("mips-r3000", mips_reductions, 9),
     )
+    data = {}
     for name, reductions, k64 in summaries:
         original = machines[name]
         reduced = reductions["%d-cycle-word" % k64].reduced
@@ -102,6 +103,12 @@ def test_memory_and_work_summary(
                 cycles_per_word(red_bits, 64),
             )
         )
+        data[name] = {
+            "original_bits_per_cycle": orig_bits,
+            "reduced_bits_per_cycle": red_bits,
+            "storage_ratio": red_bits / orig_bits,
+            "cycles_per_64bit_word": cycles_per_word(red_bits, 64),
+        }
         assert red_bits < orig_bits
     lines.append("")
     lines.append(
@@ -109,4 +116,4 @@ def test_memory_and_work_summary(
         "storage; a 64-bit word encodes 4 (Cydra 5) or 9 (MIPS, Alpha) "
         "cycles of reserved state"
     )
-    record("headline_memory", "\n".join(lines))
+    record("headline_memory", "\n".join(lines), data=data)

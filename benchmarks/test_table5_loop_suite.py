@@ -16,14 +16,23 @@ paper (1327 Fortran loops):    min   %at-min      avg      max
   sched. decisions/operation  1.00     78.7%     1.52     6.00"""
 
 
+def _summary(values, at_min_value):
+    return {
+        "min": min(values),
+        "at_min": sum(1 for v in values if v <= at_min_value) / len(values),
+        "avg": sum(values) / len(values),
+        "max": max(values),
+    }
+
+
 def _row(label, values, at_min_value):
-    at_min = sum(1 for v in values if v <= at_min_value) / len(values)
+    summary = _summary(values, at_min_value)
     return "  %-26s %6.2f    %5.1f%%  %7.2f  %7.2f" % (
         label,
-        min(values),
-        100.0 * at_min,
-        sum(values) / len(values),
-        max(values),
+        summary["min"],
+        100.0 * summary["at_min"],
+        summary["avg"],
+        summary["max"],
     )
 
 
@@ -53,10 +62,21 @@ def test_table5(benchmark, machines, record):
         "",
         PAPER_ROWS,
     ]
-    record("table5_loop_suite", "\n".join(lines))
+    optimal = sum(1 for r in results if r.optimal) / len(results)
+    record(
+        "table5_loop_suite",
+        "\n".join(lines),
+        data={
+            "num_operations": _summary(sizes, min(sizes)),
+            "initiation_interval": _summary(iis, min(iis)),
+            "ii_over_mii": _summary(ratios, 1.0),
+            "decisions_per_operation": _summary(decisions, 1.0),
+            "fraction_at_mii": optimal,
+        },
+        meta={"machine": "cydra5-subset", "loops": len(loops)},
+    )
 
     # Shape assertions against the paper's bands.
-    optimal = sum(1 for r in results if r.optimal) / len(results)
     assert optimal > 0.9  # paper: 95.6%
     assert sum(ratios) / len(ratios) < 1.05  # paper: 1.01
     assert 1.0 <= sum(decisions) / len(decisions) < 2.5  # paper: 1.52

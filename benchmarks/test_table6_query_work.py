@@ -129,7 +129,35 @@ def test_table6(benchmark, machines, cydra5_reductions, record):
         "4-cycle-word %.2fx (paper 2.9x)"
         % (original_avg / reduced_discrete, original_avg / reduced_word)
     )
-    record("table6_query_work", "\n".join(lines))
+    data = {
+        "per_call": {
+            name: {
+                function: results[name].per_call(function)
+                for function in (CHECK, ASSIGN_FREE, FREE)
+            }
+            for name in names
+        },
+        "weighted_average": {
+            name: results[name].weighted_average() for name in names
+        },
+        "frequencies": frequencies,
+        "checks_per_decision": {
+            "avg": avg_checks,
+            "one": single,
+            "two": two,
+            "five_plus": many,
+        },
+        "speedup_vs_original": {
+            "res-uses": original_avg / reduced_discrete,
+            "4-cyc-word": original_avg / reduced_word,
+        },
+    }
+    record(
+        "table6_query_work",
+        "\n".join(lines),
+        data=data,
+        meta={"machine": "cydra5", "loops": len(loops)},
+    )
 
     # Shape: the reductions make every representation cheaper, and the
     # packed bitvector is the cheapest of all.

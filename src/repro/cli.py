@@ -12,6 +12,12 @@ Commands
 ``expand``    modulo-schedule a kernel and print its software pipeline
 ``automata``  build the contention-recognizing automata and report sizes
 ``lint``      static-analysis audit with structured diagnostics
+``profile``   reduce + schedule under tracing; per-phase time/work report
+
+``reduce``, ``schedule``, ``automata``, and ``profile`` accept
+``--metrics FILE`` (schema-versioned JSON metrics, ``-`` for stdout) and
+``--trace FILE`` (Chrome ``trace_event`` JSON, loadable in Perfetto) —
+see ``docs/observability.md``.
 
 Machines are referenced either by a built-in name (``cydra5``,
 ``cydra5-subset``, ``alpha21064``, ``mips-r3000``, ``playdoh``,
@@ -21,6 +27,7 @@ Machines are referenced either by a built-in name (``cydra5``,
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -58,15 +65,76 @@ def _load_machine(ref: str) -> MachineDescription:
     )
 
 
+@contextlib.contextmanager
+def _observing(args: argparse.Namespace):
+    """Activate tracing for a command when ``--trace``/``--metrics`` ask.
+
+    Yields the tracer (or ``None`` when observability is off) and writes
+    the requested export files after the command body finishes.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if not trace_path and not metrics_path:
+        yield None
+        return
+    from repro import obs
+
+    tracer = obs.Tracer(trace_queries=bool(trace_path))
+    with obs.tracing(tracer):
+        if metrics_path == "-":
+            # Stdout must carry the JSON document alone; the command's
+            # human-readable report moves to stderr.
+            with contextlib.redirect_stdout(sys.stderr):
+                yield tracer
+        else:
+            yield tracer
+    if metrics_path:
+        _write_export(obs.write_metrics, tracer, metrics_path, "metrics")
+        if metrics_path != "-":
+            print("wrote metrics %s" % metrics_path, file=sys.stderr)
+    if trace_path:
+        _write_export(obs.write_chrome_trace, tracer, trace_path, "trace")
+        print(
+            "wrote trace %s (open in https://ui.perfetto.dev)" % trace_path,
+            file=sys.stderr,
+        )
+
+
+def _write_export(writer, tracer, path: str, what: str) -> None:
+    try:
+        writer(tracer, path)
+    except OSError as exc:
+        raise ReproError("cannot write %s file %r: %s" % (what, path, exc))
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write metrics JSON to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome trace_event JSON to FILE (Perfetto-loadable)",
+    )
+
+
 def _cmd_reduce(args: argparse.Namespace) -> int:
     machine = _load_machine(args.machine)
-    reduction = reduce_machine(
-        machine, objective=args.objective, word_cycles=args.word_cycles
-    )
-    print(reduction.summary())
-    if args.output:
-        mdl.dump_file(reduction.reduced, args.output)
-        print("wrote %s" % args.output)
+    with _observing(args) as tracer:
+        if tracer is not None:
+            tracer.meta.update(
+                command="reduce", machine=machine.name,
+                objective=args.objective, word_cycles=args.word_cycles,
+            )
+        reduction = reduce_machine(
+            machine, objective=args.objective, word_cycles=args.word_cycles
+        )
+        print(reduction.summary())
+        if args.output:
+            mdl.dump_file(reduction.reduced, args.output)
+            print("wrote %s" % args.output)
     return 0
 
 
@@ -126,24 +194,31 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     else:
         graphs = loop_suite(args.loops)
     optimal = 0
-    print("%-22s %4s %4s %4s %8s" % ("loop", "ops", "MII", "II", "dec/op"))
-    for graph in graphs:
-        result = scheduler.schedule(graph)
-        optimal += result.optimal
-        print(
-            "%-22s %4d %4d %4d %8.2f"
-            % (
-                graph.name,
-                graph.num_operations,
-                result.mii,
-                result.ii,
-                result.decisions_per_op,
+    with _observing(args) as tracer:
+        if tracer is not None:
+            tracer.meta.update(
+                command="schedule", machine=machine.name,
+                representation=args.representation,
+                kernel=args.kernel or ("suite[%d]" % args.loops),
             )
+        print("%-22s %4s %4s %4s %8s" % ("loop", "ops", "MII", "II", "dec/op"))
+        for graph in graphs:
+            result = scheduler.schedule(graph)
+            optimal += result.optimal
+            print(
+                "%-22s %4d %4d %4d %8.2f"
+                % (
+                    graph.name,
+                    graph.num_operations,
+                    result.mii,
+                    result.ii,
+                    result.decisions_per_op,
+                )
+            )
+        print(
+            "\n%d/%d loops scheduled at MII (%.1f%%)"
+            % (optimal, len(graphs), 100.0 * optimal / len(graphs))
         )
-    print(
-        "\n%d/%d loops scheduled at MII (%.1f%%)"
-        % (optimal, len(graphs), 100.0 * optimal / len(graphs))
-    )
     return 0
 
 
@@ -210,47 +285,94 @@ def _cmd_automata(args: argparse.Namespace) -> int:
         PipelineAutomaton,
     )
 
+    from repro.obs import trace as obs_trace
+
     machine = _load_machine(args.machine)
-    try:
-        monolithic = PipelineAutomaton.build(
-            machine, max_states=args.max_states
-        )
-        print(
-            "monolithic automaton: %d states, %d transitions (~%d KiB)"
-            % (
-                monolithic.num_states,
-                monolithic.num_transitions,
-                monolithic.memory_bytes() // 1024,
+    with _observing(args) as tracer:
+        if tracer is not None:
+            tracer.meta.update(
+                command="automata", machine=machine.name, factor=args.factor
             )
-        )
-    except AutomatonTooLarge:
-        print(
-            "monolithic automaton: exceeds %d states" % args.max_states
-        )
-    try:
-        factored = FactoredAutomata.build(
-            machine, mode=args.factor, max_states=args.max_states
-        )
-        print(
-            "%s-factored automata: %d factors, %d total states "
-            "(largest %d, ~%d KiB)"
-            % (
-                args.factor,
-                factored.num_factors,
-                factored.num_states,
-                factored.max_factor_states,
-                factored.memory_bytes() // 1024,
+        try:
+            with obs_trace.span(
+                "build_monolithic", obs_trace.CAT_AUTOMATA,
+                machine=machine.name,
+            ):
+                monolithic = PipelineAutomaton.build(
+                    machine, max_states=args.max_states
+                )
+            print(
+                "monolithic automaton: %d states, %d transitions (~%d KiB)"
+                % (
+                    monolithic.num_states,
+                    monolithic.num_transitions,
+                    monolithic.memory_bytes() // 1024,
+                )
             )
-        )
-    except AutomatonTooLarge:
+        except AutomatonTooLarge:
+            print(
+                "monolithic automaton: exceeds %d states" % args.max_states
+            )
+        try:
+            with obs_trace.span(
+                "build_factored", obs_trace.CAT_AUTOMATA,
+                machine=machine.name, mode=args.factor,
+            ):
+                factored = FactoredAutomata.build(
+                    machine, mode=args.factor, max_states=args.max_states
+                )
+            print(
+                "%s-factored automata: %d factors, %d total states "
+                "(largest %d, ~%d KiB)"
+                % (
+                    args.factor,
+                    factored.num_factors,
+                    factored.num_states,
+                    factored.max_factor_states,
+                    factored.memory_bytes() // 1024,
+                )
+            )
+        except AutomatonTooLarge:
+            print(
+                "%s-factored automata: a factor exceeds %d states"
+                % (args.factor, args.max_states)
+            )
         print(
-            "%s-factored automata: a factor exceeds %d states"
-            % (args.factor, args.max_states)
+            "reduced bitvector alternative: %d reserved bits per cycle"
+            % reduce_machine(machine).reduced.num_resources
         )
-    print(
-        "reduced bitvector alternative: %d reserved bits per cycle"
-        % reduce_machine(machine).reduced.num_resources
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.obs.profile import profile_machine
+
+    machine = _load_machine(args.machine)
+    tracer = obs.Tracer(trace_queries=bool(args.trace))
+    profile_machine(
+        machine,
+        kernel=args.kernel,
+        loops=args.loops,
+        representation=args.representation,
+        word_cycles=args.word_cycles,
+        objective=args.objective,
+        schedule_reduced=args.reduced,
+        tracer=tracer,
     )
+    if args.metrics != "-":
+        # With ``--metrics -`` stdout carries the JSON document alone.
+        print(obs.render_text(tracer))
+    if args.metrics:
+        _write_export(obs.write_metrics, tracer, args.metrics, "metrics")
+        if args.metrics != "-":
+            print("wrote metrics %s" % args.metrics, file=sys.stderr)
+    if args.trace:
+        _write_export(obs.write_chrome_trace, tracer, args.trace, "trace")
+        print(
+            "wrote trace %s (open in https://ui.perfetto.dev)" % args.trace,
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -288,11 +410,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
 
     if args.list_rules:
-        for lint_rule in registered_rules():
+        if args.format == "json":
             print(
-                "%-24s %-8s %s"
-                % (lint_rule.id, lint_rule.severity, lint_rule.summary)
+                json.dumps(
+                    [
+                        {
+                            "id": lint_rule.id,
+                            "severity": lint_rule.severity,
+                            "summary": lint_rule.summary,
+                        }
+                        for lint_rule in registered_rules()
+                    ],
+                    indent=2,
+                )
             )
+        else:
+            for lint_rule in registered_rules():
+                print(
+                    "%-24s %-8s %s"
+                    % (lint_rule.id, lint_rule.severity, lint_rule.summary)
+                )
         return 0
     if args.machine is None:
         raise ReproError("lint needs a machine (or --list-rules)")
@@ -382,6 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--word-cycles", type=int, default=1)
     p.add_argument("-o", "--output", help="write reduced machine as MDL")
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_reduce)
 
     p = sub.add_parser("verify", help="compare two descriptions")
@@ -434,7 +572,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("machine")
     p.add_argument("--factor", choices=("unit", "resource"), default="unit")
     p.add_argument("--max-states", type=int, default=200_000)
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_automata)
+
+    p = sub.add_parser(
+        "profile",
+        help="reduce + schedule under tracing; time/work breakdown",
+        description="Run the full pipeline (forbidden matrix, Algorithm 1,"
+        " selection, Iterative Modulo Scheduling) with the observability"
+        " layer active and print a per-phase time/work breakdown."
+        " Optionally export metrics JSON and a Perfetto-loadable Chrome"
+        " trace.",
+    )
+    p.add_argument("machine", help="built-in name or MDL file")
+    p.add_argument(
+        "--kernel",
+        choices=sorted(KERNELS),
+        help="profile one named kernel instead of the loop suite",
+    )
+    p.add_argument(
+        "--loops",
+        type=int,
+        default=8,
+        help="loop-suite size when no kernel is given (default: 8)",
+    )
+    p.add_argument(
+        "--representation",
+        choices=("discrete", "bitvector"),
+        default="discrete",
+    )
+    p.add_argument("--word-cycles", type=int, default=1)
+    p.add_argument(
+        "--objective", choices=("res-uses", "word-uses"), default="res-uses"
+    )
+    p.add_argument(
+        "--reduced",
+        action="store_true",
+        help="schedule on the reduced description (paper's configuration)",
+    )
+    _add_observability_flags(p)
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser(
         "lint",
@@ -516,6 +693,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="discrete",
     )
     p.add_argument("--word-cycles", type=int, default=1)
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_schedule)
 
     return parser

@@ -35,6 +35,7 @@ from repro.core.elementary import (
     pair_usages,
 )
 from repro.core.forbidden import ForbiddenLatencyMatrix
+from repro.obs import trace as obs
 
 
 @dataclass
@@ -94,6 +95,9 @@ def build_generating_set(
     resources: List[Resource] = []
     worklist = elementary_pairs(matrix)
     operations = matrix.operations
+    tracer = obs.current()
+    if tracer is not None:
+        tracer.count("reduce.algorithm1.pairs", len(worklist))
     for processed, pair in enumerate(worklist, start=1):
         step = TraceStep(pair=pair) if trace is not None else None
         u0, u1 = pair_usages(pair)
@@ -126,6 +130,8 @@ def build_generating_set(
                 merged = current | pair
                 resources[index] = merged
                 found_together = True
+                if tracer is not None:
+                    tracer.count("reduce.algorithm1.rule1")
                 if step is not None:
                     step.applications.append(RuleApplication(1, current, merged))
             else:
@@ -134,6 +140,8 @@ def build_generating_set(
                 if candidate != pair:
                     additions.append(candidate)
                     found_together = True
+                    if tracer is not None:
+                        tracer.count("reduce.algorithm1.rule2")
                     if step is not None:
                         step.applications.append(
                             RuleApplication(2, current, candidate)
@@ -149,10 +157,16 @@ def build_generating_set(
             # Rule 3: the pair starts a resource of its own.
             if pair not in existing:
                 resources.append(pair)
+            if tracer is not None:
+                tracer.count("reduce.algorithm1.rule3")
             if step is not None:
                 step.applications.append(RuleApplication(3, None, pair))
         if prune_subsets_every and processed % prune_subsets_every == 0:
+            before = len(resources)
             resources = _prune_subset_resources(resources)
+            if tracer is not None:
+                tracer.count("reduce.algorithm1.subset_pruned",
+                             before - len(resources))
         if step is not None:
             step.resources = tuple(resources)
             trace(step)
@@ -172,6 +186,8 @@ def build_generating_set(
         singleton = frozenset({(op, 0)})
         if not any(any(u[0] == op for u in resource) for resource in resources):
             resources.append(singleton)
+            if tracer is not None:
+                tracer.count("reduce.algorithm1.rule4")
             if trace is not None:
                 trace(
                     TraceStep(

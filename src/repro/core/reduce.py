@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.core.elementary import Resource
 from repro.core.forbidden import ForbiddenLatencyMatrix
+from repro.obs import trace as obs
 from repro.core.generating import build_generating_set
 from repro.core.machine import MachineDescription
 from repro.core.pruning import prune_covered_resources
@@ -146,7 +147,8 @@ def reduce_machine(
         class, so identical tables reproduce every entry.  A large
         speedup for machines with many interchangeable operations.
     """
-    matrix = ForbiddenLatencyMatrix.from_machine(machine)
+    with obs.span("forbidden_matrix", obs.CAT_REDUCE, machine=machine.name):
+        matrix = ForbiddenLatencyMatrix.from_machine(machine)
     if collapse_classes:
         classes = matrix.operation_classes()
         if any(len(members) > 1 for members in classes):
@@ -194,17 +196,24 @@ def reduce_machine(
                 pruned_set=inner.pruned_set,
                 selection=inner.selection,
             )
-    generating_set = build_generating_set(
-        matrix, prune_subsets_every=prune_subsets_every
-    )
-    pruned = prune_covered_resources(generating_set)
-    selection = select_resources(
-        matrix, pruned, objective=objective, word_cycles=word_cycles
-    )
+    with obs.span("generating_set", obs.CAT_REDUCE, machine=machine.name):
+        generating_set = build_generating_set(
+            matrix, prune_subsets_every=prune_subsets_every
+        )
+    with obs.span("prune_covered", obs.CAT_REDUCE):
+        pruned = prune_covered_resources(generating_set)
+    with obs.span(
+        "selection", obs.CAT_REDUCE,
+        objective=objective, word_cycles=word_cycles,
+    ):
+        selection = select_resources(
+            matrix, pruned, objective=objective, word_cycles=word_cycles
+        )
     reduced = machine_from_selection(machine, selection)
     if verify:
-        reduced_matrix = ForbiddenLatencyMatrix.from_machine(reduced)
-        mismatches = matrix.differences(reduced_matrix)
+        with obs.span("verify", obs.CAT_REDUCE, machine=machine.name):
+            reduced_matrix = ForbiddenLatencyMatrix.from_machine(reduced)
+            mismatches = matrix.differences(reduced_matrix)
         if mismatches:
             raise EquivalenceError(
                 "reduction of %r is not exact (%d mismatching pairs)"

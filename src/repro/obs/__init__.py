@@ -1,0 +1,85 @@
+"""Observability: spans, counters, events, and exporters (``repro.obs``).
+
+The measurement substrate for every performance claim in this repo.  A
+process-global :class:`Tracer` can be activated around any workload; the
+reduction pipeline, both schedulers, and the contention query modules
+emit spans/events/counters into it, and three exporters render the
+result (text summary, schema-versioned metrics JSON, Chrome
+``trace_event`` JSON for Perfetto).  With no tracer active every
+instrumentation site is a single ``None`` check — see
+``docs/observability.md`` and ``tests/test_obs_overhead.py``.
+
+This package is a *leaf*: it never imports the query/scheduler/core
+layers (they import it).  The one exception, the ``repro profile``
+pipeline, lives in :mod:`repro.obs.profile` and is intentionally not
+re-exported here.
+"""
+
+from repro.obs.export import (
+    METRICS_SCHEMA_NAME,
+    METRICS_SCHEMA_VERSION,
+    chrome_trace_document,
+    metrics_document,
+    query_summary,
+    render_text,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.instrument import QUERY_FUNCTIONS, observed_class
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    TimerStats,
+    units_per_second,
+)
+from repro.obs.trace import (
+    CAT_AUTOMATA,
+    CAT_PROFILE,
+    CAT_QUERY,
+    CAT_REDUCE,
+    CAT_SCHED,
+    EventRecord,
+    SpanRecord,
+    Tracer,
+    count,
+    current,
+    enabled,
+    event,
+    span,
+    start,
+    stop,
+    tracing,
+)
+
+__all__ = [
+    "CAT_AUTOMATA",
+    "CAT_PROFILE",
+    "CAT_QUERY",
+    "CAT_REDUCE",
+    "CAT_SCHED",
+    "EventRecord",
+    "Histogram",
+    "METRICS_SCHEMA_NAME",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "QUERY_FUNCTIONS",
+    "SpanRecord",
+    "TimerStats",
+    "Tracer",
+    "chrome_trace_document",
+    "count",
+    "current",
+    "enabled",
+    "event",
+    "metrics_document",
+    "observed_class",
+    "query_summary",
+    "render_text",
+    "span",
+    "start",
+    "stop",
+    "tracing",
+    "units_per_second",
+    "write_chrome_trace",
+    "write_metrics",
+]

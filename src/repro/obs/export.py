@@ -1,0 +1,241 @@
+"""Exporters: text summary, schema-versioned metrics JSON, Chrome trace.
+
+Three views over one :class:`~repro.obs.trace.Tracer`:
+
+* :func:`render_text` — the per-phase time/work breakdown printed by
+  ``repro profile``;
+* :func:`metrics_document` — a stable JSON document (schema version
+  :data:`METRICS_SCHEMA_VERSION`, documented in ``docs/observability.md``)
+  for dashboards and the ``BENCH_*.json`` perf trajectory;
+* :func:`chrome_trace_document` — Chrome ``trace_event`` JSON that loads
+  directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.obs.instrument import QUERY_FUNCTIONS
+from repro.obs.trace import Tracer
+
+#: Version of the metrics JSON document.  Bump on breaking changes and
+#: record the migration in docs/observability.md.
+METRICS_SCHEMA_VERSION = 1
+METRICS_SCHEMA_NAME = "repro-obs-metrics"
+
+
+# ----------------------------------------------------------------------
+# Metrics JSON
+# ----------------------------------------------------------------------
+def query_summary(tracer: Tracer) -> Dict[str, Dict[str, object]]:
+    """Per-function query table: calls, wall time, units, throughput.
+
+    Call counts and wall time come from the tracer's timers; work units
+    come from the counters the observed query modules copy out of
+    :class:`~repro.query.work.WorkCounters` — same registry, same keys,
+    so units-per-second is a straight division.
+    """
+    summary: Dict[str, Dict[str, object]] = {}
+    for function in QUERY_FUNCTIONS:
+        name = "query." + function
+        timer = tracer.metrics.timers.get(name)
+        if timer is None or not timer.count:
+            continue
+        units = tracer.metrics.get_counter(name + ".units")
+        hist = tracer.metrics.histograms.get(name)
+        entry: Dict[str, object] = {
+            "calls": timer.count,
+            "wall_s": timer.total,
+            "units": units,
+            "units_per_call": units / timer.count,
+            "us_per_call": timer.mean * 1e6,
+        }
+        entry["units_per_s"] = (
+            units / timer.total if timer.total > 0 else None
+        )
+        if hist is not None and hist.count:
+            entry["p50_us"] = hist.quantile(0.50)
+            entry["p99_us"] = hist.quantile(0.99)
+        summary[function] = entry
+    return summary
+
+
+def metrics_document(tracer: Tracer) -> Dict[str, object]:
+    """The stable metrics JSON document (see ``docs/observability.md``)."""
+    document: Dict[str, object] = {
+        "schema": METRICS_SCHEMA_NAME,
+        "version": METRICS_SCHEMA_VERSION,
+        "meta": dict(tracer.meta),
+        "records": {
+            "spans": len(tracer.spans),
+            "events": len(tracer.events),
+            "dropped": tracer.dropped,
+        },
+        "queries": query_summary(tracer),
+    }
+    document.update(tracer.metrics.to_dict())
+    return document
+
+
+def write_metrics(tracer: Tracer, path: str) -> None:
+    """Write the metrics document to ``path`` (``"-"`` for stdout)."""
+    text = json.dumps(metrics_document(tracer), indent=2, sort_keys=True)
+    if path == "-":
+        sys.stdout.write(text + "\n")
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+def chrome_trace_document(tracer: Tracer) -> Dict[str, object]:
+    """Chrome ``trace_event`` document (Perfetto-loadable).
+
+    Spans become complete events (``ph: "X"``), instant events become
+    ``ph: "i"``; timestamps are microseconds relative to the tracer's
+    epoch.  Everything runs on one pid/tid — the schedulers are
+    single-threaded, and one lane keeps the Perfetto view readable.
+    """
+    epoch = tracer.epoch
+    trace_events: List[Dict[str, object]] = []
+    for record in tracer.spans:
+        entry: Dict[str, object] = {
+            "name": record.name,
+            "cat": record.category,
+            "ph": "X",
+            "ts": (record.start - epoch) * 1e6,
+            "dur": record.duration * 1e6,
+            "pid": 1,
+            "tid": 1,
+        }
+        if record.args:
+            entry["args"] = record.args
+        trace_events.append(entry)
+    for record in tracer.events:
+        entry = {
+            "name": record.name,
+            "cat": record.category,
+            "ph": "i",
+            "ts": (record.ts - epoch) * 1e6,
+            "pid": 1,
+            "tid": 1,
+            "s": "t",
+        }
+        if record.args:
+            entry["args"] = record.args
+        trace_events.append(entry)
+    trace_events.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "dropped_records": tracer.dropped,
+            **{str(k): str(v) for k, v in tracer.meta.items()},
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    document = chrome_trace_document(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Text summary
+# ----------------------------------------------------------------------
+def _format_si(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    for bound, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if value >= bound:
+            return "%.2f%s" % (value / bound, suffix)
+    return "%.2f" % value
+
+
+def render_text(tracer: Tracer) -> str:
+    """Human-readable per-phase time/work breakdown."""
+    lines: List[str] = []
+    if tracer.meta:
+        lines.append(
+            "profile: "
+            + "  ".join(
+                "%s=%s" % (k, v) for k, v in sorted(tracer.meta.items())
+            )
+        )
+        lines.append("")
+
+    phase_timers = [
+        (name, timer)
+        for name, timer in sorted(tracer.metrics.timers.items())
+        if not name.startswith("query.")
+    ]
+    if phase_timers:
+        lines.append("phases")
+        lines.append(
+            "  %-36s %8s %12s %12s" % ("span", "count", "total ms", "mean ms")
+        )
+        for name, timer in phase_timers:
+            lines.append(
+                "  %-36s %8d %12.3f %12.3f"
+                % (name, timer.count, timer.total * 1e3, timer.mean * 1e3)
+            )
+        lines.append("")
+
+    queries = query_summary(tracer)
+    if queries:
+        lines.append("query functions")
+        lines.append(
+            "  %-12s %10s %10s %10s %10s %10s %9s"
+            % ("function", "calls", "wall ms", "units",
+               "units/call", "units/s", "us/call")
+        )
+        for function, entry in queries.items():
+            lines.append(
+                "  %-12s %10d %10.3f %10d %10.3f %10s %9.3f"
+                % (
+                    function,
+                    entry["calls"],
+                    entry["wall_s"] * 1e3,
+                    entry["units"],
+                    entry["units_per_call"],
+                    _format_si(entry["units_per_s"]),
+                    entry["us_per_call"],
+                )
+            )
+        lines.append("")
+
+    interesting = [
+        (name, value)
+        for name, value in sorted(tracer.metrics.counters.items())
+        if not name.startswith("query.")
+    ]
+    if interesting:
+        lines.append("counters")
+        for name, value in interesting:
+            lines.append("  %-36s %12g" % (name, value))
+        lines.append("")
+
+    lines.append(
+        "records: %d spans, %d events, %d dropped"
+        % (len(tracer.spans), len(tracer.events), tracer.dropped)
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "METRICS_SCHEMA_NAME",
+    "METRICS_SCHEMA_VERSION",
+    "chrome_trace_document",
+    "metrics_document",
+    "query_summary",
+    "render_text",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,192 @@
+"""Aggregated metrics: counters, timers, and latency histograms.
+
+The registry is the *accumulating* half of the observability layer: while
+span and event records (see :mod:`repro.obs.trace`) are bounded lists kept
+for the Chrome trace export, every observation also lands here in O(1)
+space, so metrics survive arbitrarily long runs — including the paper's
+"millions of calls" query workloads — without growing memory.
+
+Latency histograms use power-of-two microsecond buckets (1us, 2us, 4us,
+... up to ~67s) which is plenty of resolution for query calls that take
+tens of nanoseconds to milliseconds, and makes quantile estimates cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Upper bounds of the histogram buckets, in microseconds (powers of two).
+HISTOGRAM_BUCKETS = tuple(float(1 << i) for i in range(27))  # 1us .. ~67s
+
+
+class TimerStats:
+    """Count / total / min / max of a set of duration observations."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def observe(self, duration: float) -> None:
+        if not self.count or duration < self.min:
+            self.min = duration
+        if duration > self.max:
+            self.max = duration
+        self.count += 1
+        self.total += duration
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "TimerStats") -> None:
+        if not other.count:
+            return
+        if not self.count or other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.count += other.count
+        self.total += other.total
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "min_s": self.min,
+            "max_s": self.max,
+            "mean_s": self.mean,
+        }
+
+
+class Histogram:
+    """Fixed power-of-two-bucket latency histogram (microseconds)."""
+
+    __slots__ = ("counts", "count", "overflow")
+
+    def __init__(self) -> None:
+        self.counts = [0] * len(HISTOGRAM_BUCKETS)
+        self.count = 0
+        self.overflow = 0
+
+    def observe(self, duration_s: float) -> None:
+        us = duration_s * 1e6
+        self.count += 1
+        # Linear scan is fine: almost every observation lands in the first
+        # few buckets, and bisect on 27 floats is not faster in practice.
+        for index, bound in enumerate(HISTOGRAM_BUCKETS):
+            if us <= bound:
+                self.counts[index] += 1
+                return
+        self.overflow += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile in microseconds (upper bucket bound)."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                return HISTOGRAM_BUCKETS[index]
+        return HISTOGRAM_BUCKETS[-1]
+
+    def merge(self, other: "Histogram") -> None:
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.overflow += other.overflow
+
+    def to_dict(self) -> Dict[str, object]:
+        buckets = [
+            {"le_us": bound, "count": bucket_count}
+            for bound, bucket_count in zip(HISTOGRAM_BUCKETS, self.counts)
+            if bucket_count
+        ]
+        return {
+            "unit": "us",
+            "count": self.count,
+            "overflow": self.overflow,
+            "p50_us": self.quantile(0.50),
+            "p90_us": self.quantile(0.90),
+            "p99_us": self.quantile(0.99),
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, timers, and histograms for one tracing session."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.timers: Dict[str, TimerStats] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- counters ------------------------------------------------------
+    def add(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    # -- timers --------------------------------------------------------
+    def timer(self, name: str) -> TimerStats:
+        timer = self.timers.get(name)
+        if timer is None:
+            timer = self.timers[name] = TimerStats()
+        return timer
+
+    def observe(self, name: str, duration: float) -> None:
+        self.timer(name).observe(duration)
+
+    # -- histograms ----------------------------------------------------
+    def histogram(self, name: str) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        return hist
+
+    # -- aggregation ---------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        for name, value in other.counters.items():
+            self.add(name, value)
+        for name, timer in other.timers.items():
+            self.timer(name).merge(timer)
+        for name, hist in other.histograms.items():
+            self.histogram(name).merge(hist)
+
+    def timer_names(self, prefix: str = "") -> List[str]:
+        return sorted(n for n in self.timers if n.startswith(prefix))
+
+    def get_counter(self, name: str, default: float = 0) -> float:
+        return self.counters.get(name, default)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers": {
+                name: timer.to_dict()
+                for name, timer in sorted(self.timers.items())
+            },
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+
+def units_per_second(units: float, wall_s: float) -> Optional[float]:
+    """Work-unit throughput, or ``None`` when wall time is unmeasurable."""
+    if wall_s <= 0.0:
+        return None
+    return units / wall_s
+
+
+__all__ = [
+    "HISTOGRAM_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "TimerStats",
+    "units_per_second",
+]

@@ -1,0 +1,125 @@
+"""The ``repro profile`` pipeline: reduce + schedule under tracing.
+
+Runs the paper's full workflow — forbidden-matrix construction,
+Algorithm 1, selection, then Iterative Modulo Scheduling of one kernel or
+a generated loop suite — with a tracer active, and returns the tracer so
+callers can render any of the exports.  This module is deliberately *not*
+imported from ``repro.obs.__init__``: it pulls in the scheduler stack,
+and the obs core must stay a leaf package the query layer can import.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.reduce import reduce_machine
+from repro.errors import MachineDescriptionError
+from repro.obs.trace import CAT_PROFILE, Tracer, tracing
+from repro.scheduler.ddg import chain
+from repro.scheduler.modulo import IterativeModuloScheduler
+from repro.workloads import KERNELS, loop_suite
+
+
+def workload_for(machine, kernel: Optional[str], loops: int) -> List:
+    """Dependence graphs to profile ``machine`` with.
+
+    The named kernel when given; otherwise the generated loop suite,
+    keeping only loops whose opcodes the machine implements.  Machines
+    outside the Cydra-5-subset repertoire (``example``, MDL files, ...)
+    get machine-native chain loops over their own operations instead, so
+    ``repro profile`` works for any description.
+    """
+    if kernel is not None:
+        return [KERNELS[kernel]()]
+
+    def implements(opcode: str) -> bool:
+        # Resolve through alternative groups: the suite says ``load_s``,
+        # the Cydra 5 implements it as ``load_s.0`` / ``load_s.1``.
+        try:
+            machine.alternatives_of(opcode)
+        except MachineDescriptionError:
+            return False
+        return True
+
+    suite = [
+        graph
+        for graph in loop_suite(loops)
+        if all(implements(op) for op in graph.opcodes())
+    ]
+    if suite:
+        return suite
+    names = machine.operation_names
+    width = min(8, len(names))
+    return [
+        chain(
+            "native-%d" % index,
+            [names[(index + j) % len(names)] for j in range(width)],
+        )
+        for index in range(max(1, loops))
+    ]
+
+
+def profile_machine(
+    machine,
+    kernel: Optional[str] = None,
+    loops: int = 8,
+    representation: str = "discrete",
+    word_cycles: int = 1,
+    objective: str = "res-uses",
+    schedule_reduced: bool = False,
+    tracer: Optional[Tracer] = None,
+    trace_queries: bool = False,
+    max_records: int = 200_000,
+) -> Tracer:
+    """Profile the reduction + scheduling pipeline on ``machine``.
+
+    Parameters
+    ----------
+    machine:
+        Machine description to profile.
+    kernel / loops:
+        Schedule the named kernel, or (when ``kernel`` is ``None``) the
+        first ``loops`` loops of the generated suite.
+    representation / word_cycles:
+        Query-module representation driven by the scheduler.
+    objective:
+        Reduction objective (``res-uses`` / ``word-uses``).
+    schedule_reduced:
+        Schedule on the reduced description instead of the original —
+        the paper's headline configuration.
+    tracer / trace_queries / max_records:
+        Tracing knobs; a fresh tracer is built when none is given.
+    """
+    if tracer is None:
+        tracer = Tracer(max_records=max_records, trace_queries=trace_queries)
+    tracer.meta.update(
+        machine=machine.name,
+        kernel=kernel or ("suite[%d]" % loops),
+        representation=representation,
+        word_cycles=word_cycles,
+        objective=objective,
+        scheduled_on="reduced" if schedule_reduced else "original",
+    )
+    with tracing(tracer):
+        with tracer.span("reduce", CAT_PROFILE):
+            reduction = reduce_machine(
+                machine, objective=objective, word_cycles=word_cycles
+            )
+        target = reduction.reduced if schedule_reduced else machine
+        scheduler = IterativeModuloScheduler(
+            target,
+            representation=representation,
+            word_cycles=word_cycles,
+        )
+        graphs = workload_for(machine, kernel, loops)
+        with tracer.span("schedule", CAT_PROFILE, loops=len(graphs)):
+            results: List[object] = []
+            for graph in graphs:
+                results.append(scheduler.schedule(graph))
+    optimal = sum(1 for r in results if r.optimal)
+    tracer.count("profile.loops", len(graphs))
+    tracer.count("profile.loops_at_mii", optimal)
+    return tracer
+
+
+__all__ = ["profile_machine", "workload_for"]

@@ -13,6 +13,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.machine import MachineDescription
+from repro.obs.instrument import observed_class
+from repro.obs.trace import current as _current_tracer
 from repro.query.base import ContentionQueryModule
 from repro.query.bitvector import BitvectorQueryModule
 from repro.query.discrete import DiscreteQueryModule
@@ -42,12 +44,24 @@ def make_query_module(
     modulo:
         Initiation interval for a modulo reservation table; ``None`` gives
         an ordinary (scalar) reserved table.
+
+    While an observability tracer is active (:func:`repro.obs.tracing`)
+    the *observed* subclass is constructed instead, so every basic
+    function call is timed and accounted (see
+    :mod:`repro.obs.instrument`).  With tracing disabled the plain class
+    is returned — the untraced hot path is untouched.
     """
     if representation == DISCRETE:
-        return DiscreteQueryModule(machine, modulo=modulo)
+        cls = DiscreteQueryModule
+    elif representation == BITVECTOR:
+        cls = BitvectorQueryModule
+    else:
+        raise ValueError(
+            "unknown representation %r (expected one of %s)"
+            % (representation, REPRESENTATIONS)
+        )
+    if _current_tracer() is not None:
+        cls = observed_class(cls)
     if representation == BITVECTOR:
-        return BitvectorQueryModule(machine, word_cycles=word_cycles, modulo=modulo)
-    raise ValueError(
-        "unknown representation %r (expected one of %s)"
-        % (representation, REPRESENTATIONS)
-    )
+        return cls(machine, word_cycles=word_cycles, modulo=modulo)
+    return cls(machine, modulo=modulo)

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.machine import MachineDescription
 from repro.errors import ScheduleError
+from repro.obs import trace as obs
 from repro.query.alternatives import FIRST_FIT
 from repro.query.modulo import DISCRETE, make_query_module
 from repro.query.work import WorkCounters
@@ -118,25 +119,39 @@ class OperationDrivenScheduler:
         horizon = graph.critical_path_length() + graph.num_operations
         horizon += self.horizon_slack
 
-        for name in order:
-            opcode = graph.operation(name).opcode
-            estart, lstart = self._window(graph, name, times)
-            slot = None
-            alternative = None
-            upper = lstart if lstart is not None else horizon
-            for t in range(estart, upper + 1):
-                alternative = qm.check_with_alternatives(opcode, t)
-                if alternative is not None:
-                    slot = t
-                    break
-            if slot is None:
-                raise ScheduleError(
-                    "no contention-free slot for %s in [%d, %d]"
-                    % (name, estart, upper)
-                )
-            qm.assign(alternative, slot)
-            times[name] = slot
-            chosen[name] = alternative
+        tracer = obs.current()
+        with obs.span(
+            "list.schedule", obs.CAT_SCHED,
+            block=graph.name, machine=self.machine.name,
+        ) as block_span:
+            for name in order:
+                opcode = graph.operation(name).opcode
+                estart, lstart = self._window(graph, name, times)
+                slot = None
+                alternative = None
+                upper = lstart if lstart is not None else horizon
+                for t in range(estart, upper + 1):
+                    alternative = qm.check_with_alternatives(opcode, t)
+                    if alternative is not None:
+                        slot = t
+                        break
+                if slot is None:
+                    raise ScheduleError(
+                        "no contention-free slot for %s in [%d, %d]"
+                        % (name, estart, upper)
+                    )
+                qm.assign(alternative, slot)
+                times[name] = slot
+                chosen[name] = alternative
+                if tracer is not None:
+                    tracer.event(
+                        "list.place", obs.CAT_SCHED,
+                        op=name, opcode=alternative, cycle=slot,
+                    )
+            block_span.set(
+                placements=len(times),
+                length=(max(times.values()) + 1) if times else 0,
+            )
 
         graph.verify_schedule(times)
         return BlockScheduleResult(
@@ -185,12 +200,13 @@ class OperationDrivenScheduler:
         owner_of = {}
         chosen: Dict[str, str] = {}
         prev_time: Dict[str, int] = {}
-        decisions = 0
         horizon = (
             graph.critical_path_length()
             + graph.num_operations
             + self.horizon_slack
         )
+
+        tracer = obs.current()
 
         def unschedule(name: str) -> None:
             token = tokens.pop(name)
@@ -198,7 +214,37 @@ class OperationDrivenScheduler:
             qm.free(token)
             del times[name]
             unscheduled.add(name)
+            if tracer is not None:
+                tracer.event(
+                    "list.unschedule", obs.CAT_SCHED, op=name
+                )
 
+        block_span = obs.span(
+            "list.schedule_backtracking", obs.CAT_SCHED,
+            block=graph.name, machine=self.machine.name, budget=budget,
+        )
+        with block_span:
+            self._backtracking_loop(
+                qm, graph, heights, pinned, unscheduled, times, tokens,
+                owner_of, chosen, prev_time, budget, horizon, unschedule,
+                tracer,
+            )
+            block_span.set(placements=len(times))
+
+        graph.verify_schedule(times)
+        return BlockScheduleResult(
+            graph=graph,
+            machine=self.machine,
+            times=times,
+            chosen_opcodes=chosen,
+            work=qm.work,
+        )
+
+    def _backtracking_loop(
+        self, qm, graph, heights, pinned, unscheduled, times, tokens,
+        owner_of, chosen, prev_time, budget, horizon, unschedule, tracer,
+    ) -> None:
+        decisions = 0
         while unscheduled:
             if decisions >= budget:
                 raise ScheduleError(
@@ -246,6 +292,11 @@ class OperationDrivenScheduler:
             tokens[name] = token
             owner_of[token.ident] = name
             chosen[name] = alternative
+            if tracer is not None:
+                tracer.event(
+                    "list.place", obs.CAT_SCHED,
+                    op=name, opcode=alternative, cycle=slot,
+                )
 
             for victim_token in evicted:
                 if victim_token.ident in pinned:
@@ -266,6 +317,11 @@ class OperationDrivenScheduler:
                 del times[victim]
                 del tokens[victim]
                 unscheduled.add(victim)
+                if tracer is not None:
+                    tracer.event(
+                        "list.evict_resource", obs.CAT_SCHED,
+                        op=victim, by=name,
+                    )
             else:
                 # Placement stands: evict neighbours whose dependences
                 # the new time violates.
@@ -277,15 +333,6 @@ class OperationDrivenScheduler:
                     if edge.distance == 0 and edge.src in times:
                         if times[edge.src] + edge.latency > times[name]:
                             unschedule(edge.src)
-
-        graph.verify_schedule(times)
-        return BlockScheduleResult(
-            graph=graph,
-            machine=self.machine,
-            times=times,
-            chosen_opcodes=chosen,
-            work=qm.work,
-        )
 
     @staticmethod
     def _heights(graph: DependenceGraph) -> Dict[str, int]:

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.forbidden import ForbiddenLatencyMatrix
 from repro.core.machine import MachineDescription
 from repro.errors import ScheduleError
+from repro.obs import trace as obs
 from repro.query.alternatives import FIRST_FIT
 from repro.query.modulo import DISCRETE, make_query_module
 from repro.query.work import CHECK, WorkCounters
@@ -188,32 +189,43 @@ class IterativeModuloScheduler:
     def schedule(self, graph: DependenceGraph) -> ModuloScheduleResult:
         """Modulo-schedule a loop; raises :class:`ScheduleError` on failure."""
         graph.validate()
-        mii = min_ii(self.machine, graph, matrix=self.matrix)
-        work = WorkCounters()
-        attempts: List[AttemptStats] = []
-        check_distribution = Counter()
-        for ii in range(mii, mii + self.max_ii_slack + 1):
-            outcome = self._attempt(graph, ii, work)
-            attempts.append(outcome.stats)
-            check_distribution.update(outcome.check_counts)
-            if outcome.stats.succeeded:
-                result = ModuloScheduleResult(
-                    graph=graph,
-                    machine=self.machine,
-                    ii=ii,
-                    mii=mii,
-                    times=outcome.times,
-                    chosen_opcodes=outcome.chosen,
-                    attempts=attempts,
-                    work=work,
-                    check_distribution=check_distribution,
+        with obs.span(
+            "ims.schedule", obs.CAT_SCHED,
+            loop=graph.name, machine=self.machine.name,
+        ) as schedule_span:
+            mii = min_ii(self.machine, graph, matrix=self.matrix)
+            work = WorkCounters()
+            attempts: List[AttemptStats] = []
+            check_distribution = Counter()
+            for ii in range(mii, mii + self.max_ii_slack + 1):
+                outcome = self._attempt(graph, ii, work)
+                attempts.append(outcome.stats)
+                check_distribution.update(outcome.check_counts)
+                if outcome.stats.succeeded:
+                    schedule_span.set(ii=ii, mii=mii, attempts=len(attempts))
+                    break
+            else:
+                obs.event(
+                    "ims.give_up", obs.CAT_SCHED,
+                    loop=graph.name, max_ii=mii + self.max_ii_slack,
                 )
-                self._verify(result)
-                return result
-        raise ScheduleError(
-            "failed to schedule %r up to II=%d"
-            % (graph.name, mii + self.max_ii_slack)
+                raise ScheduleError(
+                    "failed to schedule %r up to II=%d"
+                    % (graph.name, mii + self.max_ii_slack)
+                )
+        result = ModuloScheduleResult(
+            graph=graph,
+            machine=self.machine,
+            ii=ii,
+            mii=mii,
+            times=outcome.times,
+            chosen_opcodes=outcome.chosen,
+            attempts=attempts,
+            work=work,
+            check_distribution=check_distribution,
         )
+        self._verify(result)
+        return result
 
     # ------------------------------------------------------------------
     @dataclass
@@ -251,88 +263,137 @@ class IterativeModuloScheduler:
         def priority(name: str) -> Tuple[int, str]:
             return (-heights[name], name)
 
+        tracer = obs.current()
         check_counts = Counter()
-        while unscheduled and decisions < budget:
-            name = min(unscheduled, key=priority)
-            unscheduled.discard(name)
-            checks_before = qm.work.calls[CHECK]
-            estart = 0
-            for edge in graph.predecessors(name):
-                if edge.src in times:
-                    bound = times[edge.src] + edge.latency - ii * edge.distance
-                    if bound > estart:
-                        estart = bound
-
-            # Search an II-wide window for a contention-free slot.
-            # The lifetime policy scans downward from the latest slot
-            # permitted by already-scheduled consumers (when any exist),
-            # shortening the lifetimes of this op's produced value.
-            candidates = range(estart, estart + ii)
-            if self.placement_policy == "lifetime":
-                deadline = None
-                for edge in graph.successors(name):
-                    if edge.dst in times and edge.dst != name:
+        attempt_span = obs.span(
+            "ims.attempt", obs.CAT_SCHED,
+            loop=graph.name, ii=ii, budget=budget,
+        )
+        with attempt_span:
+            while unscheduled and decisions < budget:
+                name = min(unscheduled, key=priority)
+                unscheduled.discard(name)
+                checks_before = qm.work.calls[CHECK]
+                estart = 0
+                for edge in graph.predecessors(name):
+                    if edge.src in times:
                         bound = (
-                            times[edge.dst]
-                            - edge.latency
-                            + ii * edge.distance
+                            times[edge.src]
+                            + edge.latency
+                            - ii * edge.distance
                         )
-                        deadline = (
-                            bound
-                            if deadline is None
-                            else min(deadline, bound)
+                        if bound > estart:
+                            estart = bound
+
+                # Search an II-wide window for a contention-free slot.
+                # The lifetime policy scans downward from the latest slot
+                # permitted by already-scheduled consumers (when any
+                # exist), shortening the lifetimes of this op's produced
+                # value.
+                candidates = range(estart, estart + ii)
+                if self.placement_policy == "lifetime":
+                    deadline = None
+                    for edge in graph.successors(name):
+                        if edge.dst in times and edge.dst != name:
+                            bound = (
+                                times[edge.dst]
+                                - edge.latency
+                                + ii * edge.distance
+                            )
+                            deadline = (
+                                bound
+                                if deadline is None
+                                else min(deadline, bound)
+                            )
+                    if deadline is not None and deadline >= estart:
+                        upper = min(deadline, estart + ii - 1)
+                        candidates = range(upper, estart - 1, -1)
+                slot = None
+                alternative = None
+                for t in candidates:
+                    alternative = qm.check_with_alternatives(
+                        opcode_of[name], t
+                    )
+                    if alternative is not None:
+                        slot = t
+                        break
+                forced = slot is None
+                if forced:
+                    # Forced placement (Rau): earliest legal slot, but
+                    # strictly after the previous placement when
+                    # re-scheduling at the same spot, to guarantee
+                    # forward progress.
+                    previous = prev_time.get(name)
+                    if previous is None or estart > previous:
+                        slot = estart
+                    else:
+                        slot = previous + 1
+                    alternative = self.machine.alternatives_of(
+                        opcode_of[name]
+                    )[0]
+
+                check_counts[qm.work.calls[CHECK] - checks_before] += 1
+                token, evicted = qm.assign_free(alternative, slot)
+                decisions += 1
+                times[name] = slot
+                prev_time[name] = slot
+                tokens[name] = token
+                token_owner[token.ident] = name
+                chosen[name] = alternative
+                if tracer is not None:
+                    tracer.event(
+                        "ims.force" if forced else "ims.place",
+                        obs.CAT_SCHED,
+                        op=name, opcode=alternative, cycle=slot, ii=ii,
+                    )
+
+                for victim_token in evicted:
+                    victim = token_owner.pop(victim_token.ident)
+                    evict_resource += 1
+                    del times[victim]
+                    del tokens[victim]
+                    unscheduled.add(victim)
+                    if tracer is not None:
+                        tracer.event(
+                            "ims.evict_resource", obs.CAT_SCHED,
+                            op=victim, by=name, ii=ii,
                         )
-                if deadline is not None and deadline >= estart:
-                    upper = min(deadline, estart + ii - 1)
-                    candidates = range(upper, estart - 1, -1)
-            slot = None
-            alternative = None
-            for t in candidates:
-                alternative = qm.check_with_alternatives(opcode_of[name], t)
-                if alternative is not None:
-                    slot = t
-                    break
-            if slot is None:
-                # Forced placement (Rau): earliest legal slot, but strictly
-                # after the previous placement when re-scheduling at the
-                # same spot, to guarantee forward progress.
-                previous = prev_time.get(name)
-                if previous is None or estart > previous:
-                    slot = estart
-                else:
-                    slot = previous + 1
-                alternative = self.machine.alternatives_of(opcode_of[name])[0]
 
-            check_counts[qm.work.calls[CHECK] - checks_before] += 1
-            token, evicted = qm.assign_free(alternative, slot)
-            decisions += 1
-            times[name] = slot
-            prev_time[name] = slot
-            tokens[name] = token
-            token_owner[token.ident] = name
-            chosen[name] = alternative
+                # Unschedule successors whose dependences the placement
+                # breaks.
+                for edge in graph.successors(name):
+                    succ = edge.dst
+                    if succ == name or succ not in times:
+                        continue
+                    if (
+                        times[name] + edge.latency - ii * edge.distance
+                        > times[succ]
+                    ):
+                        victim_token = tokens.pop(succ)
+                        token_owner.pop(victim_token.ident, None)
+                        qm.free(victim_token)
+                        evict_dependence += 1
+                        del times[succ]
+                        unscheduled.add(succ)
+                        if tracer is not None:
+                            tracer.event(
+                                "ims.evict_dependence", obs.CAT_SCHED,
+                                op=succ, by=name, ii=ii,
+                            )
 
-            for victim_token in evicted:
-                victim = token_owner.pop(victim_token.ident)
-                evict_resource += 1
-                del times[victim]
-                del tokens[victim]
-                unscheduled.add(victim)
-
-            # Unschedule successors whose dependences the placement breaks.
-            for edge in graph.successors(name):
-                succ = edge.dst
-                if succ == name or succ not in times:
-                    continue
-                if times[name] + edge.latency - ii * edge.distance > times[succ]:
-                    victim_token = tokens.pop(succ)
-                    token_owner.pop(victim_token.ident, None)
-                    qm.free(victim_token)
-                    evict_dependence += 1
-                    del times[succ]
-                    unscheduled.add(succ)
-
-        succeeded = not unscheduled
+            succeeded = not unscheduled
+            attempt_span.set(
+                decisions=decisions,
+                evictions=evict_resource + evict_dependence,
+                succeeded=succeeded,
+            )
+            if tracer is not None:
+                tracer.count("sched.ims.decisions", decisions)
+                if not succeeded:
+                    tracer.event(
+                        "ims.budget_exceeded", obs.CAT_SCHED,
+                        loop=graph.name, ii=ii, budget=budget,
+                    )
         work.merge(qm.work)
         stats = AttemptStats(
             ii=ii,

@@ -80,3 +80,68 @@ class TestAggregation:
         report = work.report()
         assert "check" in report
         assert "weighted" in report
+
+
+class TestEdgeCases:
+    def test_clamp_applies_to_negative_work(self):
+        # A buggy caller reporting negative work must still be charged
+        # the paper's absolute minimum of one unit.
+        work = WorkCounters()
+        work.charge(ASSIGN, -5)
+        assert work.units[ASSIGN] == 1
+
+    def test_clamp_is_per_call_not_per_total(self):
+        work = WorkCounters()
+        work.charge(CHECK, 0)
+        work.charge(CHECK, 0)
+        work.charge(CHECK, 5)
+        assert work.units[CHECK] == 7
+        assert work.per_call(CHECK) == 7 / 3
+
+    def test_weighted_average_zero_calls(self):
+        assert WorkCounters().weighted_average() == 0.0
+
+    def test_merge_empty_is_identity(self):
+        work = WorkCounters()
+        work.charge(CHECK, 2)
+        work.merge(WorkCounters())
+        assert work.calls[CHECK] == 1
+        assert work.units[CHECK] == 2
+
+    def test_merge_into_empty(self):
+        source = WorkCounters()
+        source.charge(FREE, 3)
+        sink = WorkCounters()
+        sink.merge(source)
+        assert sink.units[FREE] == 3
+        # Merging copies counts, it does not alias the source.
+        source.charge(FREE, 1)
+        assert sink.calls[FREE] == 1
+
+    def test_merge_counters_across_schedulers(self):
+        # The paper's tables aggregate work over many loops scheduled by
+        # separate scheduler instances; merging their counters must equal
+        # one counter that saw every call.
+        from repro.machines import cydra5_subset
+        from repro.scheduler import IterativeModuloScheduler
+        from repro.workloads import KERNELS
+
+        machine = cydra5_subset()
+        results = [
+            IterativeModuloScheduler(machine).schedule(KERNELS[name]())
+            for name in ("daxpy", "inner-product")
+        ]
+        combined = WorkCounters()
+        for result in results:
+            combined.merge(result.work)
+        for fn in FUNCTIONS:
+            assert combined.calls[fn] == sum(
+                r.work.calls[fn] for r in results
+            )
+            assert combined.units[fn] == sum(
+                r.work.units[fn] for r in results
+            )
+        assert combined.total_calls == sum(
+            r.work.total_calls for r in results
+        )
+        assert combined.weighted_average() > 0
