@@ -1,0 +1,44 @@
+"""Crash-safe file writes: temp file in the target directory + ``os.replace``.
+
+A process killed mid-write must never leave a truncated artifact behind —
+readers either see the complete previous version or the complete new one.
+This module is a dependency-free leaf so that every writer in the library
+(``mdl`` dumps, ``obs`` exporters, lint baselines, the resilience artifact
+store) can route through it without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The data lands in a temporary file in the same directory (so the final
+    ``os.replace`` stays within one filesystem and is atomic), is flushed
+    and fsynced, and only then renamed over the target.  On any failure the
+    temporary file is removed; the target is either untouched or complete.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory,
+        prefix="." + os.path.basename(path) + ".",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+__all__ = ["atomic_write_text"]

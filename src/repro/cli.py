@@ -13,6 +13,11 @@ Commands
 ``automata``  build the contention-recognizing automata and report sizes
 ``lint``      static-analysis audit with structured diagnostics
 ``profile``   reduce + schedule under tracing; per-phase time/work report
+``chaos``     deterministic fault injection against the resilience layer
+
+``reduce`` and ``schedule`` accept ``--deadline``/``--max-units`` budgets
+(exceeded budgets exit 3) and ``--fallback`` to degrade down the verified
+fallback ladder instead of failing — see ``docs/robustness.md``.
 
 ``reduce``, ``schedule``, ``automata``, and ``profile`` accept
 ``--metrics FILE`` (schema-versioned JSON metrics, ``-`` for stdout) and
@@ -38,7 +43,7 @@ from repro.core import reduce_machine
 from repro.core.forbidden import ForbiddenLatencyMatrix
 from repro.core.machine import MachineDescription
 from repro.core.verify import differences
-from repro.errors import ReproError
+from repro.errors import BudgetExceeded, ReproError
 from repro.machines import STUDY_MACHINES, example_machine, playdoh
 from repro.scheduler import IterativeModuloScheduler
 from repro.stats import describe
@@ -120,6 +125,39 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _make_budget(args: argparse.Namespace, label: str):
+    """A :class:`~repro.resilience.Budget` from ``--deadline``/``--max-units``
+    (``None`` when neither flag is given)."""
+    deadline = getattr(args, "deadline", None)
+    max_units = getattr(args, "max_units", None)
+    if deadline is None and max_units is None:
+        return None
+    from repro.resilience import Budget
+
+    return Budget(deadline_s=deadline, max_units=max_units, label=label)
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget; exceeded budgets exit 3 (or degrade"
+        " with --fallback)",
+    )
+    parser.add_argument(
+        "--max-units",
+        type=int,
+        metavar="N",
+        help="work-unit budget (same currency as the query metrics)",
+    )
+    parser.add_argument(
+        "--fallback",
+        action="store_true",
+        help="degrade down the verified fallback ladder instead of failing",
+    )
+
+
 def _cmd_reduce(args: argparse.Namespace) -> int:
     machine = _load_machine(args.machine)
     with _observing(args) as tracer:
@@ -128,13 +166,43 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
                 command="reduce", machine=machine.name,
                 objective=args.objective, word_cycles=args.word_cycles,
             )
-        reduction = reduce_machine(
-            machine, objective=args.objective, word_cycles=args.word_cycles
-        )
-        print(reduction.summary())
+        if args.fallback:
+            from repro.resilience import FallbackPolicy, reduce_with_fallback
+
+            policy = FallbackPolicy(
+                deadline_s=args.deadline, max_units=args.max_units
+            )
+            outcome = reduce_with_fallback(machine, policy)
+            print(
+                "fallback ladder served rung %r (%s) after %d attempt(s)"
+                % (outcome.rung, outcome.marker, len(outcome.attempts))
+            )
+            for attempt in outcome.attempts:
+                if attempt.failed:
+                    print(
+                        "  %s: %s failed (%s)"
+                        % (attempt.rung, attempt.detail, attempt.error_type)
+                    )
+            if outcome.reduction is not None:
+                print(outcome.reduction.summary())
+            served = outcome.machine
+        else:
+            reduction = reduce_machine(
+                machine,
+                objective=args.objective,
+                word_cycles=args.word_cycles,
+                budget=_make_budget(args, "reduce"),
+            )
+            print(reduction.summary())
+            served = reduction.reduced
         if args.output:
-            mdl.dump_file(reduction.reduced, args.output)
-            print("wrote %s" % args.output)
+            from repro.resilience import artifacts
+
+            artifacts.write_machine(args.output, served)
+            print(
+                "wrote %s (+ checksum sidecar %s)"
+                % (args.output, artifacts.sidecar_path(args.output))
+            )
     return 0
 
 
@@ -201,25 +269,82 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                 representation=args.representation,
                 kernel=args.kernel or ("suite[%d]" % args.loops),
             )
-        print("%-22s %4s %4s %4s %8s" % ("loop", "ops", "MII", "II", "dec/op"))
-        for graph in graphs:
-            result = scheduler.schedule(graph)
-            optimal += result.optimal
-            print(
-                "%-22s %4d %4d %4d %8.2f"
-                % (
-                    graph.name,
-                    graph.num_operations,
-                    result.mii,
-                    result.ii,
-                    result.decisions_per_op,
-                )
+        if args.fallback:
+            from repro.resilience import FallbackPolicy, schedule_with_fallback
+
+            policy = FallbackPolicy(
+                deadline_s=args.deadline, max_units=args.max_units
             )
+            print(
+                "%-22s %4s %4s %4s %-6s"
+                % ("loop", "ops", "MII", "II", "rung")
+            )
+            for graph in graphs:
+                outcome = schedule_with_fallback(
+                    machine,
+                    graph,
+                    policy,
+                    representation=args.representation,
+                    word_cycles=args.word_cycles,
+                )
+                optimal += outcome.ii == outcome.mii
+                print(
+                    "%-22s %4d %4d %4d %-6s"
+                    % (
+                        graph.name,
+                        graph.num_operations,
+                        outcome.mii,
+                        outcome.ii,
+                        outcome.rung,
+                    )
+                )
+        else:
+            print(
+                "%-22s %4s %4s %4s %8s"
+                % ("loop", "ops", "MII", "II", "dec/op")
+            )
+            for graph in graphs:
+                result = scheduler.schedule(
+                    graph, budget=_make_budget(args, "schedule:" + graph.name)
+                )
+                optimal += result.optimal
+                print(
+                    "%-22s %4d %4d %4d %8.2f"
+                    % (
+                        graph.name,
+                        graph.num_operations,
+                        result.mii,
+                        result.ii,
+                        result.decisions_per_op,
+                    )
+                )
         print(
             "\n%d/%d loops scheduled at MII (%.1f%%)"
             % (optimal, len(graphs), 100.0 * optimal / len(graphs))
         )
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience import artifacts, run_chaos
+
+    machine = _load_machine(args.machine)
+    with _observing(args) as tracer:
+        if tracer is not None:
+            tracer.meta.update(
+                command="chaos", machine=machine.name, seed=args.seed
+            )
+        report = run_chaos(
+            machine,
+            seed=args.seed,
+            faults=args.faults,
+            workdir=args.workdir,
+        )
+        print(report.render_text())
+        if args.out:
+            artifacts.write_json(args.out, report.to_dict(), kind="chaos")
+            print("wrote %s" % args.out, file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -518,8 +643,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="res-uses",
     )
     p.add_argument("--word-cycles", type=int, default=1)
-    p.add_argument("-o", "--output", help="write reduced machine as MDL")
+    p.add_argument(
+        "-o",
+        "--output",
+        help="write reduced machine as a checksummed MDL artifact",
+    )
     _add_observability_flags(p)
+    _add_resilience_flags(p)
     p.set_defaults(func=_cmd_reduce)
 
     p = sub.add_parser("verify", help="compare two descriptions")
@@ -694,7 +824,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--word-cycles", type=int, default=1)
     _add_observability_flags(p)
+    _add_resilience_flags(p)
     p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser(
+        "chaos",
+        help="deterministic fault injection against the resilience layer",
+        description="Inject seed-derived faults (dropped/shifted usages,"
+        " phase delays, truncated artifact writes, flipped checksums) and"
+        " report whether each was detected or survived via the verified"
+        " fallback ladder.  Exits 1 when any fault goes unhandled.",
+    )
+    p.add_argument("machine", help="built-in name or MDL file")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--faults",
+        nargs="+",
+        metavar="FAULT",
+        choices=(
+            "drop-usage",
+            "shift-usage",
+            "phase-delay",
+            "truncate-write",
+            "flip-checksum",
+        ),
+        help="fault classes to inject (default: all)",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the chaos report as a checksummed JSON artifact",
+    )
+    p.add_argument(
+        "--workdir",
+        metavar="DIR",
+        help="directory for artifact-fault files (default: a temp dir)",
+    )
+    _add_observability_flags(p)
+    p.set_defaults(func=_cmd_chaos)
 
     return parser
 
@@ -704,6 +871,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # Atomic artifact writes guarantee no partial files survive the
+        # interrupt; 130 = 128 + SIGINT, the shell convention.
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BudgetExceeded as exc:
+        # Distinct from usage errors (2) and lint/verify findings (1) so
+        # callers can retry with a larger budget or --fallback.
+        print("budget exceeded: %s" % exc, file=sys.stderr)
+        return 3
     except ReproError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2

@@ -53,8 +53,16 @@ class ForbiddenLatencyMatrix:
         self._sets = {pair: latencies for pair, latencies in sets.items() if latencies}
 
     @classmethod
-    def from_machine(cls, machine: MachineDescription) -> "ForbiddenLatencyMatrix":
-        """Compute the matrix of a machine description (paper Step 1)."""
+    def from_machine(
+        cls, machine: MachineDescription, budget=None
+    ) -> "ForbiddenLatencyMatrix":
+        """Compute the matrix of a machine description (paper Step 1).
+
+        ``budget`` is an optional :class:`repro.resilience.Budget` checked
+        once per resource row (one unit per row's usage cross-product);
+        exceeding it raises :class:`~repro.errors.BudgetExceeded` with
+        phase ``"forbidden_matrix"``.
+        """
         ops = machine.operation_names
         # Index usages by resource once: resource -> list of (op, cycles).
         by_resource: Dict[str, List[Tuple[str, FrozenSet[int]]]] = {}
@@ -66,6 +74,11 @@ class ForbiddenLatencyMatrix:
                 )
         sets: Dict[Tuple[str, str], set] = {}
         for users in by_resource.values():
+            if budget is not None:
+                budget.checkpoint(
+                    "forbidden_matrix", units=len(users),
+                    progress=len(sets),
+                )
             for op_x, cycles_x in users:
                 for op_y, cycles_y in users:
                     bucket = sets.setdefault((op_x, op_y), set())

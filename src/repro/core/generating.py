@@ -78,6 +78,7 @@ def build_generating_set(
     matrix: ForbiddenLatencyMatrix,
     prune_subsets_every: Optional[int] = 64,
     trace: Optional[Callable[[TraceStep], None]] = None,
+    budget=None,
 ) -> List[Resource]:
     """Run Algorithm 1 and return the generating set of maximal resources.
 
@@ -91,6 +92,12 @@ def build_generating_set(
     trace:
         Optional callback receiving a :class:`TraceStep` after each pair —
         used to regenerate the paper's Figure 3.
+    budget:
+        Optional :class:`repro.resilience.Budget` checked once per
+        elementary pair (charged one unit per resource the pair is matched
+        against).  :class:`~repro.errors.BudgetExceeded` carries phase
+        ``"generating_set"``, the number of pairs processed, and the
+        resource list grown so far as its partial result.
     """
     resources: List[Resource] = []
     worklist = elementary_pairs(matrix)
@@ -99,6 +106,13 @@ def build_generating_set(
     if tracer is not None:
         tracer.count("reduce.algorithm1.pairs", len(worklist))
     for processed, pair in enumerate(worklist, start=1):
+        if budget is not None:
+            budget.checkpoint(
+                "generating_set",
+                units=1 + len(resources),
+                progress="%d/%d pairs" % (processed - 1, len(worklist)),
+                partial=list(resources),
+            )
         step = TraceStep(pair=pair) if trace is not None else None
         u0, u1 = pair_usages(pair)
         # Hot path: precompute, per operation, the set of cycles at which

@@ -120,6 +120,7 @@ def reduce_machine(
     prune_subsets_every: Optional[int] = 64,
     verify: bool = True,
     collapse_classes: bool = False,
+    budget=None,
 ) -> Reduction:
     """Reduce a machine description, preserving its scheduling constraints.
 
@@ -146,9 +147,16 @@ def reduce_machine(
         ``F[X][X] = F[X][Y] = F[Y][X] = F[Y][Y]`` whenever X and Y share a
         class, so identical tables reproduce every entry.  A large
         speedup for machines with many interchangeable operations.
+    budget:
+        Optional :class:`repro.resilience.Budget` (deadline and/or work-unit
+        cap) checked at every phase boundary and inside each phase's main
+        loop; :class:`~repro.errors.BudgetExceeded` records which phase ran
+        out and its best partial result.  Use
+        :func:`repro.resilience.reduce_with_fallback` for a version that
+        degrades verifiably instead of raising.
     """
     with obs.span("forbidden_matrix", obs.CAT_REDUCE, machine=machine.name):
-        matrix = ForbiddenLatencyMatrix.from_machine(machine)
+        matrix = ForbiddenLatencyMatrix.from_machine(machine, budget=budget)
     if collapse_classes:
         classes = matrix.operation_classes()
         if any(len(members) > 1 for members in classes):
@@ -166,6 +174,7 @@ def reduce_machine(
                 word_cycles=word_cycles,
                 prune_subsets_every=prune_subsets_every,
                 verify=False,
+                budget=budget,
             )
             expanded = MachineDescription(
                 machine.name + "-reduced",
@@ -198,7 +207,7 @@ def reduce_machine(
             )
     with obs.span("generating_set", obs.CAT_REDUCE, machine=machine.name):
         generating_set = build_generating_set(
-            matrix, prune_subsets_every=prune_subsets_every
+            matrix, prune_subsets_every=prune_subsets_every, budget=budget
         )
     with obs.span("prune_covered", obs.CAT_REDUCE):
         pruned = prune_covered_resources(generating_set)
@@ -207,12 +216,15 @@ def reduce_machine(
         objective=objective, word_cycles=word_cycles,
     ):
         selection = select_resources(
-            matrix, pruned, objective=objective, word_cycles=word_cycles
+            matrix, pruned, objective=objective, word_cycles=word_cycles,
+            budget=budget,
         )
     reduced = machine_from_selection(machine, selection)
     if verify:
         with obs.span("verify", obs.CAT_REDUCE, machine=machine.name):
-            reduced_matrix = ForbiddenLatencyMatrix.from_machine(reduced)
+            reduced_matrix = ForbiddenLatencyMatrix.from_machine(
+                reduced, budget=budget
+            )
             mismatches = matrix.differences(reduced_matrix)
         if mismatches:
             raise EquivalenceError(

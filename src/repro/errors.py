@@ -20,6 +20,10 @@ class ReductionError(ReproError):
     """The reduction pipeline failed to produce an exact reduced machine."""
 
 
+#: Mismatch pairs rendered by ``str(EquivalenceError)`` before eliding.
+MISMATCH_RENDER_LIMIT = 20
+
+
 class EquivalenceError(ReductionError):
     """Two machine descriptions do not induce the same forbidden latencies.
 
@@ -28,15 +32,107 @@ class EquivalenceError(ReductionError):
     mismatches:
         List of ``(op_x, op_y, only_in_first, only_in_second)`` tuples
         describing operation pairs whose forbidden latency sets differ.
+        The full list is always kept; rendering caps the pairs shown at
+        :data:`MISMATCH_RENDER_LIMIT` so errors on large machines stay
+        readable.
     """
 
     def __init__(self, message, mismatches=None):
         super().__init__(message)
         self.mismatches = list(mismatches or [])
 
+    def __str__(self):
+        base = super().__str__()
+        if not self.mismatches:
+            return base
+        shown = self.mismatches[:MISMATCH_RENDER_LIMIT]
+        pairs = ", ".join("%s/%s" % (x, y) for x, y, _a, _b in shown)
+        remainder = len(self.mismatches) - len(shown)
+        suffix = " … and %d more" % remainder if remainder > 0 else ""
+        return "%s [mismatches: %s%s]" % (base, pairs, suffix)
+
 
 class ScheduleError(ReproError):
-    """A scheduler failed to produce a valid schedule."""
+    """A scheduler failed to produce a valid schedule.
+
+    Attributes
+    ----------
+    ii_range:
+        ``(first_ii, last_ii)`` tried before giving up, or ``None`` when
+        the failure is not tied to an II search.
+    attempts:
+        Per-II :class:`~repro.scheduler.modulo.AttemptStats` records (empty
+        when unavailable) — retry logic inspects these instead of parsing
+        the message.
+    budget_exceeded:
+        True when at least one attempt ran out of its scheduling-decision
+        budget (i.e. escalating the budget may help; a structural failure
+        will not).
+    """
+
+    def __init__(self, message, ii_range=None, attempts=None,
+                 budget_exceeded=False):
+        super().__init__(message)
+        self.ii_range = tuple(ii_range) if ii_range is not None else None
+        self.attempts = list(attempts or [])
+        self.budget_exceeded = bool(budget_exceeded)
+
+
+class BudgetExceeded(ReproError):
+    """A deadline or work-unit budget ran out at a phase boundary.
+
+    Attributes
+    ----------
+    phase:
+        The pipeline phase that hit the limit (``"forbidden_matrix"``,
+        ``"generating_set"``, ``"selection"``, ``"verify"``, ``"ims"``, ...).
+    elapsed_s / deadline_s:
+        Wall-clock seconds spent and the configured deadline (``None``
+        when the budget had no deadline).
+    units / max_units:
+        Work units charged so far and the configured cap (``None`` when
+        uncapped).  Units share the currency of
+        :class:`repro.query.work.WorkCounters`.
+    progress:
+        Free-form per-phase progress indicator (e.g. pairs processed).
+    partial:
+        The best partial result the phase produced before the budget ran
+        out, or ``None`` — the fallback ladder mines this to avoid
+        recomputing completed phases.
+    """
+
+    def __init__(self, message, phase=None, elapsed_s=None, deadline_s=None,
+                 units=None, max_units=None, progress=None, partial=None):
+        super().__init__(message)
+        self.phase = phase
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+        self.units = units
+        self.max_units = max_units
+        self.progress = progress
+        self.partial = partial
+
+
+class ArtifactIntegrityError(ReproError):
+    """A stored artifact failed self-verification on load.
+
+    Attributes
+    ----------
+    path:
+        The artifact file that failed verification.
+    kind:
+        What failed: ``"checksum"``, ``"matrix-digest"``, ``"sidecar"``.
+    expected / actual:
+        The recorded and recomputed digest (``None`` when not applicable).
+    """
+
+    def __init__(self, message, path=None, kind=None, expected=None,
+                 actual=None):
+        super().__init__(message)
+        self.path = path
+        self.kind = kind
+        self.expected = expected
+        self.actual = actual
 
 
 class QueryError(ReproError):

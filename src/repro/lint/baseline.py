@@ -31,6 +31,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Set, Tuple
 
+from repro._atomic import atomic_write_text
 from repro.errors import LintConfigError
 from repro.lint.diagnostics import Diagnostic, LintReport, Location
 
@@ -150,9 +151,10 @@ class Baseline:
 
     def save(self, path: str) -> None:
         try:
-            with open(path, "w", encoding="utf-8") as handle:
-                json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-                handle.write("\n")
+            atomic_write_text(
+                path,
+                json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            )
         except OSError as exc:
             raise LintConfigError(
                 "cannot write baseline %r: %s" % (path, exc)

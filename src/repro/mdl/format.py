@@ -47,6 +47,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro._atomic import atomic_write_text
 from repro.core.machine import MachineDescription
 from repro.errors import MachineDescriptionError, ParseError
 
@@ -455,6 +456,5 @@ def load_file(path: str) -> MachineDescription:
 
 
 def dump_file(machine: MachineDescription, path: str) -> None:
-    """Write a machine description to an MDL file."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dumps(machine))
+    """Write a machine description to an MDL file (atomically)."""
+    atomic_write_text(path, dumps(machine))

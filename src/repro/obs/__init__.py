@@ -37,6 +37,7 @@ from repro.obs.trace import (
     CAT_PROFILE,
     CAT_QUERY,
     CAT_REDUCE,
+    CAT_RESILIENCE,
     CAT_SCHED,
     EventRecord,
     SpanRecord,
@@ -56,6 +57,7 @@ __all__ = [
     "CAT_PROFILE",
     "CAT_QUERY",
     "CAT_REDUCE",
+    "CAT_RESILIENCE",
     "CAT_SCHED",
     "EventRecord",
     "Histogram",

@@ -17,6 +17,7 @@ import json
 import sys
 from typing import Dict, List, Optional
 
+from repro._atomic import atomic_write_text
 from repro.obs.instrument import QUERY_FUNCTIONS
 from repro.obs.trace import Tracer
 
@@ -85,8 +86,7 @@ def write_metrics(tracer: Tracer, path: str) -> None:
     if path == "-":
         sys.stdout.write(text + "\n")
         return
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(text + "\n")
+    atomic_write_text(path, text + "\n")
 
 
 # ----------------------------------------------------------------------
@@ -142,9 +142,7 @@ def chrome_trace_document(tracer: Tracer) -> Dict[str, object]:
 
 def write_chrome_trace(tracer: Tracer, path: str) -> None:
     document = chrome_trace_document(tracer)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle)
-        handle.write("\n")
+    atomic_write_text(path, json.dumps(document) + "\n")
 
 
 # ----------------------------------------------------------------------

@@ -37,6 +37,7 @@ CAT_SCHED = "sched"
 CAT_QUERY = "query"
 CAT_AUTOMATA = "automata"
 CAT_PROFILE = "profile"
+CAT_RESILIENCE = "resilience"
 
 
 class SpanRecord:
@@ -290,6 +291,7 @@ __all__ = [
     "CAT_PROFILE",
     "CAT_QUERY",
     "CAT_REDUCE",
+    "CAT_RESILIENCE",
     "CAT_SCHED",
     "EventRecord",
     "SpanRecord",

@@ -1,0 +1,99 @@
+"""Resilience layer: budgets, fallback ladders, artifacts, and chaos.
+
+The paper's thesis is that a reduced machine description is only
+trustworthy because it is *checked*; this package extends that stance to
+runtime failure modes.  Four pieces:
+
+* :mod:`~repro.resilience.budget` — wall-clock deadlines and work-unit
+  caps with cooperative cancellation at phase boundaries;
+* :mod:`~repro.resilience.fallback` — verified degradation ladders for
+  reduction (reduced → partially-selected → original) and scheduling
+  (IMS with escalation → flat list schedule);
+* :mod:`~repro.resilience.artifacts` — crash-safe, checksummed artifact
+  store with semantic (forbidden-matrix digest) self-verification;
+* :mod:`~repro.resilience.chaos` — deterministic fault injection proving
+  the above actually hold (``repro chaos <machine> --seed N``).
+
+See ``docs/robustness.md``.
+"""
+
+from repro.errors import ArtifactIntegrityError, BudgetExceeded
+from repro.resilience.artifacts import (
+    ARTIFACT_SCHEMA_NAME,
+    ARTIFACT_SCHEMA_VERSION,
+    SIDECAR_SUFFIX,
+    content_digest,
+    has_sidecar,
+    load_machine,
+    matrix_digest,
+    read_artifact,
+    read_sidecar,
+    sidecar_path,
+    verify_artifact,
+    write_artifact,
+    write_json,
+    write_machine,
+)
+from repro.resilience.budget import Budget
+from repro.resilience.chaos import (
+    CHAOS_SCHEMA_NAME,
+    CHAOS_SCHEMA_VERSION,
+    ChaosReport,
+    DelayedClock,
+    FAULTS,
+    FaultOutcome,
+    run_chaos,
+)
+from repro.resilience.fallback import (
+    AttemptRecord,
+    FallbackPolicy,
+    ReduceOutcome,
+    RUNG_IMS,
+    RUNG_LIST,
+    RUNG_ORIGINAL,
+    RUNG_PARTIAL,
+    RUNG_REDUCED,
+    ScheduleOutcome,
+    UNVERIFIED_POLICY,
+    reduce_with_fallback,
+    schedule_with_fallback,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA_NAME",
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactIntegrityError",
+    "AttemptRecord",
+    "Budget",
+    "BudgetExceeded",
+    "CHAOS_SCHEMA_NAME",
+    "CHAOS_SCHEMA_VERSION",
+    "ChaosReport",
+    "DelayedClock",
+    "FAULTS",
+    "FallbackPolicy",
+    "FaultOutcome",
+    "ReduceOutcome",
+    "RUNG_IMS",
+    "RUNG_LIST",
+    "RUNG_ORIGINAL",
+    "RUNG_PARTIAL",
+    "RUNG_REDUCED",
+    "SIDECAR_SUFFIX",
+    "ScheduleOutcome",
+    "UNVERIFIED_POLICY",
+    "content_digest",
+    "has_sidecar",
+    "load_machine",
+    "matrix_digest",
+    "read_artifact",
+    "read_sidecar",
+    "reduce_with_fallback",
+    "run_chaos",
+    "schedule_with_fallback",
+    "sidecar_path",
+    "verify_artifact",
+    "write_artifact",
+    "write_json",
+    "write_machine",
+]

@@ -186,8 +186,18 @@ class IterativeModuloScheduler:
         self.placement_policy = placement_policy
 
     # ------------------------------------------------------------------
-    def schedule(self, graph: DependenceGraph) -> ModuloScheduleResult:
-        """Modulo-schedule a loop; raises :class:`ScheduleError` on failure."""
+    def schedule(
+        self, graph: DependenceGraph, budget=None
+    ) -> ModuloScheduleResult:
+        """Modulo-schedule a loop; raises :class:`ScheduleError` on failure.
+
+        ``budget`` is an optional :class:`repro.resilience.Budget` checked
+        at every attempt boundary and once per scheduling decision (charged
+        the query module's work-unit delta, so the currency matches
+        :class:`~repro.query.work.WorkCounters`).  Exceeding it raises
+        :class:`~repro.errors.BudgetExceeded` with phase ``"ims"`` and the
+        partial schedule of the in-flight attempt.
+        """
         graph.validate()
         with obs.span(
             "ims.schedule", obs.CAT_SCHED,
@@ -198,7 +208,12 @@ class IterativeModuloScheduler:
             attempts: List[AttemptStats] = []
             check_distribution = Counter()
             for ii in range(mii, mii + self.max_ii_slack + 1):
-                outcome = self._attempt(graph, ii, work)
+                if budget is not None:
+                    budget.checkpoint(
+                        "ims", progress="attempt II=%d" % ii,
+                        partial={"ii": ii, "attempts": list(attempts)},
+                    )
+                outcome = self._attempt(graph, ii, work, budget_obj=budget)
                 attempts.append(outcome.stats)
                 check_distribution.update(outcome.check_counts)
                 if outcome.stats.succeeded:
@@ -211,7 +226,12 @@ class IterativeModuloScheduler:
                 )
                 raise ScheduleError(
                     "failed to schedule %r up to II=%d"
-                    % (graph.name, mii + self.max_ii_slack)
+                    % (graph.name, mii + self.max_ii_slack),
+                    ii_range=(mii, mii + self.max_ii_slack),
+                    attempts=attempts,
+                    budget_exceeded=any(
+                        a.budget_exceeded for a in attempts
+                    ),
                 )
         result = ModuloScheduleResult(
             graph=graph,
@@ -236,7 +256,8 @@ class IterativeModuloScheduler:
         check_counts: Counter = field(default_factory=Counter)
 
     def _attempt(
-        self, graph: DependenceGraph, ii: int, work: WorkCounters
+        self, graph: DependenceGraph, ii: int, work: WorkCounters,
+        budget_obj=None,
     ) -> "IterativeModuloScheduler._Attempt":
         qm = make_query_module(
             self.machine,
@@ -269,8 +290,18 @@ class IterativeModuloScheduler:
             "ims.attempt", obs.CAT_SCHED,
             loop=graph.name, ii=ii, budget=budget,
         )
+        last_units = 0
         with attempt_span:
             while unscheduled and decisions < budget:
+                if budget_obj is not None:
+                    total_units = qm.work.total_units
+                    budget_obj.checkpoint(
+                        "ims.attempt",
+                        units=total_units - last_units,
+                        progress="II=%d, %d placed" % (ii, len(times)),
+                        partial={"ii": ii, "times": dict(times)},
+                    )
+                    last_units = total_units
                 name = min(unscheduled, key=priority)
                 unscheduled.discard(name)
                 checks_before = qm.work.calls[CHECK]

@@ -151,3 +151,109 @@ class TestPlayDohBuiltin:
     def test_playdoh_available(self, capsys):
         assert main(["stats", "playdoh", "--word-cycles", "1"]) == 0
         assert "playdoh" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_budget_exceeded_exits_3(self, capsys):
+        assert main(["reduce", "example", "--deadline", "0"]) == 3
+        err = capsys.readouterr().err
+        assert "budget exceeded" in err
+        assert "Traceback" not in err
+
+    def test_budget_exceeded_schedule_exits_3(self, capsys):
+        assert main(
+            ["schedule", "cydra5-subset", "--kernel", "daxpy",
+             "--max-units", "0"]
+        ) == 3
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        def interrupt(*_args, **_kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "reduce_machine", interrupt)
+        assert main(["reduce", "example"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "Traceback" not in err
+
+    def test_interrupt_leaves_no_partial_output(self, tmp_path, capsys,
+                                                monkeypatch):
+        from repro._atomic import atomic_write_text as real_write
+
+        def interrupted_write(path, text, encoding="utf-8"):
+            raise KeyboardInterrupt
+
+        import repro.resilience.artifacts as artifacts_module
+
+        monkeypatch.setattr(
+            artifacts_module, "atomic_write_text", interrupted_write
+        )
+        out_path = tmp_path / "r.mdl"
+        assert main(["reduce", "example", "-o", str(out_path)]) == 130
+        assert not out_path.exists()
+        assert list(tmp_path.iterdir()) == []
+        assert real_write  # silence unused-import linters
+
+    def test_fallback_converts_budget_failure_to_success(self, capsys):
+        assert main(
+            ["reduce", "example", "--deadline", "0", "--fallback"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rung 'original'" in out
+        assert "verified" in out
+
+    def test_usage_error_still_exits_2(self, capsys):
+        assert main(["reduce", "no-such-machine"]) == 2
+
+
+class TestChaosCommand:
+    def test_chaos_ok_exits_0(self, capsys, tmp_path):
+        assert main(
+            ["chaos", "example", "--seed", "0",
+             "--workdir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "result: OK (5/5 faults handled)" in out
+
+    def test_chaos_fault_subset(self, capsys, tmp_path):
+        assert main(
+            ["chaos", "example", "--faults", "truncate-write",
+             "--workdir", str(tmp_path)]
+        ) == 0
+        assert "1/1 faults handled" in capsys.readouterr().out
+
+    def test_chaos_report_artifact(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "report.json"
+        assert main(
+            ["chaos", "example", "--seed", "3", "--out", str(out_file),
+             "--workdir", str(tmp_path / "work")]
+        ) == 0
+        document = json.loads(out_file.read_text())
+        assert document["schema"] == "repro-chaos-report"
+        assert document["ok"] is True
+        # The report itself is a checksummed artifact.
+        assert (tmp_path / "report.json.sum.json").exists()
+
+
+class TestArtifactOutput:
+    def test_reduce_output_has_sidecar(self, tmp_path, capsys):
+        from repro.resilience import artifacts
+
+        out_path = str(tmp_path / "reduced.mdl")
+        assert main(["reduce", "example", "-o", out_path]) == 0
+        assert artifacts.has_sidecar(out_path)
+        loaded = artifacts.load_machine(out_path)
+        assert loaded.num_resources == 2
+
+    def test_schedule_fallback_flag(self, capsys):
+        assert main(
+            ["schedule", "cydra5-subset", "--kernel", "daxpy",
+             "--fallback"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rung" in out and "ims" in out

@@ -35,6 +35,48 @@ class TestErrorHierarchy:
         assert error.mismatches == mismatches
         assert EquivalenceError("boom").mismatches == []
 
+    def test_equivalence_rendering_capped_at_20_pairs(self):
+        from repro.errors import MISMATCH_RENDER_LIMIT
+
+        mismatches = [
+            ("op%03d" % i, "op%03d" % i, frozenset({1}), frozenset())
+            for i in range(MISMATCH_RENDER_LIMIT + 7)
+        ]
+        text = str(EquivalenceError("boom", mismatches))
+        assert "… and 7 more" in text
+        assert "op%03d" % (MISMATCH_RENDER_LIMIT - 1) in text
+        assert "op%03d" % MISMATCH_RENDER_LIMIT not in text
+        # At or under the cap, no suffix appears.
+        short = str(
+            EquivalenceError("boom", mismatches[:MISMATCH_RENDER_LIMIT])
+        )
+        assert "more" not in short
+
+    def test_schedule_error_attributes(self):
+        error = ScheduleError(
+            "gave up", ii_range=(3, 7), attempts=["a"],
+            budget_exceeded=True,
+        )
+        assert error.ii_range == (3, 7)
+        assert error.attempts == ["a"]
+        assert error.budget_exceeded is True
+        bare = ScheduleError("plain")
+        assert bare.ii_range is None
+        assert bare.attempts == []
+        assert bare.budget_exceeded is False
+
+    def test_budget_and_artifact_errors_are_repro_errors(self):
+        from repro.errors import ArtifactIntegrityError, BudgetExceeded
+
+        assert issubclass(BudgetExceeded, ReproError)
+        assert issubclass(ArtifactIntegrityError, ReproError)
+        error = BudgetExceeded(
+            "late", phase="ims", elapsed_s=2.0, deadline_s=1.0,
+            units=10, max_units=5, progress="II=4", partial={"ii": 4},
+        )
+        assert error.phase == "ims"
+        assert error.partial == {"ii": 4}
+
     def test_parse_error_formats_line(self):
         error = ParseError("bad token", line=7)
         assert "line 7" in str(error)

@@ -147,3 +147,168 @@ class TestSchedulerGuards:
         result.times["mul"] = result.times["acc"] + 100
         with pytest.raises(ScheduleError):
             result.graph.verify_schedule(result.times, ii=result.ii)
+
+
+class TestFallbackLadderUnderFaults:
+    """Every chaos fault class, driven through the fallback ladder: the
+    ladder must name the rung that served and the served description must
+    pass assert_equivalent (or carry an explicit unverified marker)."""
+
+    def _assert_served_safely(self, machine, outcome):
+        if outcome.verified:
+            assert_equivalent(machine, outcome.machine)
+        else:
+            assert outcome.unverified_reason
+            assert outcome.marker.startswith("unverified(")
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_drop_usage_fault(self, seed):
+        from repro.resilience import FallbackPolicy, reduce_with_fallback
+        from repro.resilience.chaos import _rng, corrupt_drop_usage
+
+        machine = example_machine()
+        rng = _rng(machine, seed, "drop-usage")
+        outcome = reduce_with_fallback(
+            machine,
+            FallbackPolicy(mutate_reduced=lambda m: corrupt_drop_usage(m, rng)),
+        )
+        assert outcome.rung in ("reduced", "partially-selected", "original")
+        self._assert_served_safely(machine, outcome)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_shift_usage_fault(self, seed):
+        from repro.resilience import FallbackPolicy, reduce_with_fallback
+        from repro.resilience.chaos import _rng, corrupt_shift_usage
+
+        machine = example_machine()
+        rng = _rng(machine, seed, "shift-usage")
+        outcome = reduce_with_fallback(
+            machine,
+            FallbackPolicy(
+                mutate_reduced=lambda m: corrupt_shift_usage(m, rng)
+            ),
+        )
+        # Shifting a whole table always changes the matrix of the tiny
+        # example machine, so the ladder must degrade off the top rung.
+        assert outcome.degraded
+        self._assert_served_safely(machine, outcome)
+
+    def test_phase_delay_fault(self):
+        from repro.resilience import DelayedClock, FallbackPolicy
+        from repro.resilience import reduce_with_fallback
+
+        machine = example_machine()
+        outcome = reduce_with_fallback(
+            machine,
+            FallbackPolicy(deadline_s=30.0, clock=DelayedClock(trip=3)),
+        )
+        assert outcome.degraded
+        assert any(
+            a.error_type == "BudgetExceeded" for a in outcome.attempts
+        )
+        self._assert_served_safely(machine, outcome)
+
+    def test_truncate_write_fault(self, tmp_path):
+        from repro.errors import ArtifactIntegrityError
+        from repro.resilience import artifacts
+        from repro.resilience.chaos import _rng, truncate_file
+
+        machine = example_machine()
+        path = str(tmp_path / "m.mdl")
+        artifacts.write_machine(path, machine)
+        truncate_file(path, _rng(machine, 0, "truncate-write"))
+        with pytest.raises(ArtifactIntegrityError):
+            artifacts.load_machine(path)
+
+    def test_flip_checksum_fault(self, tmp_path):
+        from repro.errors import ArtifactIntegrityError
+        from repro.resilience import artifacts
+        from repro.resilience.chaos import _rng, flip_checksum
+
+        machine = example_machine()
+        path = str(tmp_path / "m.mdl")
+        artifacts.write_machine(path, machine)
+        flip_checksum(path, _rng(machine, 0, "flip-checksum"))
+        with pytest.raises(ArtifactIntegrityError):
+            artifacts.load_machine(path)
+
+
+class TestBudgetExceededProgression:
+    """Property: an IMS attempt that exhausts its decision budget is
+    always followed by an attempt at II+1, or by a clean
+    :class:`ScheduleError` carrying the attempt history."""
+
+    def _check_progression(self, attempts, mii):
+        assert attempts, "at least one attempt must be recorded"
+        assert attempts[0].ii == mii
+        for prev, cur in zip(attempts, attempts[1:]):
+            assert prev.budget_exceeded and not prev.succeeded
+            assert cur.ii == prev.ii + 1
+
+    def test_progression_properties(self):
+        try:
+            from hypothesis import given, settings, strategies as st
+        except ImportError:  # pragma: no cover
+            pytest.skip("hypothesis unavailable")
+
+        from repro.scheduler import IterativeModuloScheduler
+        from repro.scheduler.ddg import DependenceGraph
+
+        machine = cydra5_subset()
+        opcodes = ("iadd", "fadd_s", "fmul_s", "load_s", "store_s")
+
+        @settings(max_examples=15, deadline=None)
+        @given(
+            data=st.data(),
+            num_ops=st.integers(min_value=2, max_value=8),
+            budget_ratio=st.integers(min_value=1, max_value=3),
+            slack=st.integers(min_value=0, max_value=4),
+        )
+        def run(data, num_ops, budget_ratio, slack):
+            graph = DependenceGraph("prop")
+            for i in range(num_ops):
+                graph.add_operation(
+                    "op%d" % i,
+                    data.draw(st.sampled_from(opcodes), label="opcode"),
+                )
+            for i in range(1, num_ops):
+                if data.draw(st.booleans(), label="edge"):
+                    graph.add_dependence(
+                        "op%d" % (i - 1), "op%d" % i,
+                        latency=data.draw(
+                            st.integers(min_value=0, max_value=4),
+                            label="latency",
+                        ),
+                    )
+            scheduler = IterativeModuloScheduler(
+                machine, budget_ratio=budget_ratio, max_ii_slack=slack
+            )
+            try:
+                result = scheduler.schedule(graph)
+            except ScheduleError as exc:
+                self._check_progression(exc.attempts, exc.ii_range[0])
+                assert exc.ii_range == (
+                    exc.attempts[0].ii, exc.attempts[0].ii + slack
+                )
+                assert exc.budget_exceeded == any(
+                    a.budget_exceeded for a in exc.attempts
+                )
+            else:
+                self._check_progression(result.attempts, result.mii)
+                assert result.attempts[-1].succeeded
+                assert result.attempts[-1].ii == result.ii
+
+        run()
+
+    def test_budget_exceeded_then_ii_plus_one_concrete(self):
+        """Deterministic witness of the property: tridiagonal under a
+        starved budget fails at MII, then retries at exactly MII+1."""
+        from repro.scheduler import IterativeModuloScheduler
+        from repro.workloads import KERNELS
+
+        scheduler = IterativeModuloScheduler(
+            cydra5_subset(), budget_ratio=1, max_ii_slack=8
+        )
+        result = scheduler.schedule(KERNELS["tridiagonal"]())
+        assert result.attempts[0].budget_exceeded
+        self._check_progression(result.attempts, result.mii)
