@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
+from repro.stats.metrics import average_usages_per_op, average_word_usages
 from repro.stats.tables import render_reduction_table
 
 #: Schema of the ``BENCH_*.json`` documents.  Bump on breaking changes
@@ -50,10 +51,37 @@ def write_bench_json(
     return path
 
 
+def reduction_table_data(
+    machine, reductions, word_cycles: Sequence[int]
+) -> Dict[str, Dict[str, float]]:
+    """The numbers behind a Tables 1-4 render, keyed by column.
+
+    Mirrors :func:`repro.stats.tables.render_reduction_table`: one entry
+    per column (original, res-uses, k-cycle words), each with the
+    resource count and the average (word) usages per operation — the
+    paper's headline reduction metrics, machine-readable so the
+    ``BENCH_*.json`` trajectory can track them per commit.
+    """
+    columns = [("original", machine, 1)]
+    columns.append(("res-uses", reductions["res-uses"].reduced, 1))
+    for k in word_cycles:
+        key = "%d-cycle-word" % k
+        columns.append((key, reductions[key].reduced, k))
+    return {
+        name: {
+            "resources": md.num_resources,
+            "avg_usages_per_op": average_usages_per_op(md),
+            "avg_word_usages_per_op": average_word_usages(md, k),
+        }
+        for name, md, k in columns
+    }
+
+
 __all__ = [
     "BENCH_SCHEMA_NAME",
     "BENCH_SCHEMA_VERSION",
     "bench_document",
+    "reduction_table_data",
     "render_reduction_table",
     "write_bench_json",
 ]

@@ -79,7 +79,24 @@ def test_state_counts(benchmark, machines, mips_reductions, record):
         "x2 for a forward+reverse pair)"
         % reduced.num_resources
     )
-    record("automata_comparison", "\n".join(lines))
+    record(
+        "automata_comparison",
+        "\n".join(lines),
+        data={
+            "example_monolithic_states": monolithic_example.num_states,
+            "example_monolithic_transitions": (
+                monolithic_example.num_transitions
+            ),
+            "example_minimized_states": minimized.num_states,
+            "mips_monolithic_exceeds": 200_000,
+            "mips_factored_factors": factored.num_factors,
+            "mips_factored_states": factored.num_states,
+            "mips_factored_max_factor_states": factored.max_factor_states,
+            "mips_factored_memory_bytes": factored.memory_bytes(),
+            "mips_reduced_bits_per_cycle": reduced.num_resources,
+        },
+        meta={"machines": ["example", "mips-r3000"]},
+    )
 
 
 def test_insertion_cost_vs_bitvector(benchmark, machines, record):
@@ -115,5 +132,14 @@ def test_insertion_cost_vs_bitvector(benchmark, machines, record):
             automaton_units / max(1, bitvector_units),
         )
     )
-    record("automata_insertion_cost", text)
+    record(
+        "automata_insertion_cost",
+        text,
+        data={
+            "automaton_check_units": automaton_units,
+            "bitvector_check_units": bitvector_units,
+            "ratio": automaton_units / max(1, bitvector_units),
+        },
+        meta={"machine": "example", "probes": 4},
+    )
     assert automaton_units > bitvector_units

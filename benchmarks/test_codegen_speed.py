@@ -71,4 +71,6 @@ def test_compiled_matches_interpreted(benchmark, cydra5_reductions, record):
         "codegen",
         "compiled checker agreed with the interpreted module on %d "
         "randomized queries over %s" % (agreements, machine.name),
+        data={"agreements": agreements, "disagreements": 0},
+        meta={"machine": machine.name, "word_cycles": 4},
     )

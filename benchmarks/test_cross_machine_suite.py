@@ -64,7 +64,19 @@ def test_cross_machine_suite(benchmark, machines, record):
             "  %-16s %8.2f %11.1f%% %18.2f"
             % (name, avg_ii, optimal, checks)
         )
-    record("cross_machine_suite", "\n".join(lines))
+    record(
+        "cross_machine_suite",
+        "\n".join(lines),
+        data={
+            name: {
+                "avg_ii": avg_ii,
+                "percent_at_mii": optimal,
+                "checks_per_decision": checks,
+            }
+            for name, (avg_ii, optimal, checks) in rows.items()
+        },
+        meta={"loops": count},
+    )
 
     # The wide machine achieves lower IIs but pays more probes/decision.
     assert rows["playdoh"][0] < rows["cydra5-subset"][0] * 1.2

@@ -2,7 +2,7 @@
 for the original description and four reductions (res-uses; 1/2/4-cycle
 words, i.e. 32- and 64-bit packed bitvectors over 15-ish resources)."""
 
-from _tables import render_reduction_table
+from _tables import reduction_table_data, render_reduction_table
 
 from repro.core import matrices_equal, reduce_machine
 
@@ -31,4 +31,9 @@ def test_table1(benchmark, machines, cydra5_reductions, record):
         word_cycles=(1, 2, 4),
         paper=PAPER,
     )
-    record("table1_cydra5_full", table)
+    record(
+        "table1_cydra5_full",
+        table,
+        data=reduction_table_data(machine, cydra5_reductions, (1, 2, 4)),
+        meta={"machine": machine.name, "word_cycles": [1, 2, 4]},
+    )

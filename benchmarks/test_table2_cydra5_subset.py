@@ -1,7 +1,7 @@
 """Table 2 — Cydra 5 benchmark subset (the 12 operation classes the 1327
 loops use): original vs res-uses vs 1/3/7-cycle-word reductions."""
 
-from _tables import render_reduction_table
+from _tables import reduction_table_data, render_reduction_table
 
 from repro.core import matrices_equal, reduce_machine
 
@@ -26,4 +26,9 @@ def test_table2(benchmark, machines, subset_reductions, record):
         word_cycles=(1, 3, 7),
         paper=PAPER,
     )
-    record("table2_cydra5_subset", table)
+    record(
+        "table2_cydra5_subset",
+        table,
+        data=reduction_table_data(machine, subset_reductions, (1, 3, 7)),
+        meta={"machine": machine.name, "word_cycles": [1, 3, 7]},
+    )

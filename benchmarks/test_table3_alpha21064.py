@@ -1,7 +1,7 @@
 """Table 3 — DEC Alpha 21064: original vs res-uses vs 1/4/9-cycle-word
 reductions (9 cycles of 7 bits fit a 64-bit word)."""
 
-from _tables import render_reduction_table
+from _tables import reduction_table_data, render_reduction_table
 
 from repro.core import matrices_equal, reduce_machine
 
@@ -26,4 +26,9 @@ def test_table3(benchmark, machines, alpha_reductions, record):
         word_cycles=(1, 4, 9),
         paper=PAPER,
     )
-    record("table3_alpha21064", table)
+    record(
+        "table3_alpha21064",
+        table,
+        data=reduction_table_data(machine, alpha_reductions, (1, 4, 9)),
+        meta={"machine": machine.name, "word_cycles": [1, 4, 9]},
+    )

@@ -1,7 +1,7 @@
 """Table 4 — MIPS R3000/R3010: original vs res-uses vs 1/4/9-cycle-word
 reductions."""
 
-from _tables import render_reduction_table
+from _tables import reduction_table_data, render_reduction_table
 
 from repro.core import matrices_equal, reduce_machine
 
@@ -26,4 +26,9 @@ def test_table4(benchmark, machines, mips_reductions, record):
         word_cycles=(1, 4, 9),
         paper=PAPER,
     )
-    record("table4_mips", table)
+    record(
+        "table4_mips",
+        table,
+        data=reduction_table_data(machine, mips_reductions, (1, 4, 9)),
+        meta={"machine": machine.name, "word_cycles": [1, 4, 9]},
+    )

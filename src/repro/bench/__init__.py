@@ -1,0 +1,89 @@
+"""The benchmark observatory (``repro.bench``).
+
+Layered on :mod:`repro.obs`, this package turns single profiling
+snapshots into a *perf trajectory*: schema-versioned result documents
+(``repro-bench-result`` v1) recording deterministic work-unit counts,
+robust wall-time statistics, per-phase span attribution, and schedule
+quality per run; a noise-immune comparator (deterministic metrics gate
+hard, wall time only when bootstrap intervals disagree); and
+differential profiling that explains *where* a regression landed.
+Driven by ``repro bench run | compare | report`` — see
+``docs/benchmarking.md``.
+
+Like :mod:`repro.obs`, the package root stays clear of the scheduler
+stack: the runner (which executes the full reduce + schedule pipeline)
+lives in :mod:`repro.bench.runner` and is imported on demand.
+"""
+
+from repro.bench.compare import (
+    IMPROVEMENT,
+    MISSING_BASE,
+    MISSING_NEW,
+    NEUTRAL,
+    REGRESSION,
+    CompareConfig,
+    Comparison,
+    MetricDelta,
+    compare_results,
+    ensure_comparable,
+)
+from repro.bench.diffprof import (
+    CounterDelta,
+    PhaseDelta,
+    diff_case,
+    diff_profiles,
+    render_diff_text,
+)
+from repro.bench.report import render_comparison_text, render_result_text
+from repro.bench.result import (
+    RESULT_SCHEMA_NAME,
+    RESULT_SCHEMA_VERSION,
+    BenchCase,
+    BenchResult,
+    default_meta,
+    git_sha,
+    load_result,
+    save_result,
+)
+from repro.bench.stats import (
+    bootstrap_ci,
+    interval_of,
+    intervals_overlap,
+    mad,
+    median,
+    summarize,
+)
+
+__all__ = [
+    "IMPROVEMENT",
+    "MISSING_BASE",
+    "MISSING_NEW",
+    "NEUTRAL",
+    "REGRESSION",
+    "RESULT_SCHEMA_NAME",
+    "RESULT_SCHEMA_VERSION",
+    "BenchCase",
+    "BenchResult",
+    "CompareConfig",
+    "Comparison",
+    "CounterDelta",
+    "MetricDelta",
+    "PhaseDelta",
+    "bootstrap_ci",
+    "compare_results",
+    "default_meta",
+    "diff_case",
+    "diff_profiles",
+    "ensure_comparable",
+    "git_sha",
+    "interval_of",
+    "intervals_overlap",
+    "load_result",
+    "mad",
+    "median",
+    "render_comparison_text",
+    "render_diff_text",
+    "render_result_text",
+    "save_result",
+    "summarize",
+]

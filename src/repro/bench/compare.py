@@ -1,0 +1,401 @@
+"""The regression comparator: classify metric pairs, gate deterministically.
+
+Two classes of metric, two gating policies:
+
+* **Deterministic metrics** (work units, query calls, rule firings,
+  schedule quality) gate *hard*: any increase beyond the configured
+  ratio is a regression, full stop.  They are bit-identical across runs
+  on the same commit, so there is no noise to be immune to — a 2% work
+  increase is a real 2% work increase.
+* **Wall-time metrics** gate *statistically*: a difference only counts
+  when the two runs' bootstrap confidence intervals do not overlap, and
+  even then wall time only fails the build when gating is explicitly
+  enabled (``gate_wall=True``).  CI compares a checked-in baseline from
+  different hardware, so its gate is the deterministic one; wall-time
+  verdicts are reported for humans.
+
+Directionality: for most metrics smaller is better; ``loops_at_mii`` is
+better bigger.  ``mii_total`` is a property of the workload, not the
+implementation — a change there means the two runs measured different
+things, which marks the case incomparable rather than regressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.result import BenchResult
+from repro.bench.stats import interval_of, intervals_overlap
+from repro.errors import BenchFormatError
+
+IMPROVEMENT = "improvement"
+REGRESSION = "regression"
+NEUTRAL = "neutral"
+MISSING_BASE = "missing-base"
+MISSING_NEW = "missing-new"
+
+#: Quality counters that are workload properties, not implementation
+#: metrics — they must match exactly for a comparison to mean anything.
+_WORKLOAD_KEYS = ("loops", "mii_total")
+
+#: Quality metrics where bigger is better.
+_BIGGER_IS_BETTER = ("loops_at_mii",)
+
+
+@dataclass
+class CompareConfig:
+    """Gating policy knobs (defaults documented in docs/benchmarking.md)."""
+
+    #: Deterministic work counters fail when ``new > base * work_ratio``.
+    work_ratio: float = 1.01
+    #: Schedule-quality counters use the same hard-gate ratio.
+    quality_ratio: float = 1.0
+    #: Let wall-time regressions fail the build (off for CI: the
+    #: baseline's hardware is not the runner's hardware).
+    gate_wall: bool = False
+    #: Ignore work counters below this many units — ratio gating on
+    #: near-zero counters turns one extra event into a "regression".
+    min_units: float = 16.0
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric in one case."""
+
+    case: str
+    metric: str
+    kind: str  # "work" | "quality" | "wall"
+    base: Optional[float]
+    new: Optional[float]
+    classification: str
+    gated: bool = False
+    note: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.base is None or self.new is None or not self.base:
+            return None
+        return self.new / self.base
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "case": self.case,
+            "metric": self.metric,
+            "kind": self.kind,
+            "base": self.base,
+            "new": self.new,
+            "ratio": self.ratio,
+            "classification": self.classification,
+            "gated": self.gated,
+            "note": self.note,
+        }
+
+
+@dataclass
+class Comparison:
+    """The full verdict of one baseline-vs-candidate comparison."""
+
+    base_meta: Dict[str, object]
+    new_meta: Dict[str, object]
+    config: CompareConfig
+    deltas: List[MetricDelta] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        """Gated regressions — the ones that fail the build."""
+        return [
+            d for d in self.deltas
+            if d.gated and d.classification == REGRESSION
+        ]
+
+    @property
+    def improvements(self) -> List[MetricDelta]:
+        return [
+            d for d in self.deltas if d.classification == IMPROVEMENT
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": "repro-bench-compare",
+            "version": 1,
+            "ok": self.ok,
+            "base_meta": dict(self.base_meta),
+            "new_meta": dict(self.new_meta),
+            "policy": {
+                "work_ratio": self.config.work_ratio,
+                "quality_ratio": self.config.quality_ratio,
+                "gate_wall": self.config.gate_wall,
+                "min_units": self.config.min_units,
+            },
+            "notes": list(self.notes),
+            "regressions": [d.to_dict() for d in self.regressions],
+            "deltas": [d.to_dict() for d in self.deltas],
+        }
+
+
+def _classify_ratio(
+    base: float, new: float, ratio: float, bigger_is_better: bool = False
+) -> str:
+    if bigger_is_better:
+        base, new = new, base
+    if new > base * ratio:
+        return REGRESSION
+    if base > new * ratio:
+        return IMPROVEMENT
+    return NEUTRAL
+
+
+def _compare_work(
+    case_key: str,
+    base_work: Dict[str, float],
+    new_work: Dict[str, float],
+    skip: frozenset,
+    config: CompareConfig,
+    deltas: List[MetricDelta],
+) -> None:
+    for metric in sorted(set(base_work) | set(new_work)):
+        if metric in skip:
+            continue
+        base_value = base_work.get(metric)
+        new_value = new_work.get(metric)
+        if base_value is None or new_value is None:
+            deltas.append(
+                MetricDelta(
+                    case_key, metric, "work", base_value, new_value,
+                    MISSING_BASE if base_value is None else MISSING_NEW,
+                    note="only present on one side; not gated",
+                )
+            )
+            continue
+        if max(base_value, new_value) < config.min_units:
+            deltas.append(
+                MetricDelta(
+                    case_key, metric, "work", base_value, new_value,
+                    NEUTRAL,
+                    note="below min_units=%g; not gated" % config.min_units,
+                )
+            )
+            continue
+        classification = _classify_ratio(
+            base_value, new_value, config.work_ratio
+        )
+        deltas.append(
+            MetricDelta(
+                case_key, metric, "work", base_value, new_value,
+                classification, gated=True,
+            )
+        )
+
+
+def _compare_quality(
+    case_key: str,
+    base_quality: Dict[str, float],
+    new_quality: Dict[str, float],
+    config: CompareConfig,
+    deltas: List[MetricDelta],
+    notes: List[str],
+) -> bool:
+    """Compare quality metrics; returns False when the case is
+    incomparable (workload mismatch)."""
+    for key in _WORKLOAD_KEYS:
+        if base_quality.get(key) != new_quality.get(key):
+            notes.append(
+                "%s: workload mismatch (%s: base=%s new=%s) — case not"
+                " compared" % (
+                    case_key, key,
+                    base_quality.get(key), new_quality.get(key),
+                )
+            )
+            return False
+    for metric in ("ii_total", "loops_at_mii"):
+        base_value = base_quality.get(metric)
+        new_value = new_quality.get(metric)
+        if base_value is None or new_value is None:
+            deltas.append(
+                MetricDelta(
+                    case_key, "quality." + metric, "quality",
+                    base_value, new_value,
+                    MISSING_BASE if base_value is None else MISSING_NEW,
+                    note="only present on one side; not gated",
+                )
+            )
+            continue
+        classification = _classify_ratio(
+            base_value,
+            new_value,
+            config.quality_ratio,
+            bigger_is_better=metric in _BIGGER_IS_BETTER,
+        )
+        deltas.append(
+            MetricDelta(
+                case_key, "quality." + metric, "quality",
+                base_value, new_value, classification, gated=True,
+            )
+        )
+    return True
+
+
+def _compare_wall(
+    case_key: str,
+    metric: str,
+    base_wall: Dict[str, object],
+    new_wall: Dict[str, object],
+    config: CompareConfig,
+    deltas: List[MetricDelta],
+) -> None:
+    base_median = base_wall.get("median")
+    new_median = new_wall.get("median")
+    if base_median is None or new_median is None:
+        deltas.append(
+            MetricDelta(
+                case_key, metric, "wall", base_median, new_median,
+                MISSING_BASE if base_median is None else MISSING_NEW,
+                note="only present on one side; not gated",
+            )
+        )
+        return
+    base_n = int(base_wall.get("n") or 0)
+    new_n = int(new_wall.get("n") or 0)
+    if base_n < 2 or new_n < 2:
+        deltas.append(
+            MetricDelta(
+                case_key, metric, "wall", base_median, new_median,
+                NEUTRAL,
+                note="single-repetition run: no interval, not classified",
+            )
+        )
+        return
+    base_interval = interval_of(base_wall)
+    new_interval = interval_of(new_wall)
+    if base_interval is None or new_interval is None:
+        deltas.append(
+            MetricDelta(
+                case_key, metric, "wall", base_median, new_median,
+                NEUTRAL, note="no confidence interval recorded",
+            )
+        )
+        return
+    if intervals_overlap(base_interval, new_interval):
+        classification = NEUTRAL
+        note = "bootstrap intervals overlap"
+    elif new_median > base_median:
+        classification = REGRESSION
+        note = "bootstrap intervals disjoint"
+    else:
+        classification = IMPROVEMENT
+        note = "bootstrap intervals disjoint"
+    deltas.append(
+        MetricDelta(
+            case_key, metric, "wall", base_median, new_median,
+            classification, gated=config.gate_wall, note=note,
+        )
+    )
+
+
+def compare_results(
+    base: BenchResult,
+    new: BenchResult,
+    config: Optional[CompareConfig] = None,
+) -> Comparison:
+    """Compare a candidate run against a baseline run.
+
+    Both results must carry the current schema (loading already enforced
+    that); differing *configurations* degrade gracefully — cases present
+    on only one side are noted, never gated.
+    """
+    if config is None:
+        config = CompareConfig()
+    comparison = Comparison(
+        base_meta=dict(base.meta),
+        new_meta=dict(new.meta),
+        config=config,
+    )
+    if base.config != new.config:
+        comparison.notes.append(
+            "run configurations differ (base=%r new=%r): only matching"
+            " cases are compared" % (base.config, new.config)
+        )
+
+    for case_key in sorted(set(base.cases) | set(new.cases)):
+        base_case = base.cases.get(case_key)
+        new_case = new.cases.get(case_key)
+        if base_case is None or new_case is None:
+            comparison.notes.append(
+                "case %s present only in the %s run; skipped"
+                % (case_key, "candidate" if base_case is None else "base")
+            )
+            continue
+        if not _compare_quality(
+            case_key, base_case.quality, new_case.quality,
+            config, comparison.deltas, comparison.notes,
+        ):
+            continue
+        # Counters that drifted between repetitions on either side are
+        # unreliable on both; quality counters are compared separately.
+        skip = frozenset(
+            base_case.nondeterministic
+        ) | frozenset(new_case.nondeterministic) | frozenset(
+            "profile." + key for key in (
+                "loops", "loops_at_mii", "ii_total", "mii_total",
+            )
+        )
+        _compare_work(
+            case_key, base_case.work, new_case.work, skip,
+            config, comparison.deltas,
+        )
+        _compare_wall(
+            case_key, "wall", base_case.wall, new_case.wall,
+            config, comparison.deltas,
+        )
+        for phase in sorted(
+            set(base_case.phases) & set(new_case.phases)
+        ):
+            _compare_wall(
+                case_key,
+                "phase." + phase,
+                base_case.phases[phase].get("total") or {},
+                new_case.phases[phase].get("total") or {},
+                # Phase times inform the differential profile; they
+                # never gate on their own (the whole-run wall does).
+                CompareConfig(
+                    work_ratio=config.work_ratio,
+                    quality_ratio=config.quality_ratio,
+                    gate_wall=False,
+                    min_units=config.min_units,
+                ),
+                comparison.deltas,
+            )
+    return comparison
+
+
+def ensure_comparable(base: BenchResult, new: BenchResult) -> None:
+    """Raise :class:`BenchFormatError` when two results cannot be compared.
+
+    Loading already rejects wrong schema versions; this exists for
+    callers constructing results in memory.
+    """
+    for which, result in (("base", base), ("candidate", new)):
+        if not result.cases:
+            raise BenchFormatError(
+                "%s benchmark result has no cases" % which
+            )
+
+
+__all__ = [
+    "IMPROVEMENT",
+    "MISSING_BASE",
+    "MISSING_NEW",
+    "NEUTRAL",
+    "REGRESSION",
+    "CompareConfig",
+    "Comparison",
+    "MetricDelta",
+    "compare_results",
+    "ensure_comparable",
+]

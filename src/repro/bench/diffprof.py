@@ -1,0 +1,216 @@
+"""Differential profiling: where did the time (and the work) move?
+
+Given two stored runs, diff each case's span tree and report the top-k
+phases by wall-time delta, each annotated with the deterministic work
+counters that moved with it — so a report line reads "``sched.ims.schedule``
++12.3ms, with ``reduce.algorithm1.rule3`` +18%" instead of a bare number.
+
+Attribution is by category: a phase ``reduce.generating_set`` is
+annotated with the ``reduce.*`` counters, ``sched.ims.schedule`` with the
+``sched.*`` and ``query.*`` counters (the query modules are driven by the
+scheduler).  Counter attribution is advisory — the hard gating happened
+in :mod:`repro.bench.compare`; this module explains the deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.result import BenchCase, BenchResult
+
+#: Counter-name prefixes attributed to each span category.
+_CATEGORY_COUNTERS: Dict[str, Tuple[str, ...]] = {
+    "reduce": ("reduce.",),
+    "sched": ("sched.", "query."),
+    "profile": ("profile.", "query."),
+    "query": ("query.",),
+    "automata": ("automata.",),
+    "resilience": ("resilience.",),
+}
+
+#: Counter deltas smaller than this fraction are not worth a line.
+_COUNTER_NOISE_FLOOR = 0.005
+
+
+@dataclass
+class CounterDelta:
+    """One deterministic counter that moved between two runs."""
+
+    name: str
+    base: float
+    new: float
+
+    @property
+    def delta(self) -> float:
+        return self.new - self.base
+
+    @property
+    def percent(self) -> Optional[float]:
+        if not self.base:
+            return None
+        return 100.0 * (self.new - self.base) / self.base
+
+    def describe(self) -> str:
+        if self.percent is None:
+            return "%s %+g (new)" % (self.name, self.delta)
+        return "%s %+.1f%% (%g -> %g)" % (
+            self.name, self.percent, self.base, self.new,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "base": self.base,
+            "new": self.new,
+            "delta": self.delta,
+            "percent": self.percent,
+        }
+
+
+@dataclass
+class PhaseDelta:
+    """One span's movement between two runs (self time preferred)."""
+
+    case: str
+    phase: str
+    base_s: float
+    new_s: float
+    measure: str  # "self" | "total"
+    counters: List[CounterDelta] = field(default_factory=list)
+
+    @property
+    def delta_s(self) -> float:
+        return self.new_s - self.base_s
+
+    @property
+    def percent(self) -> Optional[float]:
+        if not self.base_s:
+            return None
+        return 100.0 * self.delta_s / self.base_s
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "case": self.case,
+            "phase": self.phase,
+            "measure": self.measure,
+            "base_s": self.base_s,
+            "new_s": self.new_s,
+            "delta_s": self.delta_s,
+            "percent": self.percent,
+            "counters": [c.to_dict() for c in self.counters],
+        }
+
+
+def _phase_median(
+    entry: Dict[str, object]
+) -> Optional[Tuple[float, str]]:
+    """Median (self preferred, else total) seconds of a stored phase."""
+    for measure in ("self", "total"):
+        summary = entry.get(measure)
+        if isinstance(summary, dict) and summary.get("median") is not None:
+            return float(summary["median"]), measure
+    return None
+
+
+def _attributed_counters(
+    phase: str,
+    base_work: Dict[str, float],
+    new_work: Dict[str, float],
+    limit: int = 3,
+) -> List[CounterDelta]:
+    category = phase.split(".", 1)[0]
+    prefixes = _CATEGORY_COUNTERS.get(category, (category + ".",))
+    moved: List[CounterDelta] = []
+    for name in sorted(set(base_work) | set(new_work)):
+        if not name.startswith(prefixes):
+            continue
+        base_value = base_work.get(name, 0.0)
+        new_value = new_work.get(name, 0.0)
+        if base_value == new_value:
+            continue
+        if base_value and abs(new_value - base_value) < (
+            _COUNTER_NOISE_FLOOR * base_value
+        ):
+            continue
+        moved.append(CounterDelta(name, base_value, new_value))
+    moved.sort(key=lambda c: abs(c.delta), reverse=True)
+    return moved[:limit]
+
+
+def diff_case(
+    case_key: str,
+    base_case: BenchCase,
+    new_case: BenchCase,
+    top: int = 5,
+) -> List[PhaseDelta]:
+    """Top-``top`` phase deltas of one case, largest |delta| first."""
+    deltas: List[PhaseDelta] = []
+    for phase in sorted(set(base_case.phases) & set(new_case.phases)):
+        base_median = _phase_median(base_case.phases[phase])
+        new_median = _phase_median(new_case.phases[phase])
+        if base_median is None or new_median is None:
+            continue
+        base_s, base_measure = base_median
+        new_s, new_measure = new_median
+        measure = base_measure if base_measure == new_measure else "total"
+        deltas.append(
+            PhaseDelta(
+                case=case_key,
+                phase=phase,
+                base_s=base_s,
+                new_s=new_s,
+                measure=measure,
+                counters=_attributed_counters(
+                    phase, base_case.work, new_case.work
+                ),
+            )
+        )
+    deltas.sort(key=lambda d: abs(d.delta_s), reverse=True)
+    return deltas[:top]
+
+
+def diff_profiles(
+    base: BenchResult, new: BenchResult, top: int = 5
+) -> Dict[str, List[PhaseDelta]]:
+    """Per-case top-``top`` phase deltas for every shared case."""
+    report: Dict[str, List[PhaseDelta]] = {}
+    for case_key in sorted(set(base.cases) & set(new.cases)):
+        deltas = diff_case(
+            case_key, base.cases[case_key], new.cases[case_key], top=top
+        )
+        if deltas:
+            report[case_key] = deltas
+    return report
+
+
+def render_diff_text(
+    diffs: Dict[str, List[PhaseDelta]]
+) -> str:
+    """Human-readable differential profile (one block per case)."""
+    if not diffs:
+        return "differential profile: no shared phases to compare"
+    lines: List[str] = ["differential profile (top phases by |delta|)"]
+    for case_key, deltas in diffs.items():
+        lines.append("  %s" % case_key)
+        for delta in deltas:
+            pct = (
+                " (%+.1f%%)" % delta.percent
+                if delta.percent is not None else ""
+            )
+            lines.append(
+                "    %-36s %+9.3fms%s  [%s median]"
+                % (delta.phase, delta.delta_s * 1e3, pct, delta.measure)
+            )
+            for counter in delta.counters:
+                lines.append("        %s" % counter.describe())
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CounterDelta",
+    "PhaseDelta",
+    "diff_case",
+    "diff_profiles",
+    "render_diff_text",
+]

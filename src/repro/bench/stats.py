@@ -1,0 +1,124 @@
+"""Robust statistics for noisy wall-time samples.
+
+Benchmark wall times on shared hardware are heavy-tailed: one page fault
+or GC pause can double a repetition.  Means and standard deviations are
+dominated by those outliers, so the observatory summarizes every sample
+set with the *median* and the *median absolute deviation* (MAD), and
+derives uncertainty from a seeded percentile bootstrap of the median —
+deterministic (fixed resample seed), distribution-free, and honest about
+small sample counts.
+
+The comparator (:mod:`repro.bench.compare`) only lets wall time gate a
+build when two runs' bootstrap confidence intervals do not overlap; every
+deterministic metric (work units) gates on a plain ratio instead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Bootstrap resamples behind each confidence interval.  400 keeps the
+#: percentile estimate stable to ~1% at the default confidence while
+#: costing well under a millisecond for benchmark-sized sample sets.
+BOOTSTRAP_RESAMPLES = 400
+
+#: Two-sided confidence level of the bootstrap intervals.
+BOOTSTRAP_CONFIDENCE = 0.95
+
+
+def median(samples: Sequence[float]) -> float:
+    """The sample median (average of the two middle order statistics)."""
+    if not samples:
+        raise ValueError("median of an empty sample set")
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(samples: Sequence[float]) -> float:
+    """Median absolute deviation from the median (0.0 for n < 2)."""
+    if len(samples) < 2:
+        return 0.0
+    center = median(samples)
+    return median([abs(s - center) for s in samples])
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    confidence: float = BOOTSTRAP_CONFIDENCE,
+    resamples: int = BOOTSTRAP_RESAMPLES,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the median.
+
+    Deterministic for a given ``seed``.  A single sample (or a
+    zero-variance set) collapses to a point interval, which the
+    comparator treats as "no evidence of a difference" unless the two
+    point medians themselves differ.
+    """
+    if not samples:
+        raise ValueError("bootstrap_ci of an empty sample set")
+    if len(samples) == 1:
+        return float(samples[0]), float(samples[0])
+    rng = random.Random(seed)
+    n = len(samples)
+    medians = []
+    for _ in range(resamples):
+        resample = [samples[rng.randrange(n)] for _ in range(n)]
+        medians.append(median(resample))
+    medians.sort()
+    alpha = (1.0 - confidence) / 2.0
+    low_index = int(alpha * (resamples - 1))
+    high_index = int((1.0 - alpha) * (resamples - 1))
+    return medians[low_index], medians[high_index]
+
+
+def intervals_overlap(
+    first: Tuple[float, float], second: Tuple[float, float]
+) -> bool:
+    """Do two closed intervals intersect?"""
+    return first[0] <= second[1] and second[0] <= first[1]
+
+
+def summarize(samples: Sequence[float], seed: int = 0) -> Dict[str, object]:
+    """The stored summary of one sample set (see ``docs/benchmarking.md``).
+
+    Keeps the raw samples alongside the robust aggregates so a later,
+    smarter comparator can re-analyze checked-in baselines without
+    rerunning them.
+    """
+    low, high = bootstrap_ci(samples, seed=seed)
+    return {
+        "n": len(samples),
+        "samples": [float(s) for s in samples],
+        "median": median(samples),
+        "mad": mad(samples),
+        "ci_low": low,
+        "ci_high": high,
+        "min": float(min(samples)),
+        "max": float(max(samples)),
+    }
+
+
+def interval_of(summary: Dict[str, object]) -> Optional[Tuple[float, float]]:
+    """The (ci_low, ci_high) interval of a stored summary, if complete."""
+    low = summary.get("ci_low")
+    high = summary.get("ci_high")
+    if low is None or high is None:
+        return None
+    return float(low), float(high)
+
+
+__all__ = [
+    "BOOTSTRAP_CONFIDENCE",
+    "BOOTSTRAP_RESAMPLES",
+    "bootstrap_ci",
+    "interval_of",
+    "intervals_overlap",
+    "mad",
+    "median",
+    "summarize",
+]

@@ -14,6 +14,13 @@ Commands
 ``lint``      static-analysis audit with structured diagnostics
 ``profile``   reduce + schedule under tracing; per-phase time/work report
 ``chaos``     deterministic fault injection against the resilience layer
+``bench``     benchmark observatory: ``run`` / ``compare`` / ``report``
+
+``bench run`` records a schema-versioned, checksummed benchmark result
+(deterministic work units, robust wall-time stats, per-phase spans,
+schedule quality); ``bench compare`` gates a candidate run against a
+baseline (work units gate hard, wall time only when bootstrap intervals
+disagree) and exits 1 on regression — see ``docs/benchmarking.md``.
 
 ``reduce`` and ``schedule`` accept ``--deadline``/``--max-units`` budgets
 (exceeded budgets exit 3) and ``--fallback`` to degrade down the verified
@@ -474,7 +481,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs.profile import profile_machine
 
     machine = _load_machine(args.machine)
-    tracer = obs.Tracer(trace_queries=bool(args.trace))
+    # Per-query spans are only worth recording when a per-span export
+    # (Chrome trace or flamegraph) is requested.
+    tracer = obs.Tracer(
+        trace_queries=bool(args.trace or args.flamegraph)
+    )
     profile_machine(
         machine,
         kernel=args.kernel,
@@ -485,8 +496,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         schedule_reduced=args.reduced,
         tracer=tracer,
     )
-    if args.metrics != "-":
-        # With ``--metrics -`` stdout carries the JSON document alone.
+    if args.metrics != "-" and args.flamegraph != "-":
+        # With ``--metrics -``/``--flamegraph -`` stdout carries the
+        # export alone.
         print(obs.render_text(tracer))
     if args.metrics:
         _write_export(obs.write_metrics, tracer, args.metrics, "metrics")
@@ -498,6 +510,116 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             "wrote trace %s (open in https://ui.perfetto.dev)" % args.trace,
             file=sys.stderr,
         )
+    if args.flamegraph:
+        _write_export(
+            obs.write_collapsed_stack, tracer, args.flamegraph, "flamegraph"
+        )
+        if args.flamegraph != "-":
+            print(
+                "wrote collapsed stacks %s (flamegraph.pl / speedscope"
+                " / inferno)" % args.flamegraph,
+                file=sys.stderr,
+            )
+    return 0
+
+
+def _bench_machines(args: argparse.Namespace):
+    """Resolve the ``bench run`` machine list to (name, machine) pairs."""
+    from repro.bench import runner
+
+    if args.machines:
+        names = list(args.machines)
+    elif args.quick:
+        names = list(runner.QUICK_MACHINES)
+    else:
+        names = list(runner.DEFAULT_MACHINES)
+    return [(name, _load_machine(name)) for name in names]
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import render_result_text, save_result
+    from repro.bench import runner
+
+    machines = _bench_machines(args)
+    representations = [
+        r.strip() for r in args.representations.split(",") if r.strip()
+    ]
+    for representation in representations:
+        if representation not in ("discrete", "bitvector"):
+            raise ReproError(
+                "unknown representation %r (choose from discrete,"
+                " bitvector)" % representation
+            )
+    loops = args.loops or (
+        runner.QUICK_LOOPS if args.quick else runner.DEFAULT_LOOPS
+    )
+    repetitions = args.repetitions or (
+        runner.QUICK_REPETITIONS if args.quick else runner.DEFAULT_REPETITIONS
+    )
+    result = runner.run_benchmark(
+        machines,
+        representations=representations,
+        loops=loops,
+        repetitions=repetitions,
+        schedule_reduced=args.reduced,
+        budget=_make_budget(args, "bench"),
+        label=args.label,
+        quick=args.quick,
+    )
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_result_text(result))
+    if args.output:
+        save_result(args.output, result)
+        print("wrote %s (+ checksum sidecar)" % args.output,
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        CompareConfig,
+        compare_results,
+        load_result,
+        render_comparison_text,
+    )
+    from repro.resilience import artifacts
+
+    base = load_result(args.base)
+    new = load_result(args.new)
+    config = CompareConfig(
+        work_ratio=args.work_ratio,
+        quality_ratio=args.quality_ratio,
+        gate_wall=args.gate_wall,
+        min_units=args.min_units,
+    )
+    comparison = compare_results(base, new, config)
+    if args.format == "json":
+        print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            render_comparison_text(
+                comparison, base, new, top=args.top, verbose=args.verbose
+            )
+        )
+    if args.output:
+        artifacts.write_json(
+            args.output, comparison.to_dict(), kind="bench-compare"
+        )
+        print("wrote %s (+ checksum sidecar)" % args.output,
+              file=sys.stderr)
+    return 0 if comparison.ok else 1
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.bench import load_result, render_result_text
+
+    result = load_result(args.result)
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_result_text(result))
     return 0
 
 
@@ -740,8 +862,139 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="schedule on the reduced description (paper's configuration)",
     )
+    p.add_argument(
+        "--flamegraph",
+        metavar="FILE",
+        help="write spans as collapsed stacks ('-' for stdout) for"
+        " flamegraph.pl / speedscope / inferno",
+    )
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark observatory: run / compare / report",
+        description="Record schema-versioned benchmark results"
+        " (deterministic work units, robust wall-time statistics,"
+        " per-phase spans, schedule quality), compare a candidate run"
+        " against a baseline with a noise-immune gate, and render stored"
+        " results.  See docs/benchmarking.md.",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bench_sub.add_parser(
+        "run", help="run the benchmark matrix and record a result"
+    )
+    b.add_argument(
+        "machines",
+        nargs="*",
+        help="machines to benchmark (default: example + cydra5-subset;"
+        " --quick: example only)",
+    )
+    b.add_argument(
+        "--quick",
+        action="store_true",
+        help="the CI configuration: small loop count, 3 repetitions",
+    )
+    b.add_argument(
+        "--representations",
+        default="discrete,bitvector",
+        metavar="R[,R]",
+        help="query representations to matrix over"
+        " (default: discrete,bitvector)",
+    )
+    b.add_argument(
+        "--loops",
+        type=int,
+        help="loop-suite size per case (default: 8; --quick: 4)",
+    )
+    b.add_argument(
+        "--repetitions",
+        type=int,
+        help="wall-time repetitions per case (default: 5; --quick: 3)",
+    )
+    b.add_argument(
+        "--reduced",
+        action="store_true",
+        help="schedule on the reduced description",
+    )
+    b.add_argument("--label", default="", help="free-form run label")
+    b.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="write the result as a checksummed JSON artifact",
+    )
+    b.add_argument("--format", choices=("text", "json"), default="text")
+    b.add_argument(
+        "--deadline", type=float, metavar="SECONDS",
+        help="wall-clock budget for the whole run (exit 3 when exceeded)",
+    )
+    b.add_argument(
+        "--max-units", type=int, metavar="N",
+        help="work-unit budget for the whole run",
+    )
+    b.set_defaults(func=_cmd_bench_run)
+
+    b = bench_sub.add_parser(
+        "compare",
+        help="gate a candidate result against a baseline (exit 1 on"
+        " regression)",
+    )
+    b.add_argument("base", help="baseline result file")
+    b.add_argument("new", help="candidate result file")
+    b.add_argument(
+        "--work-ratio",
+        type=float,
+        default=1.01,
+        help="deterministic work counters fail beyond this ratio"
+        " (default: 1.01)",
+    )
+    b.add_argument(
+        "--quality-ratio",
+        type=float,
+        default=1.0,
+        help="schedule-quality counters fail beyond this ratio"
+        " (default: 1.0 — any II increase fails)",
+    )
+    b.add_argument(
+        "--min-units",
+        type=float,
+        default=16.0,
+        help="ignore work counters below this many units (default: 16)",
+    )
+    b.add_argument(
+        "--gate-wall",
+        action="store_true",
+        help="let wall-time regressions (disjoint bootstrap intervals)"
+        " fail the gate — only meaningful on identical hardware",
+    )
+    b.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="phases per case in the differential profile (default: 5)",
+    )
+    b.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list neutral / unclassified deltas",
+    )
+    b.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="write the comparison report as a checksummed JSON artifact",
+    )
+    b.add_argument("--format", choices=("text", "json"), default="text")
+    b.set_defaults(func=_cmd_bench_compare)
+
+    b = bench_sub.add_parser(
+        "report", help="render a stored benchmark result"
+    )
+    b.add_argument("result", help="result file written by bench run -o")
+    b.add_argument("--format", choices=("text", "json"), default="text")
+    b.set_defaults(func=_cmd_bench_report)
 
     p = sub.add_parser(
         "lint",
@@ -884,6 +1137,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro bench report | head`).
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise again; 141 = 128 + SIGPIPE, the shell convention.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

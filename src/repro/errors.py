@@ -135,6 +135,30 @@ class ArtifactIntegrityError(ReproError):
         self.actual = actual
 
 
+class BenchFormatError(ReproError):
+    """A stored benchmark result does not match the expected schema.
+
+    Raised when a ``repro-bench-result`` document carries the wrong
+    schema name or version, or is structurally unusable.  Comparing two
+    results recorded under different schema versions refuses loudly
+    instead of producing a silently wrong verdict.
+
+    Attributes
+    ----------
+    path:
+        The file the document came from (``None`` for in-memory dicts).
+    expected / actual:
+        The expected and found schema identifier (``"name v<version>"``),
+        when the failure is a schema mismatch.
+    """
+
+    def __init__(self, message, path=None, expected=None, actual=None):
+        super().__init__(message)
+        self.path = path
+        self.expected = expected
+        self.actual = actual
+
+
 class QueryError(ReproError):
     """A contention query module was used inconsistently.
 

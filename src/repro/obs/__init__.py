@@ -19,10 +19,13 @@ from repro.obs.export import (
     METRICS_SCHEMA_NAME,
     METRICS_SCHEMA_VERSION,
     chrome_trace_document,
+    collapsed_stack_lines,
+    exclusive_times,
     metrics_document,
     query_summary,
     render_text,
     write_chrome_trace,
+    write_collapsed_stack,
     write_metrics,
 )
 from repro.obs.instrument import QUERY_FUNCTIONS, observed_class
@@ -69,10 +72,12 @@ __all__ = [
     "TimerStats",
     "Tracer",
     "chrome_trace_document",
+    "collapsed_stack_lines",
     "count",
     "current",
     "enabled",
     "event",
+    "exclusive_times",
     "metrics_document",
     "observed_class",
     "query_summary",
@@ -83,5 +88,6 @@ __all__ = [
     "tracing",
     "units_per_second",
     "write_chrome_trace",
+    "write_collapsed_stack",
     "write_metrics",
 ]

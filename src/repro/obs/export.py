@@ -75,9 +75,96 @@ def metrics_document(tracer: Tracer) -> Dict[str, object]:
             "dropped": tracer.dropped,
         },
         "queries": query_summary(tracer),
+        "exclusive_s": {
+            name: total
+            for name, total in sorted(exclusive_times(tracer).items())
+        },
     }
     document.update(tracer.metrics.to_dict())
     return document
+
+
+# ----------------------------------------------------------------------
+# Span nesting: exclusive (self) time and collapsed stacks
+# ----------------------------------------------------------------------
+def _walk_span_tree(tracer: Tracer):
+    """Rebuild the span tree and yield ``(key, path, self_seconds)``.
+
+    The schedulers are single-threaded, so recorded spans either nest
+    properly or are disjoint; sorting by ``(start, -duration)`` visits
+    each parent before its children and a running stack recovers the
+    nesting.  Self time is a span's duration minus its direct children's
+    (clamped at zero against float jitter).  Keys match the timer names
+    (``category.name``) so exclusive totals line up with the inclusive
+    timers in the same document.  Dropped records (``tracer.dropped``)
+    make exclusive totals an over-estimate of the parents whose children
+    were dropped — the text report flags that.
+    """
+    spans = sorted(tracer.spans, key=lambda s: (s.start, -s.duration))
+    # Stack frames: [end, key, child_total, duration, path-tuple].
+    stack: List[list] = []
+
+    def pop_until(start: float):
+        while stack and stack[-1][0] <= start:
+            end, key, child_total, duration, path = stack.pop()
+            if stack:
+                stack[-1][2] += duration
+            yield key, path, max(0.0, duration - child_total)
+
+    for span in spans:
+        for item in pop_until(span.start):
+            yield item
+        key = "%s.%s" % (span.category, span.name)
+        path = tuple(frame[1] for frame in stack) + (key,)
+        stack.append(
+            [span.start + span.duration, key, 0.0, span.duration, path]
+        )
+    for item in pop_until(float("inf")):
+        yield item
+
+
+def exclusive_times(tracer: Tracer) -> Dict[str, float]:
+    """Total exclusive (self) seconds per span name.
+
+    Complements the inclusive per-name timers: a parent phase that looks
+    expensive but whose time is entirely spent inside instrumented
+    children has a self time near zero, so cost lands where it is
+    incurred instead of being misattributed to the enclosing phase.
+    """
+    totals: Dict[str, float] = {}
+    for key, _path, self_s in _walk_span_tree(tracer):
+        totals[key] = totals.get(key, 0.0) + self_s
+    return totals
+
+
+def collapsed_stack_lines(tracer: Tracer) -> List[str]:
+    """The trace in collapsed-stack format (one ``a;b;c <value>`` per line).
+
+    Consumable by standard flamegraph tooling (Brendan Gregg's
+    ``flamegraph.pl``, speedscope, inferno): frames are span names
+    (``category.name``) joined by ``;``, values are exclusive time in
+    integer microseconds.  Per-query spans appear when the tracer ran
+    with ``trace_queries``.
+    """
+    weights: Dict[tuple, float] = {}
+    for _key, path, self_s in _walk_span_tree(tracer):
+        weights[path] = weights.get(path, 0.0) + self_s
+    lines = []
+    for path in sorted(weights):
+        value = int(round(weights[path] * 1e6))
+        if value <= 0:
+            continue
+        lines.append("%s %d" % (";".join(path), value))
+    return lines
+
+
+def write_collapsed_stack(tracer: Tracer, path: str) -> None:
+    """Write the collapsed-stack export to ``path`` (``"-"`` for stdout)."""
+    text = "\n".join(collapsed_stack_lines(tracer)) + "\n"
+    if path == "-":
+        sys.stdout.write(text)
+        return
+    atomic_write_text(path, text)
 
 
 def write_metrics(tracer: Tracer, path: str) -> None:
@@ -175,14 +262,27 @@ def render_text(tracer: Tracer) -> str:
         if not name.startswith("query.")
     ]
     if phase_timers:
+        exclusive = exclusive_times(tracer)
         lines.append("phases")
         lines.append(
-            "  %-36s %8s %12s %12s" % ("span", "count", "total ms", "mean ms")
+            "  %-36s %8s %12s %12s %12s"
+            % ("span", "count", "total ms", "self ms", "mean ms")
         )
         for name, timer in phase_timers:
+            self_s = exclusive.get(name)
+            # Timers observed without a stored span record (dropped past
+            # the cap, or metrics-only observations) have no self time.
+            self_ms = "%12.3f" % (self_s * 1e3) if self_s is not None \
+                else "%12s" % "-"
             lines.append(
-                "  %-36s %8d %12.3f %12.3f"
-                % (name, timer.count, timer.total * 1e3, timer.mean * 1e3)
+                "  %-36s %8d %12.3f %s %12.3f"
+                % (name, timer.count, timer.total * 1e3, self_ms,
+                   timer.mean * 1e3)
+            )
+        if tracer.dropped:
+            lines.append(
+                "  (self times incomplete: %d records dropped)"
+                % tracer.dropped
             )
         lines.append("")
 
@@ -231,9 +331,12 @@ __all__ = [
     "METRICS_SCHEMA_NAME",
     "METRICS_SCHEMA_VERSION",
     "chrome_trace_document",
+    "collapsed_stack_lines",
+    "exclusive_times",
     "metrics_document",
     "query_summary",
     "render_text",
     "write_chrome_trace",
+    "write_collapsed_stack",
     "write_metrics",
 ]

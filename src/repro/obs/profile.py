@@ -119,6 +119,12 @@ def profile_machine(
     optimal = sum(1 for r in results if r.optimal)
     tracer.count("profile.loops", len(graphs))
     tracer.count("profile.loops_at_mii", optimal)
+    # Schedule-quality counters: the achieved-II total against the MII
+    # lower-bound total is the benchmark observatory's quality metric
+    # (a reduction or scheduler change that speeds queries up but costs
+    # II shows up here, not in the work units).
+    tracer.count("profile.ii_total", sum(r.ii for r in results))
+    tracer.count("profile.mii_total", sum(r.mii for r in results))
     return tracer
 
 

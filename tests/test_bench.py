@@ -1,0 +1,456 @@
+"""The benchmark observatory: stats, result store, comparator, diffprof.
+
+Comparator edge cases covered per the perf-gate design: zero-variance
+samples, missing metrics on one side, schema-version mismatches,
+single-repetition runs, workload mismatches, and determinism of the
+work-unit gate.  The end-to-end run -> compare -> report round trip
+(including the injected-slowdown regression) lives in
+``tests/test_bench_cli.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchCase,
+    BenchResult,
+    CompareConfig,
+    bootstrap_ci,
+    compare_results,
+    diff_profiles,
+    intervals_overlap,
+    load_result,
+    mad,
+    median,
+    render_comparison_text,
+    render_diff_text,
+    render_result_text,
+    save_result,
+    summarize,
+)
+from repro.bench.result import RESULT_SCHEMA_NAME, RESULT_SCHEMA_VERSION
+from repro.errors import ArtifactIntegrityError, BenchFormatError
+
+
+# ----------------------------------------------------------------------
+# Robust statistics
+# ----------------------------------------------------------------------
+def test_median_odd_even():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+
+def test_median_empty_raises():
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_mad_zero_variance():
+    assert mad([5.0, 5.0, 5.0]) == 0.0
+    assert mad([7.0]) == 0.0
+
+
+def test_bootstrap_ci_deterministic():
+    samples = [1.0, 1.2, 0.9, 1.1, 1.05]
+    assert bootstrap_ci(samples, seed=3) == bootstrap_ci(samples, seed=3)
+    low, high = bootstrap_ci(samples)
+    assert low <= median(samples) <= high
+
+
+def test_bootstrap_ci_single_sample_is_point():
+    assert bootstrap_ci([2.5]) == (2.5, 2.5)
+
+
+def test_bootstrap_ci_zero_variance_is_point():
+    assert bootstrap_ci([3.0, 3.0, 3.0, 3.0]) == (3.0, 3.0)
+
+
+def test_summarize_keeps_samples():
+    summary = summarize([2.0, 1.0, 3.0])
+    assert summary["n"] == 3
+    assert summary["median"] == 2.0
+    assert summary["samples"] == [2.0, 1.0, 3.0]
+    assert summary["ci_low"] <= summary["median"] <= summary["ci_high"]
+
+
+def test_intervals_overlap():
+    assert intervals_overlap((0.0, 2.0), (1.0, 3.0))
+    assert intervals_overlap((1.0, 1.0), (1.0, 1.0))
+    assert not intervals_overlap((0.0, 1.0), (1.5, 2.0))
+
+
+# ----------------------------------------------------------------------
+# Result store
+# ----------------------------------------------------------------------
+def _make_case(
+    machine="m",
+    representation="discrete",
+    work=None,
+    wall_samples=(0.010, 0.011, 0.0105),
+    quality=None,
+    phases=None,
+):
+    return BenchCase(
+        machine=machine,
+        representation=representation,
+        work=dict(
+            work
+            if work is not None
+            else {"query.check.units": 1000.0, "sched.ims.decisions": 64.0}
+        ),
+        wall=summarize(list(wall_samples)),
+        phases=dict(phases or {}),
+        quality=dict(
+            quality
+            if quality is not None
+            else {
+                "loops": 4, "loops_at_mii": 4,
+                "ii_total": 20, "mii_total": 20, "mii_gap": 0,
+            }
+        ),
+    )
+
+
+def _make_result(**case_kwargs):
+    result = BenchResult(
+        meta={"git_sha": "deadbeef"},
+        config={"loops": 4, "repetitions": 3},
+    )
+    result.add_case(_make_case(**case_kwargs))
+    return result
+
+
+def test_result_round_trip_dict():
+    result = _make_result()
+    parsed = BenchResult.from_dict(result.to_dict())
+    assert parsed.to_dict() == result.to_dict()
+
+
+def test_result_schema_mismatch_rejected():
+    document = _make_result().to_dict()
+    document["version"] = RESULT_SCHEMA_VERSION + 1
+    with pytest.raises(BenchFormatError) as excinfo:
+        BenchResult.from_dict(document)
+    assert str(RESULT_SCHEMA_VERSION + 1) in str(excinfo.value)
+    document["version"] = RESULT_SCHEMA_VERSION
+    document["schema"] = "something-else"
+    with pytest.raises(BenchFormatError):
+        BenchResult.from_dict(document)
+    with pytest.raises(BenchFormatError):
+        BenchResult.from_dict(["not", "an", "object"])
+
+
+def test_result_save_load_checksummed(tmp_path):
+    path = str(tmp_path / "run.json")
+    result = _make_result()
+    save_result(path, result)
+    assert (tmp_path / "run.json.sum.json").exists()
+    loaded = load_result(path)
+    assert loaded.to_dict() == result.to_dict()
+
+
+def test_result_load_detects_corruption(tmp_path):
+    path = str(tmp_path / "run.json")
+    save_result(path, _make_result())
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n")
+    with pytest.raises(ArtifactIntegrityError):
+        load_result(path)
+
+
+def test_result_load_without_sidecar(tmp_path):
+    # CI-downloaded artifacts may arrive without their sidecar.
+    path = str(tmp_path / "bare.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_make_result().to_dict(), handle)
+    assert load_result(path).cases
+
+
+def test_result_load_rejects_non_json(tmp_path):
+    path = str(tmp_path / "garbage.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("not json")
+    with pytest.raises(BenchFormatError):
+        load_result(path)
+
+
+# ----------------------------------------------------------------------
+# Comparator
+# ----------------------------------------------------------------------
+def test_identical_runs_compare_neutral():
+    base = _make_result()
+    new = BenchResult.from_dict(base.to_dict())
+    comparison = compare_results(base, new)
+    assert comparison.ok
+    assert not comparison.regressions
+    assert not comparison.improvements
+
+
+def test_work_unit_increase_gates_hard():
+    base = _make_result()
+    new = _make_result(work={
+        "query.check.units": 1100.0, "sched.ims.decisions": 64.0,
+    })
+    comparison = compare_results(base, new)
+    assert not comparison.ok
+    (regression,) = comparison.regressions
+    assert regression.metric == "query.check.units"
+    assert regression.kind == "work"
+    assert regression.gated
+
+
+def test_work_unit_decrease_is_improvement():
+    base = _make_result()
+    new = _make_result(work={
+        "query.check.units": 500.0, "sched.ims.decisions": 64.0,
+    })
+    comparison = compare_results(base, new)
+    assert comparison.ok
+    assert any(
+        d.metric == "query.check.units" for d in comparison.improvements
+    )
+
+
+def test_work_unit_within_ratio_is_neutral():
+    base = _make_result()
+    new = _make_result(work={
+        "query.check.units": 1005.0, "sched.ims.decisions": 64.0,
+    })
+    assert compare_results(base, new).ok
+
+
+def test_small_counters_not_gated():
+    # One extra event on a 4-event counter is a 25% "regression" — the
+    # min_units floor keeps it advisory.
+    base = _make_result(work={"reduce.algorithm1.rule1": 4.0})
+    new = _make_result(work={"reduce.algorithm1.rule1": 5.0})
+    comparison = compare_results(base, new)
+    assert comparison.ok
+    delta = [
+        d for d in comparison.deltas
+        if d.metric == "reduce.algorithm1.rule1"
+    ][0]
+    assert delta.classification == "neutral"
+    assert "min_units" in delta.note
+
+
+def test_missing_metric_on_one_side_not_gated():
+    base = _make_result()
+    new = _make_result(work={
+        "query.check.units": 1000.0,
+        "sched.ims.decisions": 64.0,
+        "query.assign.units": 400.0,
+    })
+    comparison = compare_results(base, new)
+    assert comparison.ok
+    missing = [
+        d for d in comparison.deltas if d.metric == "query.assign.units"
+    ][0]
+    assert missing.classification == "missing-base"
+    assert not missing.gated
+    # And the mirror image.
+    comparison = compare_results(new, base)
+    assert comparison.ok
+    missing = [
+        d for d in comparison.deltas if d.metric == "query.assign.units"
+    ][0]
+    assert missing.classification == "missing-new"
+
+
+def test_zero_variance_wall_identical_is_neutral():
+    base = _make_result(wall_samples=(0.010, 0.010, 0.010))
+    new = _make_result(wall_samples=(0.010, 0.010, 0.010))
+    comparison = compare_results(base, new)
+    walls = [d for d in comparison.deltas if d.metric == "wall"]
+    assert walls[0].classification == "neutral"
+    assert comparison.ok
+
+
+def test_zero_variance_wall_difference_is_classified():
+    # Point intervals that do not touch → classified regression, but
+    # ungated under the default (CI) policy...
+    base = _make_result(wall_samples=(0.010, 0.010, 0.010))
+    new = _make_result(wall_samples=(0.020, 0.020, 0.020))
+    comparison = compare_results(base, new)
+    wall = [d for d in comparison.deltas if d.metric == "wall"][0]
+    assert wall.classification == "regression"
+    assert not wall.gated
+    assert comparison.ok
+    # ...and gated when wall gating is opted into.
+    gated = compare_results(base, new, CompareConfig(gate_wall=True))
+    assert not gated.ok
+    assert gated.regressions[0].metric == "wall"
+
+
+def test_single_repetition_wall_never_classified():
+    base = _make_result(wall_samples=(0.010,))
+    new = _make_result(wall_samples=(0.030,))
+    comparison = compare_results(
+        base, new, CompareConfig(gate_wall=True)
+    )
+    wall = [d for d in comparison.deltas if d.metric == "wall"][0]
+    assert wall.classification == "neutral"
+    assert "single-repetition" in wall.note
+    assert comparison.ok
+
+
+def test_overlapping_wall_intervals_stay_neutral():
+    base = _make_result(wall_samples=(0.010, 0.012, 0.011))
+    new = _make_result(wall_samples=(0.011, 0.013, 0.012))
+    comparison = compare_results(
+        base, new, CompareConfig(gate_wall=True)
+    )
+    wall = [d for d in comparison.deltas if d.metric == "wall"][0]
+    assert wall.classification == "neutral"
+    assert comparison.ok
+
+
+def test_quality_regression_gates():
+    base = _make_result()
+    new = _make_result(quality={
+        "loops": 4, "loops_at_mii": 3,
+        "ii_total": 22, "mii_total": 20, "mii_gap": 2,
+    })
+    comparison = compare_results(base, new)
+    assert not comparison.ok
+    metrics = {d.metric for d in comparison.regressions}
+    assert "quality.ii_total" in metrics
+    assert "quality.loops_at_mii" in metrics
+
+
+def test_workload_mismatch_skips_case():
+    base = _make_result()
+    new = _make_result(quality={
+        "loops": 8, "loops_at_mii": 8,
+        "ii_total": 40, "mii_total": 40, "mii_gap": 0,
+    })
+    comparison = compare_results(base, new)
+    assert comparison.ok
+    assert not comparison.deltas  # nothing comparable
+    assert any("workload mismatch" in note for note in comparison.notes)
+
+
+def test_case_on_one_side_only_is_noted():
+    base = _make_result()
+    new = _make_result(representation="bitvector")
+    comparison = compare_results(base, new)
+    assert comparison.ok
+    assert len(comparison.notes) >= 2  # one per one-sided case
+
+
+def test_nondeterministic_counters_excluded_from_gate():
+    base = _make_result()
+    new = _make_result(work={
+        "query.check.units": 9999.0, "sched.ims.decisions": 64.0,
+    })
+    new.cases["m/discrete"].nondeterministic = ["query.check.units"]
+    assert compare_results(base, new).ok
+
+
+def test_comparison_document_shape():
+    base = _make_result()
+    new = _make_result(work={
+        "query.check.units": 1100.0, "sched.ims.decisions": 64.0,
+    })
+    document = compare_results(base, new).to_dict()
+    assert document["schema"] == "repro-bench-compare"
+    assert document["ok"] is False
+    assert document["regressions"][0]["metric"] == "query.check.units"
+    assert document["policy"]["work_ratio"] == pytest.approx(1.01)
+
+
+# ----------------------------------------------------------------------
+# Differential profiling
+# ----------------------------------------------------------------------
+def _phases(reduce_self, sched_self):
+    return {
+        "reduce.generating_set": {
+            "count": 1,
+            "total": summarize([reduce_self] * 3),
+            "self": summarize([reduce_self] * 3),
+        },
+        "sched.ims.schedule": {
+            "count": 4,
+            "total": summarize([sched_self] * 3),
+            "self": summarize([sched_self] * 3),
+        },
+    }
+
+
+def test_diff_profiles_ranks_by_delta_and_attributes_counters():
+    base = _make_result(
+        work={
+            "reduce.algorithm1.rule3": 100.0,
+            "query.check.units": 1000.0,
+        },
+        phases=_phases(0.010, 0.020),
+    )
+    new = _make_result(
+        work={
+            "reduce.algorithm1.rule3": 118.0,
+            "query.check.units": 1500.0,
+        },
+        phases=_phases(0.012, 0.050),
+    )
+    diffs = diff_profiles(base, new, top=2)
+    deltas = diffs["m/discrete"]
+    # Largest |delta| first: the scheduler phase moved 30ms.
+    assert deltas[0].phase == "sched.ims.schedule"
+    assert deltas[0].delta_s == pytest.approx(0.030)
+    assert deltas[0].measure == "self"
+    # The scheduler phase is annotated with the query-work movement...
+    sched_counters = {c.name for c in deltas[0].counters}
+    assert "query.check.units" in sched_counters
+    # ...and the reduce phase with Algorithm 1's rule counter (+18%).
+    reduce_delta = [
+        d for d in deltas if d.phase == "reduce.generating_set"
+    ][0]
+    rule = [
+        c for c in reduce_delta.counters
+        if c.name == "reduce.algorithm1.rule3"
+    ][0]
+    assert rule.percent == pytest.approx(18.0)
+    assert "+18.0%" in rule.describe()
+    text = render_diff_text(diffs)
+    assert "sched.ims.schedule" in text
+    assert "reduce.algorithm1.rule3 +18.0%" in text
+
+
+def test_diff_profiles_empty_when_no_shared_phases():
+    base = _make_result(phases={})
+    new = _make_result(phases=_phases(0.01, 0.02))
+    assert diff_profiles(base, new) == {}
+    assert "no shared phases" in render_diff_text({})
+
+
+# ----------------------------------------------------------------------
+# Renderers
+# ----------------------------------------------------------------------
+def test_render_result_text_mentions_cases_and_phases():
+    result = _make_result(phases=_phases(0.01, 0.02))
+    text = render_result_text(result)
+    assert "m/discrete" in text
+    assert "sha=deadbeef" in text
+    assert "sched.ims.schedule" in text
+    assert "self ms" in text
+
+
+def test_render_comparison_text_verdicts():
+    base = _make_result()
+    ok_text = render_comparison_text(
+        compare_results(base, BenchResult.from_dict(base.to_dict()))
+    )
+    assert ok_text.startswith("verdict: OK")
+    new = _make_result(work={
+        "query.check.units": 1100.0, "sched.ims.decisions": 64.0,
+    })
+    bad = render_comparison_text(compare_results(base, new), base, new)
+    assert bad.startswith("verdict: REGRESSION")
+    assert "query.check.units" in bad
+
+
+def test_schema_constants_stable():
+    # The checked-in baseline depends on these; bump deliberately.
+    assert RESULT_SCHEMA_NAME == "repro-bench-result"
+    assert RESULT_SCHEMA_VERSION == 1

@@ -387,3 +387,93 @@ class TestProfilePipeline:
         )
         assert tracer.meta["scheduled_on"] == "reduced"
         assert tracer.metrics.counters["profile.loops_at_mii"] == 1
+
+
+class TestExclusiveTimes:
+    """Self-time reconstruction from flat span records."""
+
+    def _synthetic_tracer(self):
+        from repro.obs.trace import SpanRecord
+
+        tracer = obs.Tracer()
+        # reduce [0, 10) with children generating_set [1, 4) and
+        # verify [5, 8); sched [10, 16) with nested query [11, 12).
+        tracer.spans = [
+            SpanRecord("reduce", "reduce", 0.0, 10.0),
+            SpanRecord("generating_set", "reduce", 1.0, 3.0),
+            SpanRecord("verify", "reduce", 5.0, 3.0),
+            SpanRecord("ims.schedule", "sched", 10.0, 6.0),
+            SpanRecord("check", "query", 11.0, 1.0),
+        ]
+        return tracer
+
+    def test_exclusive_times_subtract_direct_children(self):
+        times = obs.exclusive_times(self._synthetic_tracer())
+        assert times["reduce.reduce"] == pytest.approx(4.0)
+        assert times["reduce.generating_set"] == pytest.approx(3.0)
+        assert times["reduce.verify"] == pytest.approx(3.0)
+        assert times["sched.ims.schedule"] == pytest.approx(5.0)
+        assert times["query.check"] == pytest.approx(1.0)
+        # Totals are conserved: sum of self == sum of root durations.
+        assert sum(times.values()) == pytest.approx(16.0)
+
+    def test_exclusive_times_clamp_overlong_children(self):
+        from repro.obs.trace import SpanRecord
+
+        tracer = obs.Tracer()
+        # Clock skew can make a child look longer than its parent;
+        # self time must never go negative.
+        tracer.spans = [
+            SpanRecord("outer", "sched", 0.0, 1.0),
+            SpanRecord("inner", "sched", 0.1, 2.0),
+        ]
+        times = obs.exclusive_times(tracer)
+        assert times["sched.outer"] == 0.0
+
+    def test_collapsed_stack_lines(self):
+        lines = obs.collapsed_stack_lines(self._synthetic_tracer())
+        as_map = {}
+        for line in lines:
+            stack, _, value = line.rpartition(" ")
+            as_map[stack] = int(value)
+        assert as_map["reduce.reduce"] == 4_000_000
+        assert as_map["reduce.reduce;reduce.generating_set"] == 3_000_000
+        assert as_map["sched.ims.schedule;query.check"] == 1_000_000
+        # Deterministic ordering.
+        assert lines == sorted(lines)
+
+    def test_collapsed_stack_merges_repeated_paths(self):
+        from repro.obs.trace import SpanRecord
+
+        tracer = obs.Tracer()
+        tracer.spans = [
+            SpanRecord("check", "query", float(i), 0.5) for i in range(4)
+        ]
+        (line,) = obs.collapsed_stack_lines(tracer)
+        assert line == "query.check 2000000"
+
+    def test_write_collapsed_stack(self, tmp_path):
+        out = tmp_path / "flame.txt"
+        obs.write_collapsed_stack(self._synthetic_tracer(), str(out))
+        content = out.read_text()
+        assert "reduce.reduce;reduce.verify 3000000" in content
+        assert content.endswith("\n")
+
+    def test_real_run_totals_match(self):
+        machine = cydra5_subset()
+        from repro.core import reduce_machine
+
+        with obs.tracing(trace_queries=True) as tracer:
+            reduce_machine(machine)
+            IterativeModuloScheduler(machine).schedule(KERNELS["daxpy"]())
+        times = obs.exclusive_times(tracer)
+        assert times
+        # Self time never exceeds the timer's inclusive total.
+        for key, self_s in times.items():
+            stats = tracer.metrics.timers.get(key)
+            assert stats is not None, key
+            assert self_s <= stats.total + 1e-9
+        document = obs.metrics_document(tracer)
+        assert set(document["exclusive_s"]) == set(times)
+        text = obs.render_text(tracer)
+        assert "self ms" in text
