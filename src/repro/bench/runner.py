@@ -35,14 +35,14 @@ from repro.obs.export import exclusive_times
 from repro.obs.profile import profile_machine
 from repro.obs.trace import Tracer
 
-#: The default matrix: both study-scale machines, both representations.
+#: The default matrix: both study-scale machines, all representations.
 DEFAULT_MACHINES = ("example", "cydra5-subset")
-DEFAULT_REPRESENTATIONS = ("discrete", "bitvector")
+DEFAULT_REPRESENTATIONS = ("discrete", "bitvector", "compiled")
 DEFAULT_LOOPS = 8
 DEFAULT_REPETITIONS = 5
 
 #: The CI configuration (``repro bench run --quick``): single machine,
-#: both representations, enough repetitions for a bootstrap interval.
+#: all representations, enough repetitions for a bootstrap interval.
 QUICK_MACHINES = ("example",)
 QUICK_LOOPS = 4
 QUICK_REPETITIONS = 3
@@ -182,12 +182,17 @@ def run_benchmark(
     budget=None,
     label: str = "",
     quick: bool = False,
+    case_filter: Optional[str] = None,
 ) -> BenchResult:
     """Run the full matrix and return the result document.
 
     ``machines`` is a sequence of ``(name, MachineDescription)`` pairs —
     the caller resolves built-in names or MDL files (the CLI reuses its
-    machine loader; tests pass toy machines directly).
+    machine loader; tests pass toy machines directly).  ``case_filter``
+    keeps only cells whose ``machine/representation`` key contains the
+    substring (``repro bench run --filter``); the recorded config notes
+    the filter so a compare against an unfiltered baseline reports the
+    config mismatch.
     """
     result = BenchResult(
         meta=default_meta(label=label),
@@ -200,8 +205,14 @@ def run_benchmark(
             "quick": quick,
         },
     )
+    if case_filter:
+        result.config["filter"] = case_filter
     for name, machine in machines:
         for representation in representations:
+            if case_filter and case_filter not in (
+                "%s/%s" % (name, representation)
+            ):
+                continue
             result.add_case(
                 run_case(
                     machine,

@@ -193,6 +193,22 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
             if outcome.reduction is not None:
                 print(outcome.reduction.summary())
             served = outcome.machine
+        elif args.cache:
+            from repro.resilience import cached_reduce
+
+            cached = cached_reduce(
+                machine,
+                objective=args.objective,
+                word_cycles=args.word_cycles,
+                cache_dir=args.cache,
+            )
+            if cached.reduction is not None:
+                print(cached.reduction.summary())
+            print(
+                "reduction cache: %s (digest %s)"
+                % (cached.source, cached.digest[:16])
+            )
+            served = cached.reduced
         else:
             reduction = reduce_machine(
                 machine,
@@ -495,6 +511,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         objective=args.objective,
         schedule_reduced=args.reduced,
         tracer=tracer,
+        reduction_cache=args.reduction_cache,
     )
     if args.metrics != "-" and args.flamegraph != "-":
         # With ``--metrics -``/``--flamegraph -`` stdout carries the
@@ -540,15 +557,17 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     from repro.bench import render_result_text, save_result
     from repro.bench import runner
 
+    from repro.query import REPRESENTATIONS
+
     machines = _bench_machines(args)
     representations = [
         r.strip() for r in args.representations.split(",") if r.strip()
     ]
     for representation in representations:
-        if representation not in ("discrete", "bitvector"):
+        if representation not in REPRESENTATIONS:
             raise ReproError(
-                "unknown representation %r (choose from discrete,"
-                " bitvector)" % representation
+                "unknown representation %r (choose from %s)"
+                % (representation, ", ".join(REPRESENTATIONS))
             )
     loops = args.loops or (
         runner.QUICK_LOOPS if args.quick else runner.DEFAULT_LOOPS
@@ -565,6 +584,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         budget=_make_budget(args, "bench"),
         label=args.label,
         quick=args.quick,
+        case_filter=args.filter,
     )
     if args.format == "json":
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
@@ -770,6 +790,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         help="write reduced machine as a checksummed MDL artifact",
     )
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="digest-keyed reduction cache directory: repeats are served"
+        " from verified checksummed artifacts (corrupt entries fall back"
+        " to a fresh reduction and are rewritten)",
+    )
     _add_observability_flags(p)
     _add_resilience_flags(p)
     p.set_defaults(func=_cmd_reduce)
@@ -850,7 +877,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--representation",
-        choices=("discrete", "bitvector"),
+        choices=("discrete", "bitvector", "compiled"),
         default="discrete",
     )
     p.add_argument("--word-cycles", type=int, default=1)
@@ -861,6 +888,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--reduced",
         action="store_true",
         help="schedule on the reduced description (paper's configuration)",
+    )
+    p.add_argument(
+        "--reduction-cache",
+        metavar="DIR",
+        help="serve the reduction from a digest-keyed cache directory"
+        " (entries are verified on load; corruption falls back to a"
+        " fresh reduction)",
     )
     p.add_argument(
         "--flamegraph",
@@ -898,10 +932,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     b.add_argument(
         "--representations",
-        default="discrete,bitvector",
+        default="discrete,bitvector,compiled",
         metavar="R[,R]",
         help="query representations to matrix over"
-        " (default: discrete,bitvector)",
+        " (default: discrete,bitvector,compiled)",
+    )
+    b.add_argument(
+        "--filter",
+        metavar="SUBSTRING",
+        help="run only cases whose 'machine/representation' key contains"
+        " SUBSTRING (e.g. 'cydra5-subset/' or '/compiled')",
     )
     b.add_argument(
         "--loops",
@@ -1072,7 +1112,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--loops", type=int, default=20)
     p.add_argument(
         "--representation",
-        choices=("discrete", "bitvector"),
+        choices=("discrete", "bitvector", "compiled"),
         default="discrete",
     )
     p.add_argument("--word-cycles", type=int, default=1)
@@ -1084,9 +1124,10 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="deterministic fault injection against the resilience layer",
         description="Inject seed-derived faults (dropped/shifted usages,"
-        " phase delays, truncated artifact writes, flipped checksums) and"
-        " report whether each was detected or survived via the verified"
-        " fallback ladder.  Exits 1 when any fault goes unhandled.",
+        " phase delays, truncated artifact writes, flipped checksums,"
+        " corrupted reduction-cache entries) and report whether each was"
+        " detected or survived via the verified fallback ladder.  Exits 1"
+        " when any fault goes unhandled.",
     )
     p.add_argument("machine", help="built-in name or MDL file")
     p.add_argument("--seed", type=int, default=0)
@@ -1100,6 +1141,7 @@ def build_parser() -> argparse.ArgumentParser:
             "phase-delay",
             "truncate-write",
             "flip-checksum",
+            "corrupt-cache",
         ),
         help="fault classes to inject (default: all)",
     )

@@ -31,20 +31,42 @@ QUERY_CHECK = "check"
 QUERY_ASSIGN = "assign"
 QUERY_ASSIGN_FREE = "assign&free"
 QUERY_FREE = "free"
-QUERY_FUNCTIONS = (QUERY_CHECK, QUERY_ASSIGN, QUERY_ASSIGN_FREE, QUERY_FREE)
+QUERY_CHECK_RANGE = "check_range"
+QUERY_COMPILE = "compile"
+QUERY_FUNCTIONS = (
+    QUERY_CHECK,
+    QUERY_ASSIGN,
+    QUERY_ASSIGN_FREE,
+    QUERY_FREE,
+    QUERY_CHECK_RANGE,
+    QUERY_COMPILE,
+)
+#: Timer name for ``first_free`` — its kernel work is charged in the
+#: ``check_range`` unit currency, but wall time gets its own key so the
+#: scan kernels are distinguishable in exports.
+QUERY_FIRST_FREE = "first_free"
 
 _OBSERVED: Dict[type, type] = {}
 
 
-def _timed(method_name: str, function: str):
-    """Build an observed override for one basic function."""
+def _timed(method_name: str, function: str, units_function: str = None):
+    """Build an observed override for one basic function.
+
+    ``units_function`` names the :class:`~repro.query.work.WorkCounters`
+    key whose delta is attributed to the call; it defaults to
+    ``function`` (the timer key) and only differs for the batched scan
+    kernels, whose work is charged in the ``check_range`` currency while
+    ``check_range`` and ``first_free`` keep separate timers.
+    """
+    if units_function is None:
+        units_function = function
 
     def observed(self, *args, **kwargs):
         tracer = current()
         inner = getattr(super(type(self), self), method_name)
         if tracer is None:
             return inner(*args, **kwargs)
-        units_before = self.work.units[function]
+        units_before = self.work.units[units_function]
         start = perf_counter()
         result = inner(*args, **kwargs)
         duration = perf_counter() - start
@@ -54,7 +76,7 @@ def _timed(method_name: str, function: str):
             function,
             start,
             duration,
-            self.work.units[function] - units_before,
+            self.work.units[units_function] - units_before,
             op=op,
             cycle=cycle,
         )
@@ -68,9 +90,11 @@ def _timed(method_name: str, function: str):
 def observed_class(cls: Type) -> Type:
     """The observed subclass of a query-module class (cached).
 
-    The subclass overrides only the public basic functions;
-    ``check_with_alternatives`` is *not* wrapped because it is a loop of
-    ``check`` calls — wrapping it too would double-count.
+    The subclass overrides the public basic functions plus the batched
+    scan entry points; ``check_with_alternatives`` and
+    ``first_free_with_alternatives`` are *not* wrapped because they are
+    loops of ``check`` / ``first_free`` calls — wrapping them too would
+    double-count.
     """
     try:
         return _OBSERVED[cls]
@@ -82,6 +106,10 @@ def observed_class(cls: Type) -> Type:
         "assign": _timed("assign", QUERY_ASSIGN),
         "assign_free": _timed("assign_free", QUERY_ASSIGN_FREE),
         "free": _timed("free", QUERY_FREE),
+        "check_range": _timed("check_range", QUERY_CHECK_RANGE),
+        "first_free": _timed(
+            "first_free", QUERY_FIRST_FREE, units_function=QUERY_CHECK_RANGE
+        ),
     }
     derived = type("Observed" + cls.__name__, (cls,), namespace)
     _OBSERVED[cls] = derived
@@ -92,6 +120,9 @@ __all__ = [
     "QUERY_ASSIGN",
     "QUERY_ASSIGN_FREE",
     "QUERY_CHECK",
+    "QUERY_CHECK_RANGE",
+    "QUERY_COMPILE",
+    "QUERY_FIRST_FREE",
     "QUERY_FREE",
     "QUERY_FUNCTIONS",
     "observed_class",

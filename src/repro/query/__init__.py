@@ -1,14 +1,20 @@
 """Contention query modules: check / assign / assign&free / free.
 
-Two internal representations of the partial schedule are provided, matching
-the paper's Section 5:
+Three internal representations of the partial schedule are provided — the
+paper's Section 5 pair plus a compiled kernel:
 
 * :class:`DiscreteQueryModule` — per-(resource, cycle) flag and owner
   entries; work is counted per resource usage.
 * :class:`BitvectorQueryModule` — one bitvector per cycle, ``k`` packed per
   word; work is counted per non-empty word.
+* :class:`CompiledQueryModule` — the whole reserved table as one big
+  integer, with per-operation packed masks and pairwise (class x class)
+  collision bitsets precompiled from the Step-1 forbidden latency
+  matrix; batched window scans (``check_range`` / ``first_free``) cost
+  one collision bitset per *live operation class placement*, not one
+  table walk per window cycle.
 
-Both support arbitrary placement order, backtracking via ``assign_free``,
+All support arbitrary placement order, backtracking via ``assign_free``,
 negative cycles (dangling block-boundary requirements), and modulo
 reservation tables for software pipelining.
 """
@@ -22,6 +28,12 @@ from repro.query.alternatives import (
 )
 from repro.query.base import ContentionQueryModule, ScheduledToken
 from repro.query.bitvector import BitvectorQueryModule
+from repro.query.compiled import (
+    CompiledKernel,
+    CompiledQueryModule,
+    clear_kernel_cache,
+    compiled_kernel,
+)
 from repro.query.discrete import DiscreteQueryModule
 from repro.query.predicated import (
     TRUE,
@@ -30,6 +42,7 @@ from repro.query.predicated import (
 )
 from repro.query.modulo import (
     BITVECTOR,
+    COMPILED,
     DISCRETE,
     REPRESENTATIONS,
     make_query_module,
@@ -38,6 +51,8 @@ from repro.query.work import (
     ASSIGN,
     ASSIGN_FREE,
     CHECK,
+    CHECK_RANGE,
+    COMPILE,
     FREE,
     FUNCTIONS,
     WorkCounters,
@@ -54,9 +69,16 @@ __all__ = [
     "BITVECTOR",
     "BitvectorQueryModule",
     "CHECK",
+    "CHECK_RANGE",
+    "COMPILE",
+    "COMPILED",
+    "CompiledKernel",
+    "CompiledQueryModule",
     "ContentionQueryModule",
     "DISCRETE",
     "DiscreteQueryModule",
+    "clear_kernel_cache",
+    "compiled_kernel",
     "FREE",
     "FUNCTIONS",
     "REPRESENTATIONS",

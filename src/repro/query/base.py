@@ -151,6 +151,99 @@ class ContentionQueryModule:
         del self._live[token.ident]
         self._count_op(token.op, -1)
 
+    def check_range(self, op: str, start: int, stop: int) -> List[bool]:
+        """Batched contention test over ``range(start, stop)``.
+
+        Returns one boolean per cycle of the window, in window order.
+        The base implementation is a loop of :meth:`check` calls (one
+        ``check`` charge per probed cycle, exactly as if the caller had
+        looped); representations with word-level or compiled kernels
+        override this with a single scan charged in the ``check_range``
+        currency.
+        """
+        return [self.check(op, cycle) for cycle in range(start, stop)]
+
+    def first_free(
+        self, op: str, start: int, stop: int, direction: int = 1
+    ) -> Optional[int]:
+        """First contention-free cycle for ``op`` in ``range(start, stop)``.
+
+        ``direction=1`` scans the window upward from ``start``;
+        ``direction=-1`` scans downward from ``stop - 1`` (the
+        lifetime-sensitive placement order).  Returns ``None`` when every
+        cycle of the window is contended.  The base implementation loops
+        :meth:`check`; fast backends override it with a batched kernel.
+        """
+        for cycle in self._window(start, stop, direction):
+            if self.check(op, cycle):
+                return cycle
+        return None
+
+    def first_free_with_alternatives(
+        self, op: str, start: int, stop: int, direction: int = 1
+    ) -> Tuple[Optional[int], Optional[str]]:
+        """First ``(cycle, alternative)`` schedulable in the window.
+
+        The window is scanned cycle-major (every alternative is probed at
+        a cycle before the next cycle is considered), so the result is
+        identical to looping :meth:`check_with_alternatives` over the
+        window — which is exactly what this base implementation does.
+        Returns ``(None, None)`` when the window is exhausted.
+        """
+        for cycle in self._window(start, stop, direction):
+            alternative = self.check_with_alternatives(op, cycle)
+            if alternative is not None:
+                return cycle, alternative
+        return None, None
+
+    def _first_free_by_variant(
+        self, op: str, start: int, stop: int, direction: int = 1
+    ) -> Tuple[Optional[int], Optional[str]]:
+        """Variant-major window scan for batched backends.
+
+        Runs one :meth:`first_free` kernel per ordered alternative,
+        shrinking the window after every hit so later variants must
+        strictly improve on the best cycle found so far.  Ties therefore
+        go to the earlier variant in probe order — the same answer the
+        cycle-major scan produces, at one batched kernel per variant.
+        Backends that override :meth:`first_free` use this as their
+        :meth:`first_free_with_alternatives`.
+        """
+        variants = self.machine.alternatives_of(op)
+        ordered = order_variants(
+            self.alternative_policy,
+            variants,
+            self._alt_rotation.get(op, 0),
+            self._live_op_counts,
+        )
+        best_cycle: Optional[int] = None
+        best_variant: Optional[str] = None
+        lo, hi = start, stop
+        for alternative in ordered:
+            if lo >= hi:
+                break
+            cycle = self.first_free(alternative, lo, hi, direction)
+            if cycle is None:
+                continue
+            best_cycle = cycle
+            best_variant = alternative
+            # Later variants must find a strictly better cycle.
+            if direction >= 0:
+                hi = cycle
+            else:
+                lo = cycle + 1
+        if best_variant is not None:
+            if self.alternative_policy == ROUND_ROBIN and len(variants) > 1:
+                self._alt_rotation[op] = self._alt_rotation.get(op, 0) + 1
+        return best_cycle, best_variant
+
+    @staticmethod
+    def _window(start: int, stop: int, direction: int) -> range:
+        """Window cycles in scan order (upward or downward)."""
+        if direction >= 0:
+            return range(start, stop)
+        return range(stop - 1, start - 1, -1)
+
     def check_with_alternatives(self, op: str, cycle: int) -> Optional[str]:
         """First alternative of ``op`` schedulable at ``cycle``, or ``None``.
 

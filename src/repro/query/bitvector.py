@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.machine import MachineDescription
 from repro.query.base import ContentionQueryModule, ScheduledToken
+from repro.query.work import CHECK_RANGE
 
 
 class BitvectorQueryModule(ContentionQueryModule):
@@ -57,11 +58,26 @@ class BitvectorQueryModule(ContentionQueryModule):
         # Owner fields, maintained only in update mode (or for plain free).
         self._owners: Dict[Tuple[int, int], int] = {}
         self._update_mode = False
-        # (op, alignment) -> (((word, mask), ...), self_conflict) with word
-        # offsets for scalar tables and absolute MRT words for modulo ones.
-        self._mask_cache: Dict[
+        # Precompiled reservation-table masks, in two normalized caches.
+        #
+        # ``_rel_masks`` holds *relative* word masks keyed by
+        # ``(op, cycle mod k)``: the mask layout only depends on the
+        # issue cycle's alignment within a word, so at most ``k`` entries
+        # exist per operation no matter how many cycles a run probes.
+        # Modulo tables share these entries for every alignment whose
+        # table does not wrap around the MRT end, so only the (at most
+        # ``length - 1``) wrapping alignments occupy ``_mrt_masks``,
+        # which stores absolute folded MRT words plus the self-conflict
+        # flag.  This bounds the cache at ``ops x (k + table span)``
+        # entries where the old per-alignment cache grew with ``ops x
+        # II`` across long pipelining runs.
+        self._rel_masks: Dict[
+            Tuple[str, int], Tuple[Tuple[int, int], ...]
+        ] = {}
+        self._mrt_masks: Dict[
             Tuple[str, int], Tuple[Tuple[Tuple[int, int], ...], bool]
         ] = {}
+        self._span: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Bit layout
@@ -75,54 +91,89 @@ class BitvectorQueryModule(ContentionQueryModule):
             return cycle % self.modulo
         return cycle
 
-    def _masks(self, op: str, cycle: int) -> Tuple[Tuple[int, int], ...]:
-        """Word masks of ``op`` issued at ``cycle``.
+    def _table_span(self, op: str) -> int:
+        """Reservation-table length of ``op`` in cycles (cached)."""
+        span = self._span.get(op)
+        if span is None:
+            span = self.machine.table(op).length
+            self._span[op] = span
+        return span
 
-        For scalar tables the masks depend on the issue cycle only through
-        its alignment within a word, so entries are cached per
-        ``cycle mod k`` and shifted by the word base at query time (the
-        caller adds ``cycle // k`` via :meth:`_placed_masks`).  For modulo
-        tables they depend on ``cycle mod II`` and are cached absolutely.
+    def _relative_masks(
+        self, op: str, alignment: int
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Word masks of ``op`` at in-word ``alignment`` (``< k``).
+
+        Word indices are relative to the issue cycle's word base; the
+        caller adds ``cycle // k``.  Shared by scalar tables and by every
+        non-wrapping modulo alignment.
         """
-        if self.modulo is None:
-            key = (op, cycle % self.word_cycles)
-        else:
-            key = (op, cycle % self.modulo)
-        cached = self._mask_cache.get(key)
+        key = (op, alignment)
+        cached = self._rel_masks.get(key)
+        if cached is not None:
+            return cached
+        accum: Dict[int, int] = {}
+        for resource, use_cycle in self.machine.table(op).iter_usages():
+            position = alignment + use_cycle
+            word = position // self.word_cycles
+            accum[word] = accum.get(word, 0) | (
+                1 << self._bit_position(resource, position % self.word_cycles)
+            )
+        masks = tuple(sorted(accum.items()))
+        self._rel_masks[key] = masks
+        return masks
+
+    def _folded_masks(
+        self, op: str, alignment: int
+    ) -> Tuple[Tuple[Tuple[int, int], ...], bool]:
+        """Absolute folded MRT word masks for a *wrapping* alignment.
+
+        Only alignments whose table crosses the MRT end land here; the
+        fold can put two usages of one resource onto the same MRT slot
+        (II below a self-forbidden latency), recorded as the
+        self-conflict flag — such a placement is never legal.
+        """
+        key = (op, alignment)
+        cached = self._mrt_masks.get(key)
         if cached is not None:
             return cached
         accum: Dict[int, int] = {}
         self_conflict = False
-        table = self.machine.table(op)
-        for resource, use_cycle in table.iter_usages():
-            if self.modulo is None:
-                absolute = key[1] + use_cycle
-            else:
-                absolute = (key[1] + use_cycle) % self.modulo
+        for resource, use_cycle in self.machine.table(op).iter_usages():
+            absolute = (alignment + use_cycle) % self.modulo
             word = absolute // self.word_cycles
-            bit = 1 << self._bit_position(resource, absolute % self.word_cycles)
+            bit = 1 << self._bit_position(
+                resource, absolute % self.word_cycles
+            )
             if accum.get(word, 0) & bit:
-                # Two usages wrapped onto one MRT slot: the operation can
-                # never issue at this alignment (II below a self-forbidden
-                # latency).  Only possible for modulo tables.
                 self_conflict = True
             accum[word] = accum.get(word, 0) | bit
-        masks = (tuple(sorted(accum.items())), self_conflict)
-        self._mask_cache[key] = masks
-        return masks
+        entry = (tuple(sorted(accum.items())), self_conflict)
+        self._mrt_masks[key] = entry
+        return entry
 
     def _placed_masks(self, op: str, cycle: int) -> List[Tuple[int, int]]:
         """(absolute word index, mask) pairs for ``op`` issued at ``cycle``."""
-        masks, _ = self._masks(op, cycle)
-        if self.modulo is not None:
-            return list(masks)
-        base = cycle // self.word_cycles
-        return [(base + offset, mask) for offset, mask in masks]
+        if self.modulo is None:
+            base = cycle // self.word_cycles
+            masks = self._relative_masks(op, cycle % self.word_cycles)
+            return [(base + offset, mask) for offset, mask in masks]
+        alignment = cycle % self.modulo
+        if alignment + self._table_span(op) <= self.modulo:
+            base = alignment // self.word_cycles
+            masks = self._relative_masks(op, alignment % self.word_cycles)
+            return [(base + offset, mask) for offset, mask in masks]
+        masks, _self_conflict = self._folded_masks(op, alignment)
+        return list(masks)
 
     def _self_conflicts(self, op: str, cycle: int) -> bool:
         """True when the op's own usages wrap onto one MRT slot."""
-        _, self_conflict = self._masks(op, cycle)
-        return self_conflict
+        if self.modulo is None:
+            return False
+        alignment = cycle % self.modulo
+        if alignment + self._table_span(op) <= self.modulo:
+            return False
+        return self._folded_masks(op, alignment)[1]
 
     def _usage_slots(self, op: str, cycle: int) -> List[Tuple[int, int]]:
         """(resource bit, cycle key) per usage — owner-map granularity."""
@@ -234,6 +285,57 @@ class BitvectorQueryModule(ContentionQueryModule):
         self._words = dict(words)
         self._owners = dict(owners)
         self._update_mode = update_mode
+
+    # ------------------------------------------------------------------
+    # Batched window scans
+    # ------------------------------------------------------------------
+    def check_range(self, op: str, start: int, stop: int) -> List[bool]:
+        """Word-scan fast path: one charge for the whole window.
+
+        Each reserved word is fetched once per scan no matter how many
+        window cycles its masks test against it, so the scan costs one
+        work unit per *distinct* word handled — the batched analogue of
+        the per-``check`` word currency — instead of one per word per
+        probed cycle.
+        """
+        fetched: Dict[int, int] = {}
+        flags = [
+            self._probe(op, cycle, fetched)
+            for cycle in range(start, stop)
+        ]
+        self.work.charge(CHECK_RANGE, len(fetched))
+        return flags
+
+    def first_free(
+        self, op: str, start: int, stop: int, direction: int = 1
+    ) -> Optional[int]:
+        """Word-scan fast path of the window scan (see :meth:`check_range`)."""
+        fetched: Dict[int, int] = {}
+        result = None
+        for cycle in self._window(start, stop, direction):
+            if self._probe(op, cycle, fetched):
+                result = cycle
+                break
+        self.work.charge(CHECK_RANGE, len(fetched))
+        return result
+
+    def first_free_with_alternatives(
+        self, op: str, start: int, stop: int, direction: int = 1
+    ) -> Tuple[Optional[int], Optional[str]]:
+        return self._first_free_by_variant(op, start, stop, direction)
+
+    def _probe(self, op: str, cycle: int, fetched: Dict[int, int]) -> bool:
+        """One contention test against the scan's word-fetch cache."""
+        if self._self_conflicts(op, cycle):
+            return False
+        for word, mask in self._placed_masks(op, cycle):
+            value = fetched.get(word)
+            if value is None:
+                value = self._words.get(word, 0)
+                fetched[word] = value
+            if value & mask:
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Introspection

@@ -17,12 +17,14 @@ from repro.obs.instrument import observed_class
 from repro.obs.trace import current as _current_tracer
 from repro.query.base import ContentionQueryModule
 from repro.query.bitvector import BitvectorQueryModule
+from repro.query.compiled import CompiledQueryModule
 from repro.query.discrete import DiscreteQueryModule
 
 DISCRETE = "discrete"
 BITVECTOR = "bitvector"
+COMPILED = "compiled"
 
-REPRESENTATIONS = (DISCRETE, BITVECTOR)
+REPRESENTATIONS = (DISCRETE, BITVECTOR, COMPILED)
 
 
 def make_query_module(
@@ -38,9 +40,12 @@ def make_query_module(
     machine:
         Machine description (original or reduced).
     representation:
-        ``"discrete"`` or ``"bitvector"``.
+        ``"discrete"``, ``"bitvector"``, or ``"compiled"`` (packed
+        big-int masks plus pairwise collision bitsets; see
+        :mod:`repro.query.compiled`).
     word_cycles:
-        Cycle-bitvectors per word (bitvector representation only).
+        Cycle-bitvectors per word (bitvector representation only;
+        ignored by the other representations).
     modulo:
         Initiation interval for a modulo reservation table; ``None`` gives
         an ordinary (scalar) reserved table.
@@ -55,6 +60,8 @@ def make_query_module(
         cls = DiscreteQueryModule
     elif representation == BITVECTOR:
         cls = BitvectorQueryModule
+    elif representation == COMPILED:
+        cls = CompiledQueryModule
     else:
         raise ValueError(
             "unknown representation %r (expected one of %s)"

@@ -18,8 +18,16 @@ CHECK = "check"
 ASSIGN = "assign"
 ASSIGN_FREE = "assign&free"
 FREE = "free"
+#: Batched window scans (``check_range`` / ``first_free``): one charge
+#: per scan, costing one unit per word or collision bitset handled by
+#: the kernel — the batched analogue of the per-call ``check`` currency.
+CHECK_RANGE = "check_range"
+#: Query-compilation work (packed reservation masks, pairwise collision
+#: bitsets, per-II mask folding).  Charged deterministically per module
+#: construction so bench gating never sees cache-warmth drift.
+COMPILE = "compile"
 
-FUNCTIONS = (CHECK, ASSIGN, ASSIGN_FREE, FREE)
+FUNCTIONS = (CHECK, ASSIGN, ASSIGN_FREE, FREE, CHECK_RANGE, COMPILE)
 
 
 @dataclass

@@ -11,6 +11,9 @@ runtime failure modes.  Four pieces:
   (IMS with escalation → flat list schedule);
 * :mod:`~repro.resilience.artifacts` — crash-safe, checksummed artifact
   store with semantic (forbidden-matrix digest) self-verification;
+* :mod:`~repro.resilience.reduction_cache` — digest-keyed reduction
+  memo + disk cache whose hits are re-verified on load and whose
+  corruption falls back to a fresh reduction;
 * :mod:`~repro.resilience.chaos` — deterministic fault injection proving
   the above actually hold (``repro chaos <machine> --seed N``).
 
@@ -44,6 +47,17 @@ from repro.resilience.chaos import (
     FaultOutcome,
     run_chaos,
 )
+from repro.resilience.reduction_cache import (
+    CACHE_SCHEMA_VERSION,
+    CachedReduction,
+    SOURCE_DISK,
+    SOURCE_FRESH,
+    SOURCE_MEMO,
+    cache_entry_path,
+    cached_reduce,
+    clear_reduction_memo,
+    reduction_digest,
+)
 from repro.resilience.fallback import (
     AttemptRecord,
     FallbackPolicy,
@@ -66,8 +80,10 @@ __all__ = [
     "AttemptRecord",
     "Budget",
     "BudgetExceeded",
+    "CACHE_SCHEMA_VERSION",
     "CHAOS_SCHEMA_NAME",
     "CHAOS_SCHEMA_VERSION",
+    "CachedReduction",
     "ChaosReport",
     "DelayedClock",
     "FAULTS",
@@ -80,8 +96,14 @@ __all__ = [
     "RUNG_PARTIAL",
     "RUNG_REDUCED",
     "SIDECAR_SUFFIX",
+    "SOURCE_DISK",
+    "SOURCE_FRESH",
+    "SOURCE_MEMO",
     "ScheduleOutcome",
     "UNVERIFIED_POLICY",
+    "cache_entry_path",
+    "cached_reduce",
+    "clear_reduction_memo",
     "content_digest",
     "has_sidecar",
     "load_machine",
@@ -89,6 +111,7 @@ __all__ = [
     "read_artifact",
     "read_sidecar",
     "reduce_with_fallback",
+    "reduction_digest",
     "run_chaos",
     "schedule_with_fallback",
     "sidecar_path",

@@ -143,7 +143,9 @@ def read_artifact(
     try:
         with open(path, "r", encoding="utf-8") as handle:
             text = handle.read()
-    except OSError as exc:
+    except (OSError, UnicodeDecodeError) as exc:
+        # A bit flip can turn valid UTF-8 into undecodable bytes; that
+        # is content corruption, not an environment error.
         raise ArtifactIntegrityError(
             "cannot read artifact %r: %s" % (path, exc),
             path=path, kind="content",

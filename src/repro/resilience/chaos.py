@@ -23,6 +23,11 @@ Fault classes
 ``flip-checksum``
     One hex digit of the sidecar's recorded SHA-256 flips; loading must
     refuse with the expected/actual digests named.
+``corrupt-cache``
+    A reduction-cache entry (see
+    :mod:`repro.resilience.reduction_cache`) is corrupted on disk after
+    a successful write; the next lookup must reject it, serve a fresh
+    verified reduction, and heal the entry in place.
 """
 
 from __future__ import annotations
@@ -48,6 +53,7 @@ FAULT_SHIFT_USAGE = "shift-usage"
 FAULT_PHASE_DELAY = "phase-delay"
 FAULT_TRUNCATE_WRITE = "truncate-write"
 FAULT_FLIP_CHECKSUM = "flip-checksum"
+FAULT_CORRUPT_CACHE = "corrupt-cache"
 
 FAULTS = (
     FAULT_DROP_USAGE,
@@ -55,6 +61,7 @@ FAULTS = (
     FAULT_PHASE_DELAY,
     FAULT_TRUNCATE_WRITE,
     FAULT_FLIP_CHECKSUM,
+    FAULT_CORRUPT_CACHE,
 )
 
 CHAOS_SCHEMA_NAME = "repro-chaos-report"
@@ -322,6 +329,47 @@ def _inject_artifact_fault(
     )
 
 
+def _inject_cache_fault(
+    machine: MachineDescription, seed: int, workdir: str
+) -> FaultOutcome:
+    """Corrupt a reduction-cache entry; the cache must heal itself."""
+    from repro.resilience.reduction_cache import (
+        SOURCE_DISK,
+        SOURCE_FRESH,
+        cached_reduce,
+    )
+
+    rng = _rng(machine, seed, FAULT_CORRUPT_CACHE)
+    cache_dir = os.path.join(workdir, "reduction-cache")
+    primed = cached_reduce(machine, cache_dir=cache_dir, use_memo=False)
+    if rng.random() < 0.5:
+        truncate_file(primed.path, rng)
+        what = "truncated cache entry"
+    else:
+        flip_checksum(primed.path, rng)
+        what = "flipped cache-entry checksum digit"
+    corrupted = cached_reduce(machine, cache_dir=cache_dir, use_memo=False)
+    healed = cached_reduce(machine, cache_dir=cache_dir, use_memo=False)
+    equivalent = corrupted.reduced == primed.reduced
+    handled = (
+        corrupted.source == SOURCE_FRESH
+        and healed.source == SOURCE_DISK
+        and equivalent
+    )
+    detail = "%s; lookup served %s, next lookup %s" % (
+        what, corrupted.source, healed.source,
+    )
+    if not equivalent:
+        detail += "; fallback reduction DIFFERS"
+    return FaultOutcome(
+        fault=FAULT_CORRUPT_CACHE,
+        handled=handled,
+        mode=MODE_SURVIVED,
+        detail=detail,
+        verified=equivalent,
+    )
+
+
 def run_chaos(
     machine: MachineDescription,
     seed: int = 0,
@@ -355,6 +403,8 @@ def run_chaos(
                 outcome = _inject_corruption(machine, seed, fault)
             elif fault == FAULT_PHASE_DELAY:
                 outcome = _inject_phase_delay(machine, seed)
+            elif fault == FAULT_CORRUPT_CACHE:
+                outcome = _inject_cache_fault(machine, seed, workdir)
             else:
                 outcome = _inject_artifact_fault(
                     machine, seed, fault, workdir
@@ -373,6 +423,7 @@ __all__ = [
     "CHAOS_SCHEMA_VERSION",
     "ChaosReport",
     "DelayedClock",
+    "FAULT_CORRUPT_CACHE",
     "FAULT_DROP_USAGE",
     "FAULT_FLIP_CHECKSUM",
     "FAULT_PHASE_DELAY",

@@ -1,0 +1,190 @@
+"""Digest-keyed reduction cache (memo + crash-safe disk artifacts).
+
+Reducing a machine description is deterministic in ``(machine, objective,
+word_cycles)``, so repeated reductions of one machine — across profile
+runs, schedulers, or CLI invocations — are pure waste.  This module keys
+each reduction by a SHA-256 digest of the canonical MDL serialization
+plus the reduction parameters and serves repeats from two tiers:
+
+1. an in-process memo (same interpreter, zero cost), and
+2. an on-disk artifact directory of checksummed MDL files written
+   through :mod:`repro.resilience.artifacts` (atomic write + sidecar).
+
+A disk hit is *never trusted blindly*: the artifact's byte checksum and
+recorded forbidden-matrix digest are verified by
+:func:`~repro.resilience.artifacts.load_machine`, and the loaded reduced
+description is then re-proven equivalent to the requesting machine with
+:func:`repro.core.verify.assert_equivalent` — the same Theorem-1 runtime
+check a fresh reduction gets.  Any failure (truncation, bit flips, stale
+entries from a different machine colliding on a path, version skew)
+falls back to a fresh reduction and rewrites the entry, so a corrupt
+cache can cost time but never correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro import mdl
+from repro.core.machine import MachineDescription
+from repro.core.reduce import Reduction, reduce_machine
+from repro.core.selection import RES_USES
+from repro.core.verify import assert_equivalent
+from repro.errors import EquivalenceError, ArtifactIntegrityError
+from repro.obs import trace as obs
+from repro.resilience.artifacts import load_machine, write_machine
+
+#: Bump when the digest recipe or artifact layout changes: old entries
+#: then simply miss instead of failing verification one by one.
+CACHE_SCHEMA_VERSION = 1
+
+#: Cache sources, in lookup order.
+SOURCE_MEMO = "memo"
+SOURCE_DISK = "disk"
+SOURCE_FRESH = "fresh"
+
+_MEMO: Dict[str, Tuple[MachineDescription, Optional[Reduction]]] = {}
+
+
+def reduction_digest(
+    machine: MachineDescription,
+    objective: str = RES_USES,
+    word_cycles: int = 1,
+) -> str:
+    """Digest keying one reduction: parameters + canonical MDL text.
+
+    The MDL serialization is canonical (sorted usages, stable layout),
+    so two structurally identical descriptions share a digest even when
+    built through different code paths.
+    """
+    payload = "\n".join(
+        (
+            "repro-reduction-cache/%d" % CACHE_SCHEMA_VERSION,
+            "objective=%s" % objective,
+            "word_cycles=%d" % word_cycles,
+            mdl.dumps(machine),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cache_entry_path(cache_dir: str, digest: str) -> str:
+    """Artifact path of a cache entry inside ``cache_dir``."""
+    return os.path.join(cache_dir, "reduce-%s.mdl" % digest[:16])
+
+
+def clear_reduction_memo() -> None:
+    """Drop the in-process memo tier (tests / memory pressure)."""
+    _MEMO.clear()
+
+
+@dataclass
+class CachedReduction:
+    """Outcome of one cache-aware reduction.
+
+    Attributes
+    ----------
+    original / reduced:
+        The requesting machine and its (verified) reduced equivalent.
+    source:
+        ``"memo"``, ``"disk"``, or ``"fresh"``.
+    digest:
+        The full reduction digest keying this entry.
+    path:
+        The disk artifact path, when a cache directory was given.
+    reduction:
+        The full :class:`~repro.core.reduce.Reduction` (matrix,
+        generating set, selection) — populated when the reduction ran in
+        this process (fresh, or memoized from a fresh run); ``None`` for
+        disk hits, which only persist the reduced description.
+    """
+
+    original: MachineDescription
+    reduced: MachineDescription
+    source: str
+    digest: str
+    path: Optional[str] = None
+    reduction: Optional[Reduction] = None
+
+
+def cached_reduce(
+    machine: MachineDescription,
+    objective: str = RES_USES,
+    word_cycles: int = 1,
+    cache_dir: Optional[str] = None,
+    use_memo: bool = True,
+) -> CachedReduction:
+    """Reduce ``machine``, serving verified repeats from the cache.
+
+    Lookup order is memo, then disk (when ``cache_dir`` is given), then
+    a fresh :func:`~repro.core.reduce.reduce_machine`.  Fresh results
+    are written back to both tiers; disk entries that fail checksum,
+    matrix-digest, or equivalence verification are *replaced* by the
+    fresh result.  Never raises on cache corruption — only on a failed
+    fresh reduction itself.
+    """
+    digest = reduction_digest(machine, objective, word_cycles)
+    path = cache_entry_path(cache_dir, digest) if cache_dir else None
+
+    if use_memo:
+        hit = _MEMO.get(digest)
+        if hit is not None:
+            obs.count("cache.reduction.memo_hit")
+            reduced, reduction = hit
+            return CachedReduction(
+                original=machine, reduced=reduced, source=SOURCE_MEMO,
+                digest=digest, path=path, reduction=reduction,
+            )
+
+    if path is not None and os.path.exists(path):
+        try:
+            with obs.span(
+                "cache.reduction.load", obs.CAT_REDUCE,
+                machine=machine.name,
+            ):
+                loaded = load_machine(path)
+                assert_equivalent(machine, loaded)
+        except (ArtifactIntegrityError, EquivalenceError) as exc:
+            obs.count("cache.reduction.rejected")
+            obs.event(
+                "cache.reduction.fallback", obs.CAT_REDUCE,
+                machine=machine.name, path=path, error=str(exc),
+            )
+        else:
+            obs.count("cache.reduction.disk_hit")
+            if use_memo:
+                _MEMO[digest] = (loaded, None)
+            return CachedReduction(
+                original=machine, reduced=loaded, source=SOURCE_DISK,
+                digest=digest, path=path, reduction=None,
+            )
+
+    obs.count("cache.reduction.miss")
+    reduction = reduce_machine(
+        machine, objective=objective, word_cycles=word_cycles
+    )
+    if path is not None:
+        os.makedirs(cache_dir, exist_ok=True)
+        write_machine(path, reduction.reduced)
+    if use_memo:
+        _MEMO[digest] = (reduction.reduced, reduction)
+    return CachedReduction(
+        original=machine, reduced=reduction.reduced, source=SOURCE_FRESH,
+        digest=digest, path=path, reduction=reduction,
+    )
+
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CachedReduction",
+    "SOURCE_DISK",
+    "SOURCE_FRESH",
+    "SOURCE_MEMO",
+    "cache_entry_path",
+    "cached_reduce",
+    "clear_reduction_memo",
+    "reduction_digest",
+]

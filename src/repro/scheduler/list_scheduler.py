@@ -127,14 +127,10 @@ class OperationDrivenScheduler:
             for name in order:
                 opcode = graph.operation(name).opcode
                 estart, lstart = self._window(graph, name, times)
-                slot = None
-                alternative = None
                 upper = lstart if lstart is not None else horizon
-                for t in range(estart, upper + 1):
-                    alternative = qm.check_with_alternatives(opcode, t)
-                    if alternative is not None:
-                        slot = t
-                        break
+                slot, alternative = qm.first_free_with_alternatives(
+                    opcode, estart, upper + 1
+                )
                 if slot is None:
                     raise ScheduleError(
                         "no contention-free slot for %s in [%d, %d]"
@@ -271,11 +267,9 @@ class OperationDrivenScheduler:
             alternative = None
             if lstart is None or lstart >= estart:
                 upper = lstart if lstart is not None else horizon
-                for t in range(estart, upper + 1):
-                    alternative = qm.check_with_alternatives(opcode, t)
-                    if alternative is not None:
-                        slot = t
-                        break
+                slot, alternative = qm.first_free_with_alternatives(
+                    opcode, estart, upper + 1
+                )
             if slot is None:
                 previous = prev_time.get(name)
                 slot = (

@@ -25,7 +25,7 @@ from repro.errors import ScheduleError
 from repro.obs import trace as obs
 from repro.query.alternatives import FIRST_FIT
 from repro.query.modulo import DISCRETE, make_query_module
-from repro.query.work import CHECK, WorkCounters
+from repro.query.work import CHECK, CHECK_RANGE, WorkCounters
 from repro.scheduler.ddg import DependenceGraph
 from repro.scheduler.mii import min_ii
 
@@ -304,7 +304,9 @@ class IterativeModuloScheduler:
                     last_units = total_units
                 name = min(unscheduled, key=priority)
                 unscheduled.discard(name)
-                checks_before = qm.work.calls[CHECK]
+                checks_before = (
+                    qm.work.calls[CHECK] + qm.work.calls[CHECK_RANGE]
+                )
                 estart = 0
                 for edge in graph.predecessors(name):
                     if edge.src in times:
@@ -316,12 +318,12 @@ class IterativeModuloScheduler:
                         if bound > estart:
                             estart = bound
 
-                # Search an II-wide window for a contention-free slot.
-                # The lifetime policy scans downward from the latest slot
-                # permitted by already-scheduled consumers (when any
-                # exist), shortening the lifetimes of this op's produced
-                # value.
-                candidates = range(estart, estart + ii)
+                # Search an II-wide window for a contention-free slot
+                # with one batched scan per alternative.  The lifetime
+                # policy scans downward from the latest slot permitted
+                # by already-scheduled consumers (when any exist),
+                # shortening the lifetimes of this op's produced value.
+                window = (estart, estart + ii, 1)
                 if self.placement_policy == "lifetime":
                     deadline = None
                     for edge in graph.successors(name):
@@ -338,16 +340,10 @@ class IterativeModuloScheduler:
                             )
                     if deadline is not None and deadline >= estart:
                         upper = min(deadline, estart + ii - 1)
-                        candidates = range(upper, estart - 1, -1)
-                slot = None
-                alternative = None
-                for t in candidates:
-                    alternative = qm.check_with_alternatives(
-                        opcode_of[name], t
-                    )
-                    if alternative is not None:
-                        slot = t
-                        break
+                        window = (estart, upper + 1, -1)
+                slot, alternative = qm.first_free_with_alternatives(
+                    opcode_of[name], *window
+                )
                 forced = slot is None
                 if forced:
                     # Forced placement (Rau): earliest legal slot, but
@@ -363,7 +359,10 @@ class IterativeModuloScheduler:
                         opcode_of[name]
                     )[0]
 
-                check_counts[qm.work.calls[CHECK] - checks_before] += 1
+                checks_after = (
+                    qm.work.calls[CHECK] + qm.work.calls[CHECK_RANGE]
+                )
+                check_counts[checks_after - checks_before] += 1
                 token, evicted = qm.assign_free(alternative, slot)
                 decisions += 1
                 times[name] = slot

@@ -63,6 +63,7 @@ class TestBenchRun:
         assert document["config"]["quick"] is True
         assert set(document["cases"]) == {
             "paper-example/discrete", "paper-example/bitvector",
+            "paper-example/compiled",
         }
 
     def test_run_rejects_unknown_representation(self, capsys):

@@ -216,7 +216,7 @@ class TestChaosCommand:
              "--workdir", str(tmp_path)]
         ) == 0
         out = capsys.readouterr().out
-        assert "result: OK (5/5 faults handled)" in out
+        assert "result: OK (6/6 faults handled)" in out
 
     def test_chaos_fault_subset(self, capsys, tmp_path):
         assert main(

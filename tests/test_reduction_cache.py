@@ -1,0 +1,171 @@
+"""The digest-keyed reduction cache: tiers, verification, self-healing."""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.core import matrices_equal
+from repro.machines import cydra5_subset, example_machine
+from repro.resilience import (
+    FAULTS,
+    cached_reduce,
+    cache_entry_path,
+    clear_reduction_memo,
+    reduction_digest,
+    run_chaos,
+    sidecar_path,
+)
+from repro.resilience.chaos import FAULT_CORRUPT_CACHE
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_reduction_memo()
+    yield
+    clear_reduction_memo()
+
+
+class TestDigest:
+    def test_digest_is_stable_and_parameter_sensitive(self):
+        machine = example_machine()
+        base = reduction_digest(machine)
+        assert base == reduction_digest(example_machine())
+        assert base != reduction_digest(machine, objective="word-uses")
+        assert base != reduction_digest(machine, word_cycles=4)
+        assert base != reduction_digest(cydra5_subset())
+
+    def test_entry_path_uses_digest_prefix(self, tmp_path):
+        digest = reduction_digest(example_machine())
+        path = cache_entry_path(str(tmp_path), digest)
+        assert digest[:16] in path
+        assert path.endswith(".mdl")
+
+
+class TestTiers:
+    def test_fresh_then_memo_then_disk(self, tmp_path):
+        machine = example_machine()
+        first = cached_reduce(machine, cache_dir=str(tmp_path))
+        second = cached_reduce(machine, cache_dir=str(tmp_path))
+        clear_reduction_memo()
+        third = cached_reduce(machine, cache_dir=str(tmp_path))
+        assert (first.source, second.source, third.source) == (
+            "fresh", "memo", "disk"
+        )
+        assert first.reduced == second.reduced == third.reduced
+        assert os.path.exists(first.path)
+        assert os.path.exists(sidecar_path(first.path))
+        # Fresh runs carry the full Reduction; disk hits only the machine.
+        assert first.reduction is not None
+        assert third.reduction is None
+
+    def test_memo_disabled_reduces_fresh_each_time(self):
+        machine = example_machine()
+        first = cached_reduce(machine, use_memo=False)
+        second = cached_reduce(machine, use_memo=False)
+        assert first.source == second.source == "fresh"
+
+    def test_served_reduction_is_equivalent(self, tmp_path):
+        machine = cydra5_subset()
+        cached_reduce(machine, cache_dir=str(tmp_path))
+        clear_reduction_memo()
+        served = cached_reduce(machine, cache_dir=str(tmp_path))
+        assert served.source == "disk"
+        assert matrices_equal(machine, served.reduced)
+
+    def test_no_cache_dir_never_touches_disk(self):
+        outcome = cached_reduce(example_machine())
+        assert outcome.path is None
+        assert outcome.source == "fresh"
+
+
+class TestCorruptionFallback:
+    def test_truncated_entry_falls_back_and_heals(self, tmp_path):
+        machine = example_machine()
+        primed = cached_reduce(machine, cache_dir=str(tmp_path))
+        with open(primed.path, "r+b") as handle:
+            handle.truncate(max(0, os.path.getsize(primed.path) - 12))
+        clear_reduction_memo()
+        served = cached_reduce(machine, cache_dir=str(tmp_path))
+        assert served.source == "fresh"
+        assert served.reduced == primed.reduced
+        clear_reduction_memo()
+        healed = cached_reduce(machine, cache_dir=str(tmp_path))
+        assert healed.source == "disk"
+
+    def test_flipped_sidecar_checksum_falls_back(self, tmp_path):
+        machine = example_machine()
+        primed = cached_reduce(machine, cache_dir=str(tmp_path))
+        side = sidecar_path(primed.path)
+        header = json.load(open(side))
+        digit = "0" if header["sha256"][0] != "0" else "1"
+        header["sha256"] = digit + header["sha256"][1:]
+        with open(side, "w", encoding="utf-8") as handle:
+            json.dump(header, handle)
+        clear_reduction_memo()
+        served = cached_reduce(machine, cache_dir=str(tmp_path))
+        assert served.source == "fresh"
+        assert served.reduced == primed.reduced
+
+    def test_wrong_machine_in_entry_is_rejected(self, tmp_path):
+        """A valid artifact that is not equivalent must not be served."""
+        from repro.resilience.artifacts import write_machine
+
+        machine = example_machine()
+        digest = reduction_digest(machine)
+        # Plant a *well-formed* artifact holding a different machine at
+        # this machine's slot: checksum and matrix digest verify, but the
+        # equivalence proof against the requesting machine fails.
+        path = cache_entry_path(str(tmp_path), digest)
+        os.makedirs(str(tmp_path), exist_ok=True)
+        write_machine(path, cydra5_subset())
+        served = cached_reduce(machine, cache_dir=str(tmp_path))
+        assert served.source == "fresh"
+        assert matrices_equal(machine, served.reduced)
+
+    def test_chaos_fault_class_covers_cache(self, tmp_path):
+        assert FAULT_CORRUPT_CACHE in FAULTS
+        report = run_chaos(
+            example_machine(),
+            seed=3,
+            faults=[FAULT_CORRUPT_CACHE],
+            workdir=str(tmp_path),
+        )
+        assert report.ok
+        outcome = report.outcomes[0]
+        assert outcome.fault == FAULT_CORRUPT_CACHE
+        assert "fresh" in outcome.detail and "disk" in outcome.detail
+
+    def test_chaos_fault_is_seed_deterministic(self, tmp_path):
+        first = run_chaos(
+            example_machine(), seed=5,
+            faults=[FAULT_CORRUPT_CACHE],
+            workdir=str(tmp_path / "a"),
+        )
+        second = run_chaos(
+            example_machine(), seed=5,
+            faults=[FAULT_CORRUPT_CACHE],
+            workdir=str(tmp_path / "b"),
+        )
+        assert first.to_dict()["outcomes"] == second.to_dict()["outcomes"]
+
+    def test_random_byte_corruption_never_served(self, tmp_path):
+        machine = example_machine()
+        rng = random.Random(11)
+        for trial in range(5):
+            clear_reduction_memo()
+            cache = tmp_path / ("t%d" % trial)
+            primed = cached_reduce(machine, cache_dir=str(cache))
+            data = bytearray(open(primed.path, "rb").read())
+            if not data:
+                continue
+            index = rng.randrange(len(data))
+            data[index] ^= 1 << rng.randrange(8)
+            with open(primed.path, "wb") as handle:
+                handle.write(bytes(data))
+            clear_reduction_memo()
+            served = cached_reduce(machine, cache_dir=str(cache))
+            # Either the flip was caught (fresh) or it produced byte-
+            # identical content; served output must stay equivalent.
+            assert matrices_equal(machine, served.reduced)
