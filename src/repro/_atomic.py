@@ -41,4 +41,27 @@ def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
         raise
 
 
-__all__ = ["atomic_write_text"]
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Binary twin of :func:`atomic_write_text`: same temp-file + fsync +
+    ``os.replace`` protocol, same all-or-nothing guarantee."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory,
+        prefix="." + os.path.basename(path) + ".",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]

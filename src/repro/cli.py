@@ -4,6 +4,7 @@ Commands
 --------
 ``reduce``    reduce a machine description and optionally write it out
 ``verify``    check that two descriptions preserve the same constraints
+``certify``   issue or independently check a preservation certificate
 ``stats``     print the Tables 1-4 metrics for a description
 ``show``      dump a (built-in) machine as MDL text
 ``schedule``  modulo-schedule the named kernels or a generated loop suite
@@ -11,10 +12,17 @@ Commands
 ``diff``      scheduling-constraint diff between two descriptions
 ``expand``    modulo-schedule a kernel and print its software pipeline
 ``automata``  build the contention-recognizing automata and report sizes
-``lint``      static-analysis audit with structured diagnostics
+``lint``      static-analysis audit: machine descriptions, or with
+              ``--code`` the repro sources themselves
 ``profile``   reduce + schedule under tracing; per-phase time/work report
 ``chaos``     deterministic fault injection against the resilience layer
 ``bench``     benchmark observatory: ``run`` / ``compare`` / ``report``
+
+``certify`` validates Theorem-1 witness certificates without re-running
+the reduction (``repro certify ORIG REDUCED [--cert FILE]``); ``reduce``
+emits one with ``--certificate FILE``, and ``reduce --cache`` verifies
+warm hits via their stored certificate unless ``--paranoid`` — see
+``docs/certificates.md``.
 
 ``bench run`` records a schema-versioned, checksummed benchmark result
 (deterministic work units, robust wall-time stats, per-phase spans,
@@ -173,6 +181,7 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
                 command="reduce", machine=machine.name,
                 objective=args.objective, word_cycles=args.word_cycles,
             )
+        certificate = None
         if args.fallback:
             from repro.resilience import FallbackPolicy, reduce_with_fallback
 
@@ -193,6 +202,7 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
             if outcome.reduction is not None:
                 print(outcome.reduction.summary())
             served = outcome.machine
+            certificate = outcome.certificate
         elif args.cache:
             from repro.resilience import cached_reduce
 
@@ -201,14 +211,19 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
                 objective=args.objective,
                 word_cycles=args.word_cycles,
                 cache_dir=args.cache,
+                paranoid=args.paranoid,
             )
             if cached.reduction is not None:
                 print(cached.reduction.summary())
+            detail = "verified via %s" % cached.verification
+            if cached.verify_units:
+                detail += ", %d work units" % cached.verify_units
             print(
-                "reduction cache: %s (digest %s)"
-                % (cached.source, cached.digest[:16])
+                "reduction cache: %s (digest %s, %s)"
+                % (cached.source, cached.digest[:16], detail)
             )
             served = cached.reduced
+            certificate = cached.certificate
         else:
             reduction = reduce_machine(
                 machine,
@@ -218,6 +233,10 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
             )
             print(reduction.summary())
             served = reduction.reduced
+            if args.certificate:
+                from repro.core.certificate import issue_certificate
+
+                certificate = issue_certificate(reduction)
         if args.output:
             from repro.resilience import artifacts
 
@@ -225,6 +244,23 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
             print(
                 "wrote %s (+ checksum sidecar %s)"
                 % (args.output, artifacts.sidecar_path(args.output))
+            )
+        if args.certificate:
+            from repro.resilience import artifacts
+
+            if certificate is None:
+                raise ReproError(
+                    "no certificate available to write (the served"
+                    " description was not verified)"
+                )
+            artifacts.write_certificate(args.certificate, certificate)
+            print(
+                "wrote certificate %s (%d instances, %d classes)"
+                % (
+                    args.certificate,
+                    len(certificate.witnesses),
+                    len(certificate.classes),
+                )
             )
     return 0
 
@@ -246,6 +282,104 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             % (op_x, op_y, sorted(only_first), sorted(only_second))
         )
     return 1
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.core.certificate import (
+        certificate_from_machines,
+        check_certificate,
+        equivalence_work_units,
+    )
+    from repro.core.verify import assert_equivalent
+    from repro.errors import (
+        CertificateError,
+        EquivalenceError,
+        render_mismatches,
+    )
+    from repro.resilience import artifacts
+
+    original = _load_machine(args.original)
+    reduced = _load_machine(args.reduced)
+    document = {
+        "schema": "repro-certify-report",
+        "version": 1,
+        "original": original.name,
+        "reduced": reduced.name,
+        "ok": False,
+    }
+
+    def emit(error=None):
+        if error is not None:
+            document["error"] = error
+        if args.format == "json":
+            print(json.dumps(document, indent=2, sort_keys=True))
+
+    try:
+        if args.cert:
+            certificate = artifacts.load_certificate(args.cert)
+            source = args.cert
+        else:
+            certificate = certificate_from_machines(original, reduced)
+            source = "issued"
+        check = check_certificate(
+            certificate, original, reduced,
+            recompute_matrix=not args.structural,
+        )
+        if args.paranoid:
+            assert_equivalent(original, reduced)
+    except EquivalenceError as exc:
+        emit({"kind": "equivalence", "message": str(exc)})
+        if args.format != "json":
+            print("NOT CERTIFIED: %s" % exc, file=sys.stderr)
+            if exc.mismatches:
+                print(
+                    "  witness pairs: %s"
+                    % render_mismatches(exc.mismatches),
+                    file=sys.stderr,
+                )
+        return 1
+    except CertificateError as exc:
+        error = {"kind": exc.kind or "certificate", "message": str(exc)}
+        if exc.instance is not None:
+            error["instance"] = list(exc.instance)
+        emit(error)
+        if args.format != "json":
+            print("CERTIFICATE REJECTED: %s" % exc, file=sys.stderr)
+        return 1
+
+    document.update(
+        ok=True,
+        mode="paranoid" if args.paranoid else check.mode,
+        instances=check.instances,
+        classes=check.classes,
+        units=check.units,
+        equivalence_units=equivalence_work_units(original, reduced),
+        matrix_digest=certificate.matrix_digest,
+        certificate=source,
+    )
+    if args.emit:
+        artifacts.write_certificate(args.emit, certificate)
+        document["emitted"] = args.emit
+    emit()
+    if args.format != "json":
+        print(
+            "CERTIFIED (%s): %r preserves the scheduling constraints of"
+            " %r" % (document["mode"], reduced.name, original.name)
+        )
+        print(
+            "  %d instances in %d classes; check spent %d work units"
+            " (full equivalence re-check costs %d)"
+            % (
+                check.instances, check.classes, check.units,
+                document["equivalence_units"],
+            )
+        )
+        if args.emit:
+            print(
+                "  wrote certificate %s (+ checksum sidecar %s)"
+                % (args.emit, artifacts.sidecar_path(args.emit))
+            )
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -698,12 +832,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                     % (lint_rule.id, lint_rule.severity, lint_rule.summary)
                 )
         return 0
-    if args.machine is None:
-        raise ReproError("lint needs a machine (or --list-rules)")
+    if not args.machine and not args.code:
+        raise ReproError("lint needs a machine (or --code / --list-rules)")
 
-    reference = (
-        _load_machine(args.against) if args.against else None
-    )
     baseline = Baseline.load(args.baseline) if args.baseline else None
     severity_overrides = {}
     for override in args.severity or []:
@@ -721,18 +852,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         "mismatch_limit": args.mismatch_limit,
     }
 
-    machine, raw = _load_machine_with_raw(args.machine)
-    kwargs = dict(
-        against=reference,
-        rules=rules,
-        severity_overrides=severity_overrides,
-        baseline=baseline,
-        options=options,
-    )
-    if raw is not None:
-        report = lint_source(raw, **kwargs)
+    if args.code:
+        from repro.lint.code import lint_code_paths
+
+        if args.against:
+            raise ReproError("--against does not apply to lint --code")
+        report = lint_code_paths(
+            paths=args.machine or None,
+            rules=rules,
+            severity_overrides=severity_overrides,
+            baseline=baseline,
+            options=options,
+        )
     else:
-        report = lint_machine(machine, **kwargs)
+        if len(args.machine) > 1:
+            raise ReproError(
+                "lint audits one machine at a time"
+                " (multiple paths are a --code feature)"
+            )
+        reference = (
+            _load_machine(args.against) if args.against else None
+        )
+        machine, raw = _load_machine_with_raw(args.machine[0])
+        kwargs = dict(
+            against=reference,
+            rules=rules,
+            severity_overrides=severity_overrides,
+            baseline=baseline,
+            options=options,
+        )
+        if raw is not None:
+            report = lint_source(raw, **kwargs)
+        else:
+            report = lint_machine(machine, **kwargs)
 
     if args.write_baseline:
         write_baseline(args.write_baseline, [report])
@@ -797,6 +949,18 @@ def build_parser() -> argparse.ArgumentParser:
         " from verified checksummed artifacts (corrupt entries fall back"
         " to a fresh reduction and are rewritten)",
     )
+    p.add_argument(
+        "--certificate",
+        metavar="FILE",
+        help="write the reduction's preservation certificate as a"
+        " checksummed artifact",
+    )
+    p.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="with --cache: re-prove disk hits with the full"
+        " forbidden-matrix equivalence check instead of the certificate",
+    )
     _add_observability_flags(p)
     _add_resilience_flags(p)
     p.set_defaults(func=_cmd_reduce)
@@ -806,6 +970,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("second")
     p.add_argument("--limit", type=int, default=8)
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "certify",
+        help="issue or check a preservation certificate",
+        description="Prove that REDUCED preserves the scheduling"
+        " constraints of ORIGINAL.  Without --cert, a certificate is"
+        " issued (and optionally written with --emit); with --cert, the"
+        " stored certificate artifact is validated independently —"
+        " soundness and coverage of its Theorem-1 witness pairs plus a"
+        " recomputation of the original's forbidden matrix.  Exits 1"
+        " when certification fails.",
+    )
+    p.add_argument("original", help="built-in name or MDL file")
+    p.add_argument("reduced", help="built-in name or MDL file")
+    p.add_argument(
+        "--cert",
+        metavar="FILE",
+        help="validate this certificate artifact instead of issuing",
+    )
+    p.add_argument(
+        "--emit",
+        metavar="FILE",
+        help="write the certificate as a checksummed artifact",
+    )
+    p.add_argument(
+        "--structural",
+        action="store_true",
+        help="skip recomputing the original's matrix (binding by"
+        " canonical-MDL digest only — the warm-cache trust model)",
+    )
+    p.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="additionally run the full forbidden-matrix equivalence"
+        " check",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    p.set_defaults(func=_cmd_certify)
 
     p = sub.add_parser("stats", help="print description metrics")
     p.add_argument("machine")
@@ -1038,14 +1242,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="static-analysis audit of a machine description",
+        help="static-analysis audit (machine plane or --code plane)",
         description="Audit a machine description for constraint-level"
         " defects: redundant or unused rows, collapsible operations,"
         " dominated alternatives, ill-formed cycles, and (with --against)"
-        " forbidden-latency disagreement with a reference description.",
+        " forbidden-latency disagreement with a reference description."
+        " With --code, audit Python sources instead: determinism"
+        " (unordered iteration), work accounting, budget checkpoints,"
+        " atomic writes, and exception hygiene.",
     )
     p.add_argument(
-        "machine", nargs="?", help="built-in name or MDL file"
+        "machine",
+        nargs="*",
+        help="built-in name or MDL file; with --code, files or"
+        " directories of Python sources (default: the repro package)",
+    )
+    p.add_argument(
+        "--code",
+        action="store_true",
+        help="run the code-plane rules over Python sources instead of"
+        " a machine description",
     )
     p.add_argument(
         "--against",

@@ -7,6 +7,19 @@ The public surface of this subpackage mirrors the paper's three steps:
 3. :func:`select_resources` / :func:`reduce_machine` — Step 3, selection.
 """
 
+from repro.core.certificate import (
+    CERTIFICATE_SCHEMA_NAME,
+    CERTIFICATE_SCHEMA_VERSION,
+    Certificate,
+    CertificateCheck,
+    certificate_from_machines,
+    check_certificate,
+    equivalence_work_units,
+    issue_certificate,
+    machine_digest,
+    matrix_digest_value,
+    matrix_work_units,
+)
 from repro.core.exact_cover import SearchExhausted, exact_minimum_cover
 from repro.core.elementary import (
     Resource,
@@ -46,6 +59,10 @@ from repro.core.verify import (
 )
 
 __all__ = [
+    "CERTIFICATE_SCHEMA_NAME",
+    "CERTIFICATE_SCHEMA_VERSION",
+    "Certificate",
+    "CertificateCheck",
     "ForbiddenLatencyMatrix",
     "MachineBuilder",
     "MachineDescription",
@@ -62,8 +79,15 @@ __all__ = [
     "assert_equivalent",
     "build_generating_set",
     "canonical_instance",
+    "certificate_from_machines",
+    "check_certificate",
     "collapse_to_classes",
     "differences",
+    "equivalence_work_units",
+    "issue_certificate",
+    "machine_digest",
+    "matrix_digest_value",
+    "matrix_work_units",
     "exact_minimum_cover",
     "elementary_pair",
     "find_witness",

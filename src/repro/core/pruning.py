@@ -16,8 +16,15 @@ from repro.core.forbidden import Instance
 
 
 def coverage_map(resources: Iterable[Resource]) -> Dict[Resource, Set[Instance]]:
-    """Map each resource to the canonical instances it generates."""
-    return {resource: generated_instances(resource) for resource in set(resources)}
+    """Map each resource to the canonical instances it generates.
+
+    De-duplicates in first-seen order so the map's iteration order is a
+    function of the input, not of hash seeds.
+    """
+    return {
+        resource: generated_instances(resource)
+        for resource in dict.fromkeys(resources)
+    }
 
 
 def prune_covered_resources(resources: Iterable[Resource]) -> List[Resource]:

@@ -24,6 +24,41 @@ class ReductionError(ReproError):
 MISMATCH_RENDER_LIMIT = 20
 
 
+def render_mismatch(mismatch):
+    """Render one ``(op_x, op_y, only_in_first, only_in_second)`` mismatch.
+
+    Names the operation (class) pair *and* the latencies unique to each
+    side, so an equivalence failure is actionable without re-running the
+    comparison: ``mul/load (first-only={2, 5}; second-only={3})``.
+    """
+    op_x, op_y, only_a, only_b = mismatch
+    parts = []
+    if only_a:
+        parts.append(
+            "first-only={%s}" % ", ".join(str(f) for f in sorted(only_a))
+        )
+    if only_b:
+        parts.append(
+            "second-only={%s}" % ", ".join(str(f) for f in sorted(only_b))
+        )
+    detail = "; ".join(parts) if parts else "no latency delta"
+    return "%s/%s (%s)" % (op_x, op_y, detail)
+
+
+def render_mismatches(mismatches, limit=MISMATCH_RENDER_LIMIT):
+    """Render a mismatch list, eliding entries past ``limit``.
+
+    Shared by ``str(EquivalenceError)`` and the ``repro certify`` failure
+    output so both report the same actionable witness pairs.
+    """
+    shown = list(mismatches[:limit])
+    pairs = ", ".join(render_mismatch(entry) for entry in shown)
+    remainder = len(mismatches) - len(shown)
+    if remainder > 0:
+        pairs += " … and %d more" % remainder
+    return pairs
+
+
 class EquivalenceError(ReductionError):
     """Two machine descriptions do not induce the same forbidden latencies.
 
@@ -34,7 +69,8 @@ class EquivalenceError(ReductionError):
         describing operation pairs whose forbidden latency sets differ.
         The full list is always kept; rendering caps the pairs shown at
         :data:`MISMATCH_RENDER_LIMIT` so errors on large machines stay
-        readable.
+        readable.  Each rendered entry names the pair and the violating
+        latencies on each side (see :func:`render_mismatch`).
     """
 
     def __init__(self, message, mismatches=None):
@@ -45,11 +81,43 @@ class EquivalenceError(ReductionError):
         base = super().__str__()
         if not self.mismatches:
             return base
-        shown = self.mismatches[:MISMATCH_RENDER_LIMIT]
-        pairs = ", ".join("%s/%s" % (x, y) for x, y, _a, _b in shown)
-        remainder = len(self.mismatches) - len(shown)
-        suffix = " … and %d more" % remainder if remainder > 0 else ""
-        return "%s [mismatches: %s%s]" % (base, pairs, suffix)
+        return "%s [mismatches: %s]" % (
+            base, render_mismatches(self.mismatches)
+        )
+
+
+class CertificateError(ReductionError):
+    """A preservation certificate failed validation.
+
+    Raised by :func:`repro.core.certificate.check_certificate` when a
+    certificate does not bind to the descriptions under check, or when
+    the reduced description's generated latencies and the certified
+    instance set disagree.  Where the failure is a concrete latency, the
+    witness fields name it so the report is actionable without re-running
+    the reduction.
+
+    Attributes
+    ----------
+    kind:
+        What failed: ``"schema"``, ``"binding"``, ``"classes"``,
+        ``"soundness"``, ``"coverage"``, or ``"matrix"``.
+    instance:
+        The canonical ``(op_x, op_y, latency)`` instance at fault, when
+        the failure is tied to a single forbidden latency.
+    row:
+        The reduced resource (row) the witness usages live in.
+    usage_x / usage_y:
+        The ``(operation, cycle)`` usages forming the witness pair.
+    """
+
+    def __init__(self, message, kind=None, instance=None, row=None,
+                 usage_x=None, usage_y=None):
+        super().__init__(message)
+        self.kind = kind
+        self.instance = tuple(instance) if instance is not None else None
+        self.row = row
+        self.usage_x = tuple(usage_x) if usage_x is not None else None
+        self.usage_y = tuple(usage_y) if usage_y is not None else None
 
 
 class ScheduleError(ReproError):

@@ -12,13 +12,21 @@ rule-based linter with structured diagnostics:
 * :mod:`repro.lint.registry` — the pluggable rule registry
   (:func:`rule`, :func:`registered_rules`) and the drivers
   (:func:`lint_machine`, :func:`lint_source`);
-* :mod:`repro.lint.rules` — the built-in rules (see ``docs/lint.md``
-  for the rule reference with paper citations);
+* :mod:`repro.lint.rules` — the built-in machine-plane rules (see
+  ``docs/lint.md`` for the rule reference with paper citations);
+* :mod:`repro.lint.code` — the code-plane rules (``repro lint --code``)
+  auditing the implementation itself for determinism, work accounting,
+  and budget/robustness invariants;
 * :mod:`repro.lint.baseline` — suppression files for adopting the
-  linter over descriptions with known findings.
+  linter over descriptions (or source trees) with known findings.
 """
 
 from repro.lint.baseline import Baseline, write_baseline
+from repro.lint.code import (
+    CODE_REPORT_NAME,
+    CodeContext,
+    lint_code_paths,
+)
 from repro.lint.diagnostics import (
     REPORT_SCHEMA_VERSION,
     SEVERITIES,
@@ -40,8 +48,11 @@ from repro.lint.registry import (
 
 __all__ = [
     "Baseline",
+    "CODE_REPORT_NAME",
+    "CodeContext",
     "Diagnostic",
     "LintContext",
+    "lint_code_paths",
     "LintReport",
     "LintRule",
     "Location",

@@ -59,6 +59,8 @@ def _entry_key(entry: Dict[str, object]) -> _Key:
             operation=location.get("operation"),
             resource=location.get("resource"),
             cycle=location.get("cycle"),
+            file=location.get("file"),
+            symbol=location.get("symbol"),
         ),
     )
     return (str(machine), diag.suppression_key())

@@ -42,27 +42,39 @@ def severity_rank(severity: str) -> int:
 
 @dataclass(frozen=True)
 class Location:
-    """Where a finding points: operation, resource, cycle, source line.
+    """Where a finding points.
 
-    All fields are optional; a location with no fields set refers to the
-    machine description as a whole.
+    Machine-plane findings use ``operation`` / ``resource`` / ``cycle``
+    (plus the MDL source ``line``); code-plane findings use ``file`` /
+    ``symbol`` / ``line``.  All fields are optional; a location with no
+    fields set refers to the machine description as a whole.
     """
 
     operation: Optional[str] = None
     resource: Optional[str] = None
     cycle: Optional[int] = None
     line: Optional[int] = None
+    file: Optional[str] = None
+    symbol: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready mapping with ``None`` fields omitted."""
         result: Dict[str, object] = {}
-        for key in ("operation", "resource", "cycle", "line"):
+        for key in ("file", "symbol", "operation", "resource", "cycle",
+                    "line"):
             value = getattr(self, key)
             if value is not None:
                 result[key] = value
         return result
 
     def __str__(self) -> str:
+        if self.file is not None:
+            text = self.file
+            if self.line is not None:
+                text += ":%d" % self.line
+            if self.symbol is not None:
+                text += " (%s)" % self.symbol
+            return text
         parts = []
         if self.operation is not None:
             parts.append("operation %s" % self.operation)
@@ -95,12 +107,20 @@ class Diagnostic:
         """Stable identity used by baseline files.
 
         Source lines are deliberately excluded so that reformatting an
-        MDL file does not invalidate a baseline.
+        MDL (or Python) file does not invalidate a baseline; code-plane
+        findings match on file and symbol instead.
         """
         loc = self.location
         return "|".join(
             "" if part is None else str(part)
-            for part in (self.rule, loc.operation, loc.resource, loc.cycle)
+            for part in (
+                self.rule,
+                loc.operation,
+                loc.resource,
+                loc.cycle,
+                loc.file,
+                loc.symbol,
+            )
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -165,15 +185,24 @@ class LintReport:
         return not self.exceeds("warning")
 
     def sorted(self) -> "LintReport":
-        """Copy with findings ordered worst-first, then by rule and place."""
+        """Copy with findings ordered worst-first, then by rule and place.
+
+        The key covers every location field plus the message, so two runs
+        over the same inputs render byte-identical reports — ``--format
+        json`` output is safe to diff or hash in CI.
+        """
         ordered = sorted(
             self.diagnostics,
             key=lambda d: (
                 -d.rank,
+                d.location.file or "",
                 d.rule,
                 d.location.operation or "",
                 d.location.resource or "",
+                d.location.symbol or "",
                 d.location.cycle if d.location.cycle is not None else -1,
+                d.location.line if d.location.line is not None else -1,
+                d.message,
             ),
         )
         return LintReport(

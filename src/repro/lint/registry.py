@@ -22,6 +22,12 @@ Rules declare a *scope*:
     also runs on MDL files that fail semantic validation — this is how
     well-formedness rules report negative cycles that
     :class:`~repro.core.reservation.ReservationTable` would reject.
+``code``
+    Operates on a parsed Python source file of this repository (a
+    :class:`~repro.lint.code.CodeContext`) — the *code plane* that
+    audits determinism, work accounting, and budget invariants of the
+    implementation itself.  Code rules never run against machine
+    contexts and vice versa.
 
 :func:`lint_machine` runs the rules over an in-memory description;
 :func:`lint_source` runs them over a parsed MDL file, falling back to
@@ -162,6 +168,11 @@ class LintRule:
     requires_reference: bool = False
 
     def applies(self, ctx: LintContext) -> bool:
+        is_code = bool(getattr(ctx, "is_code", False))
+        if self.scope == "code":
+            return is_code
+        if is_code:
+            return False
         if self.requires_reference and ctx.reference is None:
             return False
         if self.scope == "machine" and ctx.machine is None:
@@ -183,7 +194,7 @@ def rule(
     severity.
     """
     severity_rank(severity)  # validate eagerly
-    if scope not in ("machine", "usages"):
+    if scope not in ("machine", "usages", "code"):
         raise LintConfigError("unknown rule scope %r" % scope)
 
     def decorate(fn):
@@ -221,6 +232,7 @@ def finding(
 
 def registered_rules() -> List[LintRule]:
     """All known rules, sorted by id (importing the built-ins lazily)."""
+    import repro.lint.code  # noqa: F401  (registers the code-plane rules)
     import repro.lint.rules  # noqa: F401  (registers the built-in rules)
 
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]

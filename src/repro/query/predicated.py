@@ -195,6 +195,43 @@ class PredicatedDiscreteQueryModule:
         return units
 
     # ------------------------------------------------------------------
+    # Batched window scans (mirroring ContentionQueryModule's fallbacks)
+    # ------------------------------------------------------------------
+    def check_range(
+        self, op: str, start: int, stop: int, predicate: str = TRUE
+    ) -> List[bool]:
+        """Batched contention test over ``range(start, stop)``.
+
+        One boolean per cycle of the window, in window order — a loop of
+        :meth:`check` calls with identical charges, like the
+        :class:`~repro.query.base.ContentionQueryModule` fallback, but
+        predicate-aware.
+        """
+        return [
+            self.check(op, cycle, predicate) for cycle in range(start, stop)
+        ]
+
+    def first_free(
+        self,
+        op: str,
+        start: int,
+        stop: int,
+        direction: int = 1,
+        predicate: str = TRUE,
+    ) -> Optional[int]:
+        """First cycle in ``range(start, stop)`` free for ``op`` under
+        ``predicate``; ``direction=-1`` scans the window downward.
+        Returns ``None`` when every cycle of the window is contended."""
+        if direction >= 0:
+            window = range(start, stop)
+        else:
+            window = range(stop - 1, start - 1, -1)
+        for cycle in window:
+            if self.check(op, cycle, predicate):
+                return cycle
+        return None
+
+    # ------------------------------------------------------------------
     def holders_at(self, resource: str, cycle: int) -> List[Tuple[str, int]]:
         """(predicate, ident) holders of one slot — for tests/debugging."""
         if self.modulo is not None:

@@ -27,6 +27,7 @@ from repro.resilience.artifacts import (
     SIDECAR_SUFFIX,
     content_digest,
     has_sidecar,
+    load_certificate,
     load_machine,
     matrix_digest,
     read_artifact,
@@ -34,6 +35,7 @@ from repro.resilience.artifacts import (
     sidecar_path,
     verify_artifact,
     write_artifact,
+    write_certificate,
     write_json,
     write_machine,
 )
@@ -53,8 +55,13 @@ from repro.resilience.reduction_cache import (
     SOURCE_DISK,
     SOURCE_FRESH,
     SOURCE_MEMO,
+    VERIFIED_CERTIFICATE,
+    VERIFIED_EQUIVALENCE,
+    VERIFIED_FRESH,
+    VERIFIED_MEMO,
     cache_entry_path,
     cached_reduce,
+    certificate_entry_path,
     clear_reduction_memo,
     reduction_digest,
 )
@@ -101,11 +108,17 @@ __all__ = [
     "SOURCE_MEMO",
     "ScheduleOutcome",
     "UNVERIFIED_POLICY",
+    "VERIFIED_CERTIFICATE",
+    "VERIFIED_EQUIVALENCE",
+    "VERIFIED_FRESH",
+    "VERIFIED_MEMO",
     "cache_entry_path",
     "cached_reduce",
+    "certificate_entry_path",
     "clear_reduction_memo",
     "content_digest",
     "has_sidecar",
+    "load_certificate",
     "load_machine",
     "matrix_digest",
     "read_artifact",
@@ -117,6 +130,7 @@ __all__ = [
     "sidecar_path",
     "verify_artifact",
     "write_artifact",
+    "write_certificate",
     "write_json",
     "write_machine",
 ]

@@ -26,9 +26,10 @@ from typing import Dict, Optional, Tuple
 
 from repro import mdl
 from repro._atomic import atomic_write_text
+from repro.core.certificate import Certificate, matrix_digest_value
 from repro.core.forbidden import ForbiddenLatencyMatrix
 from repro.core.machine import MachineDescription
-from repro.errors import ArtifactIntegrityError
+from repro.errors import ArtifactIntegrityError, CertificateError
 from repro.obs import trace as obs
 
 ARTIFACT_SCHEMA_NAME = "repro-artifact"
@@ -55,14 +56,7 @@ def matrix_digest(machine: MachineDescription) -> str:
     (same scheduling constraints) produce the same digest even when their
     reservation tables differ.
     """
-    matrix = ForbiddenLatencyMatrix.from_machine(machine)
-    canonical = sorted(
-        (op_x, op_y, sorted(latencies))
-        for op_x, op_y, latencies in matrix.pairs()
-    )
-    return hashlib.sha256(
-        json.dumps(canonical, sort_keys=True).encode("utf-8")
-    ).hexdigest()
+    return matrix_digest_value(ForbiddenLatencyMatrix.from_machine(machine))
 
 
 # ----------------------------------------------------------------------
@@ -217,6 +211,42 @@ def write_json(
     return write_artifact(path, text, kind=kind)
 
 
+def write_certificate(
+    path: str, certificate: Certificate
+) -> Dict[str, object]:
+    """Write a preservation certificate as a checksummed artifact.
+
+    The sidecar's byte checksum makes tampering with the certified
+    instance list detectable before the semantic check even runs.
+    """
+    return write_artifact(
+        path,
+        json.dumps(certificate.to_dict(), indent=2, sort_keys=True) + "\n",
+        kind="certificate",
+        extra={"matrix_digest": certificate.matrix_digest},
+    )
+
+
+def load_certificate(path: str) -> Certificate:
+    """Load a certificate artifact, verifying checksum and schema.
+
+    Byte corruption surfaces as
+    :class:`~repro.errors.ArtifactIntegrityError`; schema-level damage as
+    :class:`~repro.errors.CertificateError`.  The semantic validation
+    against a description pair is
+    :func:`repro.core.certificate.check_certificate`.
+    """
+    text, _header = read_artifact(path, expect_kind="certificate")
+    try:
+        document = json.loads(text)
+    except ValueError as exc:
+        raise CertificateError(
+            "certificate artifact %r is not valid JSON: %s" % (path, exc),
+            kind="schema",
+        ) from exc
+    return Certificate.from_dict(document)
+
+
 def verify_artifact(path: str) -> Dict[str, object]:
     """Verify an artifact in place and return its header.
 
@@ -239,6 +269,7 @@ __all__ = [
     "atomic_write_text",
     "content_digest",
     "has_sidecar",
+    "load_certificate",
     "load_machine",
     "matrix_digest",
     "read_artifact",
@@ -246,6 +277,7 @@ __all__ = [
     "sidecar_path",
     "verify_artifact",
     "write_artifact",
+    "write_certificate",
     "write_json",
     "write_machine",
 ]

@@ -31,6 +31,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.certificate import (
+    Certificate,
+    certificate_from_machines,
+    issue_certificate,
+)
 from repro.core.forbidden import ForbiddenLatencyMatrix
 from repro.core.generating import build_generating_set
 from repro.core.machine import MachineDescription
@@ -145,7 +150,13 @@ class FallbackPolicy:
 
 @dataclass
 class ReduceOutcome:
-    """What the reduction ladder served, and how it got there."""
+    """What the reduction ladder served, and how it got there.
+
+    Every verified rung carries its preservation certificate, so a
+    degraded outcome is just as auditable as a full reduction; the
+    certificate is ``None`` only when the policy disabled verification
+    or the identity rung's budget ran out before one could be issued.
+    """
 
     machine: MachineDescription
     rung: str
@@ -153,6 +164,7 @@ class ReduceOutcome:
     unverified_reason: Optional[str]
     attempts: List[AttemptRecord] = field(default_factory=list)
     reduction: Optional[Reduction] = None
+    certificate: Optional[Certificate] = None
 
     @property
     def degraded(self) -> bool:
@@ -181,6 +193,34 @@ def _ladder_verify(
         return False, UNVERIFIED_POLICY
     assert_equivalent(original, served)
     return True, None
+
+
+def _rung_certificate(
+    original: MachineDescription,
+    served: MachineDescription,
+    reduction: Optional[Reduction],
+    verified: bool,
+    policy: FallbackPolicy,
+) -> Optional["Certificate"]:
+    """Issue the certificate a verified rung carries.
+
+    Reuses the reduction's matrix when the served description is the
+    reduction's own output; otherwise issues from scratch under a fresh
+    per-attempt budget.  Skipping (budget ran out mid-issue) leaves the
+    outcome verified but certificate-less — degradation stays possible
+    even when proving artifacts is what became too expensive.
+    """
+    if not verified:
+        return None
+    try:
+        if reduction is not None and served is reduction.reduced:
+            return issue_certificate(reduction)
+        return certificate_from_machines(
+            original, served, budget=policy.make_budget("certificate"),
+        )
+    except BudgetExceeded:
+        obs.count("resilience.certificate_skipped")
+        return None
 
 
 def reduce_with_fallback(
@@ -229,6 +269,9 @@ def reduce_with_fallback(
                     unverified_reason=reason,
                     attempts=attempts,
                     reduction=reduction,
+                    certificate=_rung_certificate(
+                        machine, served, reduction, verified, policy
+                    ),
                 )
             except (BudgetExceeded, ReductionError) as exc:
                 last_exc = exc
@@ -286,6 +329,9 @@ def reduce_with_fallback(
                 verified=verified,
                 unverified_reason=reason,
                 attempts=attempts,
+                certificate=_rung_certificate(
+                    machine, served, None, verified, policy
+                ),
             )
         except (BudgetExceeded, ReductionError) as exc:
             attempts.append(
@@ -309,6 +355,9 @@ def reduce_with_fallback(
             verified=True,
             unverified_reason=None,
             attempts=attempts,
+            certificate=_rung_certificate(
+                machine, machine, None, policy.verify, policy
+            ),
         )
 
 

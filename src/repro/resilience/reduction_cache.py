@@ -8,17 +8,25 @@ plus the reduction parameters and serves repeats from two tiers:
 
 1. an in-process memo (same interpreter, zero cost), and
 2. an on-disk artifact directory of checksummed MDL files written
-   through :mod:`repro.resilience.artifacts` (atomic write + sidecar).
+   through :mod:`repro.resilience.artifacts` (atomic write + sidecar),
+   each paired with its preservation certificate
+   (``reduce-<digest>.cert.json``).
 
-A disk hit is *never trusted blindly*: the artifact's byte checksum and
-recorded forbidden-matrix digest are verified by
-:func:`~repro.resilience.artifacts.load_machine`, and the loaded reduced
-description is then re-proven equivalent to the requesting machine with
-:func:`repro.core.verify.assert_equivalent` — the same Theorem-1 runtime
-check a fresh reduction gets.  Any failure (truncation, bit flips, stale
-entries from a different machine colliding on a path, version skew)
-falls back to a fresh reduction and rewrites the entry, so a corrupt
-cache can cost time but never correctness.
+A disk hit is *never trusted blindly*: the artifact's byte checksum is
+verified by :func:`~repro.resilience.artifacts.read_artifact`, and the
+loaded reduced description is then proven equivalent to the requesting
+machine by validating its stored **certificate** with
+:func:`repro.core.certificate.check_certificate` — soundness plus
+coverage of the Theorem-1 witness pairs, at a fraction of the work of
+re-deriving both forbidden matrices.  ``paranoid=True`` restores the
+old behaviour and re-runs the full
+:func:`repro.core.verify.assert_equivalent` matrix comparison instead.
+Entries written before certificates existed (no ``.cert.json``) are
+verified the old way and *healed*: a certificate is issued and stored so
+the next hit takes the cheap path.  Any failure (truncation, bit flips,
+stale entries from a different machine colliding on a path, version
+skew) falls back to a fresh reduction and rewrites the entry, so a
+corrupt cache can cost time but never correctness.
 """
 
 from __future__ import annotations
@@ -29,13 +37,28 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro import mdl
+from repro.core.certificate import (
+    Certificate,
+    certificate_from_machines,
+    check_certificate,
+    issue_certificate,
+)
 from repro.core.machine import MachineDescription
 from repro.core.reduce import Reduction, reduce_machine
 from repro.core.selection import RES_USES
 from repro.core.verify import assert_equivalent
-from repro.errors import EquivalenceError, ArtifactIntegrityError
+from repro.errors import (
+    ArtifactIntegrityError,
+    CertificateError,
+    EquivalenceError,
+)
 from repro.obs import trace as obs
-from repro.resilience.artifacts import load_machine, write_machine
+from repro.resilience.artifacts import (
+    load_certificate,
+    load_machine,
+    write_certificate,
+    write_machine,
+)
 
 #: Bump when the digest recipe or artifact layout changes: old entries
 #: then simply miss instead of failing verification one by one.
@@ -46,7 +69,16 @@ SOURCE_MEMO = "memo"
 SOURCE_DISK = "disk"
 SOURCE_FRESH = "fresh"
 
-_MEMO: Dict[str, Tuple[MachineDescription, Optional[Reduction]]] = {}
+#: How a served reduction was proven equivalent to the request.
+VERIFIED_CERTIFICATE = "certificate"
+VERIFIED_EQUIVALENCE = "equivalence"
+VERIFIED_FRESH = "fresh"
+VERIFIED_MEMO = "memo"
+
+_MEMO: Dict[
+    str,
+    Tuple[MachineDescription, Optional[Reduction], Optional[Certificate]],
+] = {}
 
 
 def reduction_digest(
@@ -76,6 +108,11 @@ def cache_entry_path(cache_dir: str, digest: str) -> str:
     return os.path.join(cache_dir, "reduce-%s.mdl" % digest[:16])
 
 
+def certificate_entry_path(cache_dir: str, digest: str) -> str:
+    """Path of the preservation certificate paired with a cache entry."""
+    return os.path.join(cache_dir, "reduce-%s.cert.json" % digest[:16])
+
+
 def clear_reduction_memo() -> None:
     """Drop the in-process memo tier (tests / memory pressure)."""
     _MEMO.clear()
@@ -100,6 +137,18 @@ class CachedReduction:
         generating set, selection) — populated when the reduction ran in
         this process (fresh, or memoized from a fresh run); ``None`` for
         disk hits, which only persist the reduced description.
+    certificate:
+        The preservation certificate binding ``original`` to
+        ``reduced`` (``None`` only for pre-certificate memo entries).
+    verification:
+        How this result was proven: ``"certificate"`` (disk hit checked
+        via its stored certificate), ``"equivalence"`` (full matrix
+        comparison — paranoid mode or a legacy entry), ``"fresh"`` (the
+        reduction itself verified), or ``"memo"`` (verified earlier in
+        this process).
+    verify_units:
+        Work units the certificate check spent (0 when no certificate
+        check ran) — the measurable saving over ``assert_equivalent``.
     """
 
     original: MachineDescription
@@ -108,6 +157,52 @@ class CachedReduction:
     digest: str
     path: Optional[str] = None
     reduction: Optional[Reduction] = None
+    certificate: Optional[Certificate] = None
+    verification: str = VERIFIED_FRESH
+    verify_units: int = 0
+
+
+def _verify_disk_hit(
+    machine: MachineDescription,
+    path: str,
+    cert_path: str,
+    paranoid: bool,
+) -> Tuple[MachineDescription, Optional[Certificate], str, int]:
+    """Load and prove one disk entry; raises on any verification failure.
+
+    Returns ``(loaded, certificate, verification, units)``.  In the
+    certificate path the expensive matrix recomputations are skipped
+    entirely: the byte checksum plus the structural soundness/coverage
+    proof replace both ``load_machine``'s matrix-digest re-derivation
+    and ``assert_equivalent``.
+    """
+    if paranoid:
+        loaded = load_machine(path)
+        assert_equivalent(machine, loaded)
+        certificate: Optional[Certificate] = None
+        if os.path.exists(cert_path):
+            certificate = load_certificate(cert_path)
+            check_certificate(
+                certificate, machine, loaded, recompute_matrix=True
+            )
+        return loaded, certificate, VERIFIED_EQUIVALENCE, 0
+    if not os.path.exists(cert_path):
+        # Legacy entry from before certificates: verify the old way and
+        # heal by issuing + storing the missing certificate.
+        loaded = load_machine(path)
+        assert_equivalent(machine, loaded)
+        certificate = certificate_from_machines(machine, loaded)
+        write_certificate(cert_path, certificate)
+        obs.count("cache.reduction.certificate_healed")
+        return loaded, certificate, VERIFIED_EQUIVALENCE, 0
+    loaded = load_machine(path, verify_matrix=False)
+    certificate = load_certificate(cert_path)
+    check = check_certificate(
+        certificate, machine, loaded, recompute_matrix=False
+    )
+    obs.count("cache.reduction.certificate_hit")
+    obs.count("cache.reduction.certificate_units", value=check.units)
+    return loaded, certificate, VERIFIED_CERTIFICATE, check.units
 
 
 def cached_reduce(
@@ -116,38 +211,52 @@ def cached_reduce(
     word_cycles: int = 1,
     cache_dir: Optional[str] = None,
     use_memo: bool = True,
+    paranoid: bool = False,
 ) -> CachedReduction:
     """Reduce ``machine``, serving verified repeats from the cache.
 
     Lookup order is memo, then disk (when ``cache_dir`` is given), then
     a fresh :func:`~repro.core.reduce.reduce_machine`.  Fresh results
-    are written back to both tiers; disk entries that fail checksum,
-    matrix-digest, or equivalence verification are *replaced* by the
-    fresh result.  Never raises on cache corruption — only on a failed
-    fresh reduction itself.
+    are written back to both tiers together with their preservation
+    certificate; disk entries that fail checksum, certificate, or
+    equivalence verification are *replaced* by the fresh result.  Never
+    raises on cache corruption — only on a failed fresh reduction
+    itself.
+
+    ``paranoid=True`` re-proves disk hits with the full
+    :func:`~repro.core.verify.assert_equivalent` matrix comparison (and
+    additionally validates the stored certificate in full mode when one
+    exists) instead of the cheaper certificate check.
     """
     digest = reduction_digest(machine, objective, word_cycles)
     path = cache_entry_path(cache_dir, digest) if cache_dir else None
+    cert_path = (
+        certificate_entry_path(cache_dir, digest) if cache_dir else None
+    )
 
     if use_memo:
         hit = _MEMO.get(digest)
         if hit is not None:
             obs.count("cache.reduction.memo_hit")
-            reduced, reduction = hit
+            reduced, reduction, certificate = hit
             return CachedReduction(
                 original=machine, reduced=reduced, source=SOURCE_MEMO,
                 digest=digest, path=path, reduction=reduction,
+                certificate=certificate, verification=VERIFIED_MEMO,
             )
 
     if path is not None and os.path.exists(path):
         try:
             with obs.span(
                 "cache.reduction.load", obs.CAT_REDUCE,
-                machine=machine.name,
+                machine=machine.name, paranoid=paranoid,
             ):
-                loaded = load_machine(path)
-                assert_equivalent(machine, loaded)
-        except (ArtifactIntegrityError, EquivalenceError) as exc:
+                loaded, certificate, verification, units = _verify_disk_hit(
+                    machine, path, cert_path, paranoid
+                )
+        except (
+            ArtifactIntegrityError, CertificateError, EquivalenceError,
+        ) as exc:
             obs.count("cache.reduction.rejected")
             obs.event(
                 "cache.reduction.fallback", obs.CAT_REDUCE,
@@ -156,24 +265,29 @@ def cached_reduce(
         else:
             obs.count("cache.reduction.disk_hit")
             if use_memo:
-                _MEMO[digest] = (loaded, None)
+                _MEMO[digest] = (loaded, None, certificate)
             return CachedReduction(
                 original=machine, reduced=loaded, source=SOURCE_DISK,
                 digest=digest, path=path, reduction=None,
+                certificate=certificate, verification=verification,
+                verify_units=units,
             )
 
     obs.count("cache.reduction.miss")
     reduction = reduce_machine(
         machine, objective=objective, word_cycles=word_cycles
     )
+    certificate = issue_certificate(reduction)
     if path is not None:
         os.makedirs(cache_dir, exist_ok=True)
         write_machine(path, reduction.reduced)
+        write_certificate(cert_path, certificate)
     if use_memo:
-        _MEMO[digest] = (reduction.reduced, reduction)
+        _MEMO[digest] = (reduction.reduced, reduction, certificate)
     return CachedReduction(
         original=machine, reduced=reduction.reduced, source=SOURCE_FRESH,
         digest=digest, path=path, reduction=reduction,
+        certificate=certificate, verification=VERIFIED_FRESH,
     )
 
 
@@ -183,8 +297,13 @@ __all__ = [
     "SOURCE_DISK",
     "SOURCE_FRESH",
     "SOURCE_MEMO",
+    "VERIFIED_CERTIFICATE",
+    "VERIFIED_EQUIVALENCE",
+    "VERIFIED_FRESH",
+    "VERIFIED_MEMO",
     "cache_entry_path",
     "cached_reduce",
+    "certificate_entry_path",
     "clear_reduction_memo",
     "reduction_digest",
 ]

@@ -189,7 +189,7 @@ class OperationDrivenScheduler:
 
         heights = self._heights(graph)
         names = [op.name for op in graph.operations()]
-        budget = max(1, self.budget_ratio) * len(names)
+        max_decisions = max(1, self.budget_ratio) * len(names)
         unscheduled = set(names)
         times: Dict[str, int] = {}
         tokens: Dict[str, object] = {}
@@ -217,12 +217,14 @@ class OperationDrivenScheduler:
 
         block_span = obs.span(
             "list.schedule_backtracking", obs.CAT_SCHED,
-            block=graph.name, machine=self.machine.name, budget=budget,
+            block=graph.name, machine=self.machine.name,
+            budget=max_decisions,
         )
         with block_span:
             self._backtracking_loop(
                 qm, graph, heights, pinned, unscheduled, times, tokens,
-                owner_of, chosen, prev_time, budget, horizon, unschedule,
+                owner_of, chosen, prev_time, max_decisions, horizon,
+                unschedule,
                 tracer,
             )
             block_span.set(placements=len(times))
@@ -238,14 +240,15 @@ class OperationDrivenScheduler:
 
     def _backtracking_loop(
         self, qm, graph, heights, pinned, unscheduled, times, tokens,
-        owner_of, chosen, prev_time, budget, horizon, unschedule, tracer,
+        owner_of, chosen, prev_time, max_decisions, horizon, unschedule,
+        tracer,
     ) -> None:
         decisions = 0
         while unscheduled:
-            if decisions >= budget:
+            if decisions >= max_decisions:
                 raise ScheduleError(
                     "backtracking budget (%d) exhausted for %r"
-                    % (budget, graph.name)
+                    % (max_decisions, graph.name)
                 )
             name = min(
                 unscheduled, key=lambda n: (-heights[n], n)

@@ -72,7 +72,7 @@ def res_mii(
         for resource, _cycle in machine.table(variant).iter_usages():
             usage_totals[resource] = usage_totals.get(resource, 0) + 1
     bound = max(usage_totals.values(), default=1)
-    for opcode in set(opcodes):
+    for opcode in sorted(set(opcodes)):
         # With alternatives the scheduler may pick whichever variant is
         # self-feasible, so the bound is the minimum over variants.
         bound = max(

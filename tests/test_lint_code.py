@@ -1,0 +1,402 @@
+"""The code-plane analyzer: rule fixtures, determinism, baseline, CLI."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import Baseline, lint_code_paths
+from repro.lint.code import CODE_REPORT_NAME, iter_python_files
+
+
+def _lint_snippet(tmp_path, source, name="repro/core/snippet.py", **kwargs):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return lint_code_paths(
+        paths=[str(path)], root=str(tmp_path), **kwargs
+    )
+
+
+def _rules(report):
+    return [d.rule for d in report.diagnostics]
+
+
+class TestUnorderedIteration:
+    def test_for_loop_over_set_literal_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def pick(items):
+                for item in {1, 2, 3}:
+                    yield item
+            """,
+        )
+        assert _rules(report) == ["code-unordered-iteration"]
+        diag = report.diagnostics[0]
+        assert diag.location.file == "repro/core/snippet.py"
+        assert diag.location.symbol == "pick"
+        assert diag.location.line is not None
+
+    def test_list_of_set_call_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def order(names):
+                return list(set(names))
+            """,
+        )
+        assert _rules(report) == ["code-unordered-iteration"]
+
+    def test_comprehension_over_set_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def squares(names):
+                return [n * n for n in set(names)]
+            """,
+        )
+        assert _rules(report) == ["code-unordered-iteration"]
+
+    def test_sorted_and_reductions_not_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def fine(names):
+                ordered = sorted(set(names))
+                total = sum(n for n in {1, 2, 3})
+                count = len({1, 2})
+                biggest = max(set(names))
+                unique = {n for n in set(names)}
+                return ordered, total, count, biggest, unique
+            """,
+        )
+        assert _rules(report) == []
+
+    def test_for_loop_over_sorted_set_not_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def fine(names):
+                for name in sorted(set(names)):
+                    yield name
+            """,
+        )
+        assert _rules(report) == []
+
+
+class TestUnchargedLoop:
+    def test_query_loop_without_charge_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            class Backend:
+                def scan(self, cycles):
+                    hits = []
+                    for cycle in cycles:
+                        hits.append(cycle)
+                    return hits
+            """,
+            name="repro/query/backend.py",
+        )
+        assert _rules(report) == ["code-uncharged-loop"]
+        assert report.diagnostics[0].location.symbol == "Backend.scan"
+
+    def test_charging_loop_not_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            class Backend:
+                def scan(self, cycles):
+                    units = 0
+                    for cycle in cycles:
+                        units += 1
+                    self.work.charge("check", units)
+            """,
+            name="repro/query/backend.py",
+        )
+        assert _rules(report) == []
+
+    def test_delegating_loop_not_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            class Backend:
+                def first(self, op, cycles):
+                    for cycle in cycles:
+                        if self.check(op, cycle):
+                            return cycle
+                    return None
+            """,
+            name="repro/query/backend.py",
+        )
+        assert _rules(report) == []
+
+    def test_rule_only_applies_to_query_subsystem(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def scan(cycles):
+                hits = []
+                for cycle in cycles:
+                    hits.append(cycle)
+                return hits
+            """,
+            name="repro/stats/backend.py",
+        )
+        assert _rules(report) == []
+
+
+class TestMissingBudgetCheckpoint:
+    def test_budget_loop_without_checkpoint_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def search(items, budget):
+                best = None
+                for item in items:
+                    best = item
+                return best
+            """,
+        )
+        assert _rules(report) == ["code-missing-budget-checkpoint"]
+        assert report.diagnostics[0].location.symbol == "search"
+
+    def test_checkpointing_loop_not_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def search(items, budget):
+                for index, item in enumerate(items):
+                    if budget is not None:
+                        budget.checkpoint("search", units=1, progress=index)
+                return None
+            """,
+        )
+        assert _rules(report) == []
+
+    def test_forwarding_budget_not_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def outer(items, budget):
+                for item in items:
+                    inner(item, budget=budget)
+            """,
+        )
+        assert _rules(report) == []
+
+    def test_rule_only_applies_to_core_and_scheduler(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def search(items, budget):
+                for item in items:
+                    pass
+            """,
+            name="repro/workloads/search.py",
+        )
+        assert _rules(report) == []
+
+
+class TestNonatomicWrite:
+    def test_open_for_write_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def dump(path, text):
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+            """,
+        )
+        assert _rules(report) == ["code-nonatomic-write"]
+
+    def test_write_text_method_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def dump(path, text):
+                path.write_text(text)
+            """,
+        )
+        assert _rules(report) == ["code-nonatomic-write"]
+
+    def test_reads_not_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def load(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    return handle.read()
+
+            def load_default_mode(path):
+                with open(path) as handle:
+                    return handle.read()
+            """,
+        )
+        assert _rules(report) == []
+
+    def test_atomic_module_is_exempt(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def atomic_write_text(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+            name="repro/_atomic.py",
+        )
+        assert _rules(report) == []
+
+
+class TestBroadExcept:
+    def test_bare_except_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def run(task):
+                try:
+                    task()
+                except:
+                    pass
+            """,
+        )
+        assert _rules(report) == ["code-broad-except"]
+
+    def test_except_exception_without_reraise_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def run(task):
+                try:
+                    task()
+                except Exception:
+                    return None
+            """,
+        )
+        assert _rules(report) == ["code-broad-except"]
+
+    def test_reraising_handler_not_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def run(task, cleanup):
+                try:
+                    task()
+                except BaseException:
+                    cleanup()
+                    raise
+            """,
+        )
+        assert _rules(report) == []
+
+    def test_narrow_handler_not_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def run(task):
+                try:
+                    task()
+                except ValueError:
+                    return None
+            """,
+        )
+        assert _rules(report) == []
+
+
+class TestDriver:
+    def test_invalid_source_reported_not_raised(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def broken(:
+                pass
+            """,
+        )
+        assert _rules(report) == ["invalid-source"]
+        assert report.diagnostics[0].severity == "error"
+
+    def test_directory_discovery_is_sorted_and_skips_pycache(
+        self, tmp_path
+    ):
+        (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+        (tmp_path / "pkg" / "__pycache__" / "a.py").write_text("")
+        (tmp_path / "pkg" / "b.py").write_text("")
+        (tmp_path / "pkg" / "a.py").write_text("")
+        files = iter_python_files([str(tmp_path / "pkg")])
+        assert [f.rsplit("/", 1)[-1] for f in files] == ["a.py", "b.py"]
+
+    def test_unknown_path_is_a_config_error(self):
+        from repro.errors import LintConfigError
+
+        with pytest.raises(LintConfigError):
+            iter_python_files(["/nonexistent/nowhere.py"])
+
+    def test_repo_package_is_clean_under_checked_in_baseline(self):
+        baseline = Baseline.load("lint-code-baseline.json")
+        report = lint_code_paths(baseline=baseline)
+        offenders = [str(d.location) for d in report.at_or_above("info")]
+        assert offenders == []
+        assert report.suppressed == len(baseline)
+
+    def test_baseline_suppression_matches_file_and_symbol(self, tmp_path):
+        source = """
+        def run(task):
+            try:
+                task()
+            except:
+                pass
+        """
+        report = _lint_snippet(tmp_path, source)
+        baseline = Baseline()
+        baseline.add_report(report)
+        suppressed = _lint_snippet(tmp_path, source, baseline=baseline)
+        assert suppressed.diagnostics == []
+        assert suppressed.suppressed == 1
+
+
+class TestDeterminism:
+    SOURCE = """
+    def messy(names, budget):
+        for item in {1, 2}:
+            pass
+        for name in list(set(names)):
+            try:
+                name()
+            except Exception:
+                continue
+        with open("out", "w") as handle:
+            handle.write("x")
+    """
+
+    def test_json_output_is_byte_deterministic(self, tmp_path):
+        """Two runs over identical inputs render identical bytes — the
+        regression test for the stable diagnostic ordering."""
+        renders = []
+        for _ in range(2):
+            report = _lint_snippet(tmp_path, self.SOURCE)
+            renders.append(
+                json.dumps(report.to_dict(), indent=2, sort_keys=True)
+            )
+        assert renders[0] == renders[1]
+        # Multiple findings on one line sort on the full key including
+        # message, so the order is never dict- or discovery-dependent.
+        parsed = json.loads(renders[0])
+        assert parsed["machine"] == CODE_REPORT_NAME
+        assert len(parsed["diagnostics"]) >= 4
+
+    def test_sorted_key_covers_file_line_and_message(self, tmp_path):
+        report = _lint_snippet(tmp_path, self.SOURCE)
+        ordered = report.sorted().diagnostics
+        keys = [
+            (
+                -d.rank,
+                d.location.file or "",
+                d.rule,
+                d.location.symbol or "",
+                d.location.line or -1,
+                d.message,
+            )
+            for d in ordered
+        ]
+        assert keys == sorted(keys)

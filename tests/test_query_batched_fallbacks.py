@@ -1,0 +1,139 @@
+"""Batched window scans on the predicated and alternatives backends.
+
+``check_range`` / ``first_free`` have kernel overrides on the bitvector
+and compiled representations; the loop fallbacks in ``base.py`` (and
+their predicate-aware mirror on the predicated module) must agree with
+them answer-for-answer on every window and direction.
+"""
+
+import pytest
+
+from repro.machines import alternatives_machine, example_machine
+from repro.query import (
+    BitvectorQueryModule,
+    CompiledQueryModule,
+    DiscreteQueryModule,
+    PredicatedDiscreteQueryModule,
+    PredicateSpace,
+    clear_kernel_cache,
+)
+
+BACKENDS = [DiscreteQueryModule, BitvectorQueryModule, CompiledQueryModule]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_kernels():
+    clear_kernel_cache()
+    yield
+    clear_kernel_cache()
+
+
+class TestPredicatedFallbacks:
+    def test_check_range_matches_pointwise_check(self):
+        qm = PredicatedDiscreteQueryModule(example_machine())
+        qm.assign("A", 2)
+        window = qm.check_range("A", 0, 8)
+        assert window == [qm.check("A", c) for c in range(8)]
+        assert len(window) == 8
+        assert window[2] is False
+
+    def test_check_range_is_predicate_aware(self):
+        space = PredicateSpace()
+        negated = space.complement("p")
+        qm = PredicatedDiscreteQueryModule(
+            example_machine(), predicates=space
+        )
+        qm.assign("A", 2, predicate="p")
+        # Under the disjoint predicate the same slots are free; under an
+        # unrelated (may-overlap) predicate they are not.
+        assert qm.check_range("A", 2, 3, predicate=negated) == [True]
+        assert qm.check_range("A", 2, 3, predicate="q") == [False]
+
+    def test_first_free_scans_upward_and_downward(self):
+        qm = PredicatedDiscreteQueryModule(example_machine())
+        qm.assign("A", 0)
+        booleans = qm.check_range("A", 0, 10)
+        upward = qm.first_free("A", 0, 10)
+        downward = qm.first_free("A", 0, 10, direction=-1)
+        assert upward == booleans.index(True)
+        assert downward == 9 - booleans[::-1].index(True)
+        assert upward != 0  # cycle 0 is taken
+
+    def test_first_free_exhausted_window_returns_none(self):
+        qm = PredicatedDiscreteQueryModule(example_machine())
+        token = qm.assign("A", 3)
+        assert qm.first_free("A", 3, 4) is None
+        qm.free(token)
+        assert qm.first_free("A", 3, 4) == 3
+
+    def test_first_free_respects_disjoint_predicates(self):
+        space = PredicateSpace()
+        negated = space.complement("p")
+        qm = PredicatedDiscreteQueryModule(
+            example_machine(), predicates=space
+        )
+        qm.assign("A", 0, predicate="p")
+        # The disjoint predicate may share cycle 0; true may not.
+        assert qm.first_free("A", 0, 4, predicate=negated) == 0
+        assert qm.first_free("A", 0, 4) > 0
+
+    def test_batched_scans_charge_like_the_loop(self):
+        reference = PredicatedDiscreteQueryModule(example_machine())
+        batched = PredicatedDiscreteQueryModule(example_machine())
+        for cycle in range(5):
+            reference.check("A", cycle)
+        batched.check_range("A", 0, 5)
+        assert batched.work.total_units == reference.work.total_units
+        assert batched.work.total_calls == reference.work.total_calls
+
+
+class TestAlternativesAcrossBackends:
+    def _filled(self, backend):
+        qm = backend(alternatives_machine())
+        qm.assign("add", 0)
+        qm.assign("add", 1)
+        return qm
+
+    def test_check_range_agrees_across_backends(self):
+        windows = [
+            self._filled(backend).check_range("add", 0, 6)
+            for backend in BACKENDS
+        ]
+        assert windows[0] == windows[1] == windows[2]
+
+    @pytest.mark.parametrize("direction", [1, -1])
+    def test_first_free_agrees_across_backends(self, direction):
+        answers = [
+            self._filled(backend).first_free(
+                "add", 0, 6, direction=direction
+            )
+            for backend in BACKENDS
+        ]
+        assert answers[0] == answers[1] == answers[2]
+
+    @pytest.mark.parametrize("direction", [1, -1])
+    def test_first_free_with_alternatives_agrees(self, direction):
+        results = []
+        for backend in BACKENDS:
+            qm = backend(alternatives_machine())
+            qm.assign("mov.0", 0)
+            results.append(
+                qm.first_free_with_alternatives(
+                    "mov", 0, 6, direction=direction
+                )
+            )
+        assert results[0] == results[1] == results[2]
+        cycle, alternative = results[0]
+        assert cycle is not None and alternative is not None
+
+    def test_variant_major_scan_matches_cycle_major(self):
+        """The batched by-variant helper must answer exactly like the
+        cycle-major loop the base class documents."""
+        loop_qm = DiscreteQueryModule(alternatives_machine())
+        batched_qm = DiscreteQueryModule(alternatives_machine())
+        for qm in (loop_qm, batched_qm):
+            qm.assign("mov.0", 0)
+            qm.assign("mov.1", 0)
+        expected = loop_qm.first_free_with_alternatives("mov", 0, 6)
+        actual = batched_qm._first_free_by_variant("mov", 0, 6)
+        assert actual == expected

@@ -150,6 +150,26 @@ class TestCorruptionFallback:
         )
         assert first.to_dict()["outcomes"] == second.to_dict()["outcomes"]
 
+    def test_corrupt_certificate_falls_back_and_rewrites(self, tmp_path):
+        from repro.resilience import certificate_entry_path
+
+        machine = example_machine()
+        primed = cached_reduce(machine, cache_dir=str(tmp_path))
+        cert_path = certificate_entry_path(
+            str(tmp_path), primed.digest
+        )
+        assert os.path.exists(cert_path)
+        text = open(cert_path, "r", encoding="utf-8").read()
+        with open(cert_path, "w", encoding="utf-8") as handle:
+            handle.write(text.replace('"witnesses"', '"witnesess"', 1))
+        clear_reduction_memo()
+        served = cached_reduce(machine, cache_dir=str(tmp_path))
+        assert served.source == "fresh"
+        clear_reduction_memo()
+        healed = cached_reduce(machine, cache_dir=str(tmp_path))
+        assert healed.source == "disk"
+        assert healed.verification == "certificate"
+
     def test_random_byte_corruption_never_served(self, tmp_path):
         machine = example_machine()
         rng = random.Random(11)
@@ -169,3 +189,64 @@ class TestCorruptionFallback:
             # Either the flip was caught (fresh) or it produced byte-
             # identical content; served output must stay equivalent.
             assert matrices_equal(machine, served.reduced)
+
+
+class TestCertificateVerification:
+    def test_disk_hit_verified_via_certificate(self, tmp_path):
+        from repro.core import check_certificate, equivalence_work_units
+
+        machine = cydra5_subset()
+        primed = cached_reduce(machine, cache_dir=str(tmp_path))
+        assert primed.verification == "fresh"
+        assert primed.certificate is not None
+        clear_reduction_memo()
+        served = cached_reduce(machine, cache_dir=str(tmp_path))
+        assert served.source == "disk"
+        assert served.verification == "certificate"
+        assert served.certificate is not None
+        # The certificate check is the measurable saving: strictly
+        # cheaper than re-deriving both forbidden matrices.
+        assert 0 < served.verify_units < equivalence_work_units(
+            machine, served.reduced
+        )
+        check_certificate(
+            served.certificate, machine, served.reduced,
+            recompute_matrix=False,
+        )
+
+    def test_paranoid_restores_full_equivalence(self, tmp_path):
+        machine = example_machine()
+        cached_reduce(machine, cache_dir=str(tmp_path))
+        clear_reduction_memo()
+        served = cached_reduce(
+            machine, cache_dir=str(tmp_path), paranoid=True
+        )
+        assert served.source == "disk"
+        assert served.verification == "equivalence"
+        assert served.verify_units == 0
+
+    def test_legacy_entry_without_certificate_is_healed(self, tmp_path):
+        from repro.resilience import certificate_entry_path
+
+        machine = example_machine()
+        primed = cached_reduce(machine, cache_dir=str(tmp_path))
+        cert_path = certificate_entry_path(str(tmp_path), primed.digest)
+        os.remove(cert_path)
+        os.remove(sidecar_path(cert_path))
+        clear_reduction_memo()
+        served = cached_reduce(machine, cache_dir=str(tmp_path))
+        # Verified the old way, and the missing certificate reissued.
+        assert served.source == "disk"
+        assert served.verification == "equivalence"
+        assert os.path.exists(cert_path)
+        clear_reduction_memo()
+        healed = cached_reduce(machine, cache_dir=str(tmp_path))
+        assert healed.verification == "certificate"
+
+    def test_memo_hit_carries_certificate(self, tmp_path):
+        machine = example_machine()
+        cached_reduce(machine, cache_dir=str(tmp_path))
+        memoed = cached_reduce(machine, cache_dir=str(tmp_path))
+        assert memoed.source == "memo"
+        assert memoed.verification == "memo"
+        assert memoed.certificate is not None
