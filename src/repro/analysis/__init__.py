@@ -1,5 +1,14 @@
 """Analysis utilities: redundancy pruning, reports, and exporters."""
 
+from repro.analysis.explain import (
+    EXPLAIN_SCHEMA_NAME,
+    EXPLAIN_SCHEMA_VERSION,
+    build_explain_report,
+    explain_loop,
+    render_explain_html,
+    render_explain_text,
+    validate_explain_report,
+)
 from repro.analysis.export import graph_to_dot, machine_to_markdown
 from repro.analysis.gantt import has_collision, occupancy_chart
 from repro.analysis.ii_sweep import SweepPoint, ii_sweep, sweep_report
@@ -21,9 +30,16 @@ from repro.analysis.report import (
 )
 
 __all__ = [
+    "EXPLAIN_SCHEMA_NAME",
+    "EXPLAIN_SCHEMA_VERSION",
     "ResourceUtilization",
     "SweepPoint",
     "bottlenecks",
+    "build_explain_report",
+    "explain_loop",
+    "render_explain_html",
+    "render_explain_text",
+    "validate_explain_report",
     "describe_machine",
     "describe_reduction",
     "diff_constraints",

@@ -8,6 +8,8 @@ Commands
 ``stats``     print the Tables 1-4 metrics for a description
 ``show``      dump a (built-in) machine as MDL text
 ``schedule``  modulo-schedule the named kernels or a generated loop suite
+``explain``   scheduling provenance: MII attribution, per-II failure
+              blame, decision-ledger rollups (text/JSON/HTML)
 ``report``    human-readable machine / reduction report
 ``diff``      scheduling-constraint diff between two descriptions
 ``expand``    modulo-schedule a kernel and print its software pipeline
@@ -38,6 +40,11 @@ fallback ladder instead of failing — see ``docs/robustness.md``.
 ``--metrics FILE`` (schema-versioned JSON metrics, ``-`` for stdout) and
 ``--trace FILE`` (Chrome ``trace_event`` JSON, loadable in Perfetto) —
 see ``docs/observability.md``.
+
+``explain`` replays the scheduler under a decision ledger and reports
+*why* each loop scheduled at its II (``repro-explain-report`` v1);
+``schedule --explain FILE`` writes the same document alongside a normal
+run — see ``docs/explain.md``.
 
 Machines are referenced either by a built-in name (``cydra5``,
 ``cydra5-subset``, ``alpha21064``, ``mips-r3000``, ``playdoh``,
@@ -479,7 +486,85 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             "\n%d/%d loops scheduled at MII (%.1f%%)"
             % (optimal, len(graphs), 100.0 * optimal / len(graphs))
         )
+        if args.explain:
+            _write_explain_report(machine, graphs, args, args.explain)
     return 0
+
+
+def _write_explain_report(machine, graphs, args, path: str) -> None:
+    """Build and write a ``repro-explain-report`` v1 JSON artifact."""
+    from repro.analysis import build_explain_report
+    from repro.resilience import artifacts
+
+    report = build_explain_report(
+        machine,
+        graphs,
+        representation=args.representation,
+        word_cycles=args.word_cycles,
+    )
+    artifacts.write_json(path, report, kind="explain")
+    print("wrote explain report %s" % path, file=sys.stderr)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        build_explain_report,
+        render_explain_html,
+        render_explain_text,
+    )
+
+    from repro.workloads import port_graph
+
+    machine = _load_machine(args.machine)
+    if args.kernel:
+        graphs = [KERNELS[args.kernel]()]
+    else:
+        graphs = loop_suite(args.loops)
+    # The suite speaks the Cydra vocabulary; port it onto machines with
+    # a registered opcode map (playdoh, alpha, mips) so every study
+    # machine can be explained.
+    graphs = [port_graph(graph, machine) for graph in graphs]
+    with _observing(args) as tracer:
+        if tracer is not None:
+            tracer.meta.update(
+                command="explain", machine=machine.name,
+                representation=args.representation,
+                kernel=args.kernel or ("suite[%d]" % args.loops),
+            )
+        report = build_explain_report(
+            machine,
+            graphs,
+            representation=args.representation,
+            word_cycles=args.word_cycles,
+        )
+        if args.format == "json":
+            if args.out:
+                from repro.resilience import artifacts
+
+                artifacts.write_json(args.out, report, kind="explain")
+                print("wrote explain report %s" % args.out, file=sys.stderr)
+            else:
+                json.dump(report, sys.stdout, indent=2, sort_keys=True)
+                sys.stdout.write("\n")
+        else:
+            render = (
+                render_explain_html if args.format == "html"
+                else render_explain_text
+            )
+            text = render(report, machine)
+            if args.out:
+                from repro._atomic import atomic_write_text
+
+                try:
+                    atomic_write_text(args.out, text + "\n")
+                except OSError as exc:
+                    raise ReproError(
+                        "cannot write explain file %r: %s" % (args.out, exc)
+                    )
+                print("wrote %s" % args.out, file=sys.stderr)
+            else:
+                print(text)
+    return 0 if report["summary"]["failed"] == 0 else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -1332,9 +1417,48 @@ def build_parser() -> argparse.ArgumentParser:
         default="discrete",
     )
     p.add_argument("--word-cycles", type=int, default=1)
+    p.add_argument(
+        "--explain",
+        metavar="FILE",
+        help="also write a repro-explain-report v1 JSON artifact"
+        " attributing MII and per-II failures (see 'repro explain')",
+    )
     _add_observability_flags(p)
     _add_resilience_flags(p)
     p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser(
+        "explain",
+        help="scheduling provenance: MII attribution and per-II blame",
+        description="Replay the iterative modulo scheduler under a"
+        " recording decision ledger and report why each loop scheduled"
+        " at the II it did: which constraint pins MII (recurrence,"
+        " saturated resource, or self-contention), which (resource,"
+        " cycle) cells blocked each failed II, and what was evicted."
+        " Exits 1 when any loop failed to schedule.",
+    )
+    p.add_argument("machine")
+    p.add_argument("--kernel", choices=sorted(KERNELS))
+    p.add_argument("--loops", type=int, default=8)
+    p.add_argument(
+        "--representation",
+        choices=("discrete", "bitvector", "compiled"),
+        default="discrete",
+    )
+    p.add_argument("--word-cycles", type=int, default=1)
+    p.add_argument(
+        "--format",
+        choices=("text", "json", "html"),
+        default="text",
+    )
+    p.add_argument(
+        "-o", "--out",
+        metavar="FILE",
+        help="write the report to FILE (JSON becomes a checksummed"
+        " artifact; text/HTML are written verbatim)",
+    )
+    _add_observability_flags(p)
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser(
         "chaos",

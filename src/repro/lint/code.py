@@ -19,6 +19,10 @@ budget + robustness invariants
     through :mod:`repro._atomic` (``code-nonatomic-write``); and broad
     exception handlers must not swallow the structured error hierarchy
     (``code-broad-except``).
+provenance
+    Scheduler-layer ``ScheduleError`` raises must attach the active
+    decision ledger's tail (``code-unattributed-raise``) so failures
+    stay explainable by the fallback ladder and ``repro explain``.
 
 Rules register in the shared registry with ``scope="code"`` and run
 over a :class:`CodeContext` per Python source file; findings ride the
@@ -450,6 +454,49 @@ def _check_broad_except(ctx: CodeContext) -> Iterator[Diagnostic]:
             location=ctx.locate(node),
             hint="catch the narrowest ReproError subclass, or re-raise "
             "after handling",
+        )
+
+
+@rule(
+    "code-unattributed-raise",
+    severity="info",
+    summary="scheduler-layer ScheduleError raised without ledger context",
+    scope="code",
+)
+def _check_unattributed_raise(ctx: CodeContext) -> Iterator[Diagnostic]:
+    """Scheduler failures must carry their decision provenance.
+
+    A ``ScheduleError`` raised inside ``repro/scheduler`` without a
+    ``ledger_tail=`` keyword strands the caller: the fallback ladder and
+    ``repro explain`` cannot say *why* the scheduler gave up.  Passing
+    ``ledger_tail=obs_ledger.active_tail()`` costs one ``None`` check
+    when no ledger is recording.
+    """
+    if ctx.tree is None or ctx.subsystem != "scheduler":
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        if not isinstance(exc, ast.Call):
+            continue
+        func = exc.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name != "ScheduleError":
+            continue
+        if any(kw.arg == "ledger_tail" for kw in exc.keywords):
+            continue
+        yield finding(
+            "ScheduleError raised without ledger_tail=; the fallback "
+            "ladder and `repro explain` lose the decision provenance "
+            "of this failure",
+            location=ctx.locate(node),
+            hint="pass ledger_tail=obs_ledger.active_tail() (a no-op "
+            "None when no DecisionLedger is recording)",
         )
 
 

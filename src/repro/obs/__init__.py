@@ -29,6 +29,7 @@ from repro.obs.export import (
     write_metrics,
 )
 from repro.obs.instrument import QUERY_FUNCTIONS, observed_class
+from repro.obs.ledger import DecisionLedger, LedgerRecord
 from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
@@ -62,10 +63,12 @@ __all__ = [
     "CAT_REDUCE",
     "CAT_RESILIENCE",
     "CAT_SCHED",
+    "DecisionLedger",
     "EventRecord",
     "Histogram",
     "METRICS_SCHEMA_NAME",
     "METRICS_SCHEMA_VERSION",
+    "LedgerRecord",
     "MetricsRegistry",
     "QUERY_FUNCTIONS",
     "SpanRecord",

@@ -159,8 +159,14 @@ def collapsed_stack_lines(tracer: Tracer) -> List[str]:
 
 
 def write_collapsed_stack(tracer: Tracer, path: str) -> None:
-    """Write the collapsed-stack export to ``path`` (``"-"`` for stdout)."""
-    text = "\n".join(collapsed_stack_lines(tracer)) + "\n"
+    """Write the collapsed-stack export to ``path`` (``"-"`` for stdout).
+
+    A trace with no spans (or whose spans all round to zero exclusive
+    microseconds) writes an empty file, not a lone blank line — standard
+    flamegraph tooling treats blank lines as malformed frames.
+    """
+    lines = collapsed_stack_lines(tracer)
+    text = "\n".join(lines) + "\n" if lines else ""
     if path == "-":
         sys.stdout.write(text)
         return

@@ -33,6 +33,7 @@ QUERY_ASSIGN_FREE = "assign&free"
 QUERY_FREE = "free"
 QUERY_CHECK_RANGE = "check_range"
 QUERY_COMPILE = "compile"
+QUERY_ATTRIBUTE = "attribute"
 QUERY_FUNCTIONS = (
     QUERY_CHECK,
     QUERY_ASSIGN,
@@ -40,6 +41,7 @@ QUERY_FUNCTIONS = (
     QUERY_FREE,
     QUERY_CHECK_RANGE,
     QUERY_COMPILE,
+    QUERY_ATTRIBUTE,
 )
 #: Timer name for ``first_free`` — its kernel work is charged in the
 #: ``check_range`` unit currency, but wall time gets its own key so the
@@ -110,6 +112,7 @@ def observed_class(cls: Type) -> Type:
         "first_free": _timed(
             "first_free", QUERY_FIRST_FREE, units_function=QUERY_CHECK_RANGE
         ),
+        "check_attributed": _timed("check_attributed", QUERY_ATTRIBUTE),
     }
     derived = type("Observed" + cls.__name__, (cls,), namespace)
     _OBSERVED[cls] = derived
@@ -119,6 +122,7 @@ def observed_class(cls: Type) -> Type:
 __all__ = [
     "QUERY_ASSIGN",
     "QUERY_ASSIGN_FREE",
+    "QUERY_ATTRIBUTE",
     "QUERY_CHECK",
     "QUERY_CHECK_RANGE",
     "QUERY_COMPILE",

@@ -26,7 +26,13 @@ from repro.query.alternatives import (
     ROUND_ROBIN,
     order_variants,
 )
-from repro.query.base import ContentionQueryModule, ScheduledToken
+from repro.query.base import (
+    BLAME_RESERVED,
+    BLAME_SELF,
+    Blame,
+    ContentionQueryModule,
+    ScheduledToken,
+)
 from repro.query.bitvector import BitvectorQueryModule
 from repro.query.compiled import (
     CompiledKernel,
@@ -50,6 +56,7 @@ from repro.query.modulo import (
 from repro.query.work import (
     ASSIGN,
     ASSIGN_FREE,
+    ATTRIBUTE,
     CHECK,
     CHECK_RANGE,
     COMPILE,
@@ -60,6 +67,10 @@ from repro.query.work import (
 
 __all__ = [
     "ASSIGN",
+    "ATTRIBUTE",
+    "BLAME_RESERVED",
+    "BLAME_SELF",
+    "Blame",
     "FIRST_FIT",
     "LEAST_USED",
     "POLICIES",

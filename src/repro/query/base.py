@@ -32,7 +32,72 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.machine import MachineDescription
 from repro.errors import QueryError
 from repro.query.alternatives import FIRST_FIT, ROUND_ROBIN, order_variants
-from repro.query.work import ASSIGN, ASSIGN_FREE, CHECK, FREE, WorkCounters
+from repro.query.work import ASSIGN, ASSIGN_FREE, ATTRIBUTE, CHECK, FREE, WorkCounters
+
+#: Blame kinds: a reserved-table collision with another scheduled
+#: operation, or a self-conflict (two usages of the same operation folding
+#: onto one MRT slot under modulo scheduling).
+BLAME_RESERVED = "reserved"
+BLAME_SELF = "self"
+
+
+@dataclass(frozen=True)
+class Blame:
+    """Attribution for one failed contention check.
+
+    Every representation blames the *canonical* blocked cell: among all
+    blocked (resource, cycle) cells of the failed check, the one with the
+    lexicographically smallest ``(cycle key, resource index)`` — where the
+    cycle key is the absolute cycle for scalar scheduling and the MRT slot
+    under modulo scheduling, and the resource index is the resource's
+    position in ``machine.resources``.  This is exactly the cell the
+    compiled kernel's lowest set bit of ``reserved & mask`` decodes to, so
+    compiled, bitvector, and discrete blame are comparable bit for bit.
+
+    A modulo self-conflict (the operation's own usages folding onto one
+    MRT slot) takes precedence over reserved-table collisions, mirroring
+    the compiled kernel's self-conflict short circuit.
+
+    ``owner_op``/``owner_cycle`` identify the scheduled operation holding
+    the blamed cell when the representation tracks owners; they are
+    best-effort and excluded from :attr:`key`, the exactness currency.
+    """
+
+    resource: str
+    cycle: int
+    kind: str = BLAME_RESERVED
+    owner_op: Optional[str] = None
+    owner_cycle: Optional[int] = None
+
+    @property
+    def key(self) -> Tuple[str, int, str]:
+        """The representation-independent identity ``(resource, cycle, kind)``."""
+        return (self.resource, self.cycle, self.kind)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for ledgers and JSON reports."""
+        doc: Dict[str, object] = {
+            "resource": self.resource,
+            "cycle": self.cycle,
+            "kind": self.kind,
+        }
+        if self.owner_op is not None:
+            doc["owner_op"] = self.owner_op
+        if self.owner_cycle is not None:
+            doc["owner_cycle"] = self.owner_cycle
+        return doc
+
+    def describe(self) -> str:
+        """One-line human rendering used by ledgers and ``repro explain``."""
+        if self.kind == BLAME_SELF:
+            return "%s self-conflict at slot %d" % (self.resource, self.cycle)
+        text = "%s busy at cycle %d" % (self.resource, self.cycle)
+        if self.owner_op is not None:
+            text += " (held by %s" % self.owner_op
+            if self.owner_cycle is not None:
+                text += " @%d" % self.owner_cycle
+            text += ")"
+        return text
 
 
 @dataclass(frozen=True)
@@ -64,12 +129,24 @@ class ContentionQueryModule:
         self._used_assign_free = False
         self._alt_rotation: Dict[str, int] = {}
         self._live_op_counts: Dict[str, int] = {}
+        self._resource_index_cache: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     # Representation hooks (implemented by subclasses)
     # ------------------------------------------------------------------
     def _check(self, op: str, cycle: int) -> Tuple[bool, int]:
         """Return ``(is_free, work_units)``."""
+        raise NotImplementedError
+
+    def _check_blame(self, op: str, cycle: int) -> Tuple[bool, Optional[Blame], int]:
+        """Attributed contention test: ``(is_free, blame, work_units)``.
+
+        ``blame`` is ``None`` when the check succeeds, otherwise the
+        canonical :class:`Blame` cell (see its docstring).  Unlike
+        :meth:`_check`, which may abort at the first collision, this hook
+        must inspect enough state to name the canonical cell — the opt-in
+        path may cost more units than the fast path it mirrors.
+        """
         raise NotImplementedError
 
     def _assign(self, token: ScheduledToken, with_owners: bool) -> int:
@@ -151,7 +228,25 @@ class ContentionQueryModule:
         del self._live[token.ident]
         self._count_op(token.op, -1)
 
-    def check_range(self, op: str, start: int, stop: int) -> List[bool]:
+    def check_attributed(self, op: str, cycle: int) -> Tuple[bool, Optional[Blame]]:
+        """Contention test that names the blocking cell on failure.
+
+        Returns ``(is_free, blame)`` where ``blame`` is ``None`` on
+        success and the canonical :class:`Blame` otherwise.  Charged in
+        the ``attribute`` work currency, never ``check`` — the provenance
+        plane leaves the paper's Table 6 numbers untouched.
+        """
+        free, blame, units = self._check_blame(op, cycle)
+        self.work.charge(ATTRIBUTE, units)
+        return free, blame
+
+    def check_range(
+        self,
+        op: str,
+        start: int,
+        stop: int,
+        attribute: Optional[List[Tuple[int, Blame]]] = None,
+    ) -> List[bool]:
         """Batched contention test over ``range(start, stop)``.
 
         Returns one boolean per cycle of the window, in window order.
@@ -160,11 +255,39 @@ class ContentionQueryModule:
         looped); representations with word-level or compiled kernels
         override this with a single scan charged in the ``check_range``
         currency.
+
+        When ``attribute`` is passed (a list), each blocked cycle appends
+        a ``(cycle, blame)`` pair to it and the scan runs through the
+        attributed path; the default ``attribute=None`` call is
+        trajectory-identical to the pre-attribution module.
         """
+        if attribute is not None:
+            return self._attributed_check_range(op, start, stop, attribute)
         return [self.check(op, cycle) for cycle in range(start, stop)]
 
+    def _attributed_check_range(
+        self,
+        op: str,
+        start: int,
+        stop: int,
+        attribute: List[Tuple[int, Blame]],
+    ) -> List[bool]:
+        """Shared opt-in blame path behind ``check_range(attribute=...)``."""
+        answers = []
+        for cycle in range(start, stop):
+            free, blame = self.check_attributed(op, cycle)
+            answers.append(free)
+            if blame is not None:
+                attribute.append((cycle, blame))
+        return answers
+
     def first_free(
-        self, op: str, start: int, stop: int, direction: int = 1
+        self,
+        op: str,
+        start: int,
+        stop: int,
+        direction: int = 1,
+        attribute: Optional[List[Tuple[int, Blame]]] = None,
     ) -> Optional[int]:
         """First contention-free cycle for ``op`` in ``range(start, stop)``.
 
@@ -173,10 +296,33 @@ class ContentionQueryModule:
         lifetime-sensitive placement order).  Returns ``None`` when every
         cycle of the window is contended.  The base implementation loops
         :meth:`check`; fast backends override it with a batched kernel.
+
+        When ``attribute`` is passed (a list), every blocked cycle probed
+        before the answer appends ``(cycle, blame)`` to it (in scan
+        order); ``attribute=None`` keeps the untouched fast path.
         """
+        if attribute is not None:
+            return self._attributed_first_free(op, start, stop, direction, attribute)
         for cycle in self._window(start, stop, direction):
             if self.check(op, cycle):
                 return cycle
+        return None
+
+    def _attributed_first_free(
+        self,
+        op: str,
+        start: int,
+        stop: int,
+        direction: int,
+        attribute: List[Tuple[int, Blame]],
+    ) -> Optional[int]:
+        """Shared opt-in blame path behind ``first_free(attribute=...)``."""
+        for cycle in self._window(start, stop, direction):
+            free, blame = self.check_attributed(op, cycle)
+            if free:
+                return cycle
+            if blame is not None:
+                attribute.append((cycle, blame))
         return None
 
     def first_free_with_alternatives(
@@ -322,6 +468,20 @@ class ContentionQueryModule:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _resource_index(self) -> Dict[str, int]:
+        """Resource → position in ``machine.resources`` (the blame tie-break).
+
+        The same ordering the bitvector/compiled backends pack bits in,
+        so the discrete module's canonical-cell tie-break agrees with the
+        lowest-set-bit decode.  Built lazily: modules that never attribute
+        pay nothing.
+        """
+        index = self._resource_index_cache
+        if index is None:
+            index = {r: i for i, r in enumerate(self.machine.resources)}
+            self._resource_index_cache = index
+        return index
+
     def _count_op(self, op: str, delta: int) -> None:
         count = self._live_op_counts.get(op, 0) + delta
         if count:

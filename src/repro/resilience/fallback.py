@@ -66,12 +66,20 @@ UNVERIFIED_POLICY = "verification disabled by policy"
 
 @dataclass
 class AttemptRecord:
-    """One ladder attempt: which rung, what happened."""
+    """One ladder attempt: which rung, what happened.
+
+    ``ledger_tail`` carries the last scheduler decision records (plain
+    dicts) when the failed attempt raised a
+    :class:`~repro.errors.ScheduleError` while a
+    :class:`~repro.obs.ledger.DecisionLedger` was recording — the
+    provenance of *why* the ladder escalated past this rung.
+    """
 
     rung: str
     detail: str
     error_type: Optional[str] = None
     error: Optional[str] = None
+    ledger_tail: Optional[List[dict]] = None
 
     @property
     def failed(self) -> bool:
@@ -387,6 +395,16 @@ class ScheduleOutcome:
     def ii_over_mii(self) -> float:
         return self.ii / self.mii if self.mii else float("inf")
 
+    @property
+    def escalation_ledger(self) -> List[dict]:
+        """Decision records explaining every failed rung, in attempt
+        order — empty unless a ledger was recording during the ladder."""
+        records: List[dict] = []
+        for attempt in self.attempts:
+            if attempt.failed and attempt.ledger_tail:
+                records.extend(attempt.ledger_tail)
+        return records
+
 
 def _verify_modulo_reservation(
     machine: MachineDescription,
@@ -507,6 +525,7 @@ def schedule_with_fallback(
                         RUNG_IMS, detail,
                         error_type=type(exc).__name__,
                         error=str(exc),
+                        ledger_tail=getattr(exc, "ledger_tail", None),
                     )
                 )
 

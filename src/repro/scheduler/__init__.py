@@ -33,6 +33,7 @@ from repro.scheduler.list_scheduler import (
     OperationDrivenScheduler,
 )
 from repro.scheduler.mii import (
+    mii_attribution,
     min_feasible_ii_for_op,
     min_ii,
     rec_mii,
@@ -75,6 +76,7 @@ __all__ = [
     "chain",
     "compute_heights",
     "dangling_requirements",
+    "mii_attribution",
     "min_feasible_ii_for_op",
     "min_ii",
     "rec_mii",

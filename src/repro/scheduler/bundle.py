@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.machine import MachineDescription
 from repro.errors import ScheduleError
+from repro.obs import ledger as obs_ledger
 
 _MISC_UNIT = "misc"
 
@@ -40,7 +41,7 @@ def issue_unit(machine: MachineDescription, opcode: str) -> str:
     if len(units) > 1:
         raise ScheduleError(
             "opcode %r issues on several units: %s" % (opcode, units)
-        )
+        , ledger_tail=obs_ledger.active_tail())
     return units[0]
 
 
@@ -124,7 +125,7 @@ def bundle(
                 raise ScheduleError(
                     "unit %r double-booked at cycle %d by %s and %s"
                     % (unit, cycle, word.fields[unit], name)
-                )
+                , ledger_tail=obs_ledger.active_tail())
             word.fields[unit] = name
         words.append(word)
     return Bundling(machine=machine, words=words, units=units)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ScheduleError
+from repro.obs import ledger as obs_ledger
 
 
 @dataclass(frozen=True)
@@ -68,7 +69,10 @@ class DependenceGraph:
     def add_operation(self, name: str, opcode: str) -> Operation:
         """Add a node; raises on duplicate names."""
         if name in self._operations:
-            raise ScheduleError("duplicate operation %r" % name)
+            raise ScheduleError(
+                "duplicate operation %r" % name,
+                ledger_tail=obs_ledger.active_tail(),
+            )
         op = Operation(name, opcode)
         self._operations[name] = op
         self._succs[name] = []
@@ -86,9 +90,15 @@ class DependenceGraph:
         """Add an edge; endpoints must already exist."""
         for endpoint in (src, dst):
             if endpoint not in self._operations:
-                raise ScheduleError("unknown operation %r" % endpoint)
+                raise ScheduleError(
+                    "unknown operation %r" % endpoint,
+                    ledger_tail=obs_ledger.active_tail(),
+                )
         if distance < 0:
-            raise ScheduleError("dependence distance must be >= 0")
+            raise ScheduleError(
+                "dependence distance must be >= 0",
+                ledger_tail=obs_ledger.active_tail(),
+            )
         edge = Dependence(src, dst, latency, distance, kind)
         self._edges.append(edge)
         self._succs[src].append(edge)
@@ -114,7 +124,10 @@ class DependenceGraph:
         try:
             return self._operations[name]
         except KeyError:
-            raise ScheduleError("unknown operation %r" % name) from None
+            raise ScheduleError(
+                "unknown operation %r" % name,
+                ledger_tail=obs_ledger.active_tail(),
+            ) from None
 
     def edges(self) -> Iterator[Dependence]:
         return iter(self._edges)
@@ -162,17 +175,23 @@ class DependenceGraph:
     def validate(self) -> None:
         """Raise :class:`ScheduleError` on structural problems."""
         if not self._operations:
-            raise ScheduleError("graph %r has no operations" % self.name)
+            raise ScheduleError(
+                "graph %r has no operations" % self.name,
+                ledger_tail=obs_ledger.active_tail(),
+            )
         if not self.is_acyclic():
             raise ScheduleError(
                 "graph %r has a zero-distance dependence cycle" % self.name
-            )
+            , ledger_tail=obs_ledger.active_tail())
 
     def critical_path_length(self) -> int:
         """Longest latency path over distance-0 edges (acyclic height)."""
         order = self.topological_order()
         if order is None:
-            raise ScheduleError("graph %r is cyclic at distance 0" % self.name)
+            raise ScheduleError(
+                "graph %r is cyclic at distance 0" % self.name,
+                ledger_tail=obs_ledger.active_tail(),
+            )
         finish: Dict[str, int] = {}
         for name in order:
             start = 0
@@ -191,7 +210,10 @@ class DependenceGraph:
         """
         missing = [n for n in self._operations if n not in times]
         if missing:
-            raise ScheduleError("unscheduled operations: %s" % missing[:5])
+            raise ScheduleError(
+                "unscheduled operations: %s" % missing[:5],
+                ledger_tail=obs_ledger.active_tail(),
+            )
         for edge in self._edges:
             if ii is None:
                 if edge.distance > 0:
@@ -208,7 +230,7 @@ class DependenceGraph:
                 raise ScheduleError(
                     "dependence %s->%s violated by %d cycles"
                     % (edge.src, edge.dst, -slack)
-                )
+                , ledger_tail=obs_ledger.active_tail())
 
     def __repr__(self) -> str:
         return "DependenceGraph(%r, %d ops, %d edges)" % (

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.machine import MachineDescription
 from repro.errors import ScheduleError
+from repro.obs import ledger as obs_ledger
 from repro.obs import trace as obs
 from repro.query.alternatives import FIRST_FIT
 from repro.query.modulo import DISCRETE, make_query_module
@@ -120,6 +121,7 @@ class OperationDrivenScheduler:
         horizon += self.horizon_slack
 
         tracer = obs.current()
+        ledger = obs_ledger.current()
         with obs.span(
             "list.schedule", obs.CAT_SCHED,
             block=graph.name, machine=self.machine.name,
@@ -132,9 +134,24 @@ class OperationDrivenScheduler:
                     opcode, estart, upper + 1
                 )
                 if slot is None:
+                    if ledger is not None:
+                        # Provenance: name what saturates the window
+                        # before failing (read-only attributed scan).
+                        scan: List[tuple] = []
+                        qm.check_range(
+                            opcode, estart, upper + 1, attribute=scan
+                        )
+                        ledger.record(obs_ledger.GIVE_UP, {
+                            "op": name, "opcode": opcode,
+                            "window": [estart, upper + 1],
+                            "window_blame": [
+                                cell.to_dict() for _cycle, cell in scan[:8]
+                            ],
+                        })
                     raise ScheduleError(
                         "no contention-free slot for %s in [%d, %d]"
-                        % (name, estart, upper)
+                        % (name, estart, upper),
+                        ledger_tail=obs_ledger.active_tail(),
                     )
                 qm.assign(alternative, slot)
                 times[name] = slot
@@ -144,6 +161,12 @@ class OperationDrivenScheduler:
                         "list.place", obs.CAT_SCHED,
                         op=name, opcode=alternative, cycle=slot,
                     )
+                if ledger is not None:
+                    ledger.record(obs_ledger.PLACE, {
+                        "op": name, "opcode": opcode,
+                        "alternative": alternative, "cycle": slot,
+                        "window": [estart, upper + 1],
+                    })
             block_span.set(
                 placements=len(times),
                 length=(max(times.values()) + 1) if times else 0,
@@ -203,11 +226,16 @@ class OperationDrivenScheduler:
         )
 
         tracer = obs.current()
+        ledger = obs_ledger.current()
 
         def unschedule(name: str) -> None:
             token = tokens.pop(name)
             owner_of.pop(token.ident, None)
             qm.free(token)
+            if ledger is not None:
+                ledger.record(obs_ledger.UNSCHEDULE, {
+                    "op": name, "cycle": times[name],
+                })
             del times[name]
             unscheduled.add(name)
             if tracer is not None:
@@ -244,11 +272,19 @@ class OperationDrivenScheduler:
         tracer,
     ) -> None:
         decisions = 0
+        ledger = obs_ledger.current()
         while unscheduled:
             if decisions >= max_decisions:
+                if ledger is not None:
+                    ledger.record(obs_ledger.BUDGET, {
+                        "block": graph.name,
+                        "decisions": decisions,
+                        "budget": max_decisions,
+                    })
                 raise ScheduleError(
                     "backtracking budget (%d) exhausted for %r"
-                    % (max_decisions, graph.name)
+                    % (max_decisions, graph.name),
+                    ledger_tail=obs_ledger.active_tail(),
                 )
             name = min(
                 unscheduled, key=lambda n: (-heights[n], n)
@@ -273,7 +309,9 @@ class OperationDrivenScheduler:
                 slot, alternative = qm.first_free_with_alternatives(
                     opcode, estart, upper + 1
                 )
-            if slot is None:
+            forced = slot is None
+            blame = None
+            if forced:
                 previous = prev_time.get(name)
                 slot = (
                     estart
@@ -281,6 +319,15 @@ class OperationDrivenScheduler:
                     else previous + 1
                 )
                 alternative = self.machine.alternatives_of(opcode)[0]
+                if ledger is not None:
+                    # Read-only attributed probe of the forced slot.
+                    _free, slot_blame = qm.check_attributed(
+                        alternative, slot
+                    )
+                    blame = (
+                        slot_blame.to_dict()
+                        if slot_blame is not None else None
+                    )
 
             token, evicted = qm.assign_free(alternative, slot)
             decisions += 1
@@ -293,6 +340,19 @@ class OperationDrivenScheduler:
                 tracer.event(
                     "list.place", obs.CAT_SCHED,
                     op=name, opcode=alternative, cycle=slot,
+                )
+            if ledger is not None:
+                record = {
+                    "op": name, "opcode": opcode,
+                    "alternative": alternative, "cycle": slot,
+                    "window": [estart, lstart],
+                    "decisions": decisions, "budget": max_decisions,
+                }
+                if forced:
+                    record["blame"] = blame
+                ledger.record(
+                    obs_ledger.FORCE if forced else obs_ledger.PLACE,
+                    record,
                 )
 
             for victim_token in evicted:
@@ -311,6 +371,12 @@ class OperationDrivenScheduler:
                     prev_time[name] = slot  # forces a later retry slot
                     break
                 victim = owner_of.pop(victim_token.ident)
+                if ledger is not None:
+                    ledger.record(obs_ledger.EVICT, {
+                        "op": victim, "by": name,
+                        "reason": "resource",
+                        "cycle": times[victim],
+                    })
                 del times[victim]
                 del tokens[victim]
                 unscheduled.add(victim)
@@ -336,7 +402,10 @@ class OperationDrivenScheduler:
         """Longest latency path to any sink over distance-0 edges."""
         order = graph.topological_order()
         if order is None:
-            raise ScheduleError("block graph %r is cyclic" % graph.name)
+            raise ScheduleError(
+                "block graph %r is cyclic" % graph.name,
+                ledger_tail=obs_ledger.active_tail(),
+            )
         heights = {name: 0 for name in order}
         for name in reversed(order):
             for edge in graph.successors(name):
@@ -367,6 +436,7 @@ class OperationDrivenScheduler:
                 lstart = deadline if lstart is None else min(lstart, deadline)
         if lstart is not None and lstart < estart:
             raise ScheduleError(
-                "infeasible window for %s: [%d, %d]" % (name, estart, lstart)
+                "infeasible window for %s: [%d, %d]" % (name, estart, lstart),
+                ledger_tail=obs_ledger.active_tail(),
             )
         return estart, lstart

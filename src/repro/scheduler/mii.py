@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.core.forbidden import ForbiddenLatencyMatrix
 from repro.core.machine import MachineDescription
 from repro.errors import ScheduleError
+from repro.obs import ledger as obs_ledger
 from repro.scheduler.ddg import DependenceGraph
 
 
@@ -171,7 +172,7 @@ def rec_mii(graph: DependenceGraph, upper_bound: Optional[int] = None) -> int:
     if not graph.is_acyclic():
         raise ScheduleError(
             "graph %r has a zero-distance dependence cycle" % graph.name
-        )
+        , ledger_tail=obs_ledger.active_tail())
     if upper_bound is None:
         upper_bound = max(
             1, sum(max(0, e.latency) for e in graph.edges())
@@ -180,7 +181,7 @@ def rec_mii(graph: DependenceGraph, upper_bound: Optional[int] = None) -> int:
     if _has_positive_cycle(graph, high):
         raise ScheduleError(
             "no feasible II up to %d for graph %r" % (high, graph.name)
-        )
+        , ledger_tail=obs_ledger.active_tail())
     while low < high:
         mid = (low + high) // 2
         if _has_positive_cycle(graph, mid):
@@ -200,3 +201,88 @@ def min_ii(
         res_mii(machine, graph.opcodes(), matrix=matrix),
         rec_mii(graph),
     )
+
+
+def mii_attribution(
+    machine: MachineDescription,
+    graph: DependenceGraph,
+    matrix: Optional[ForbiddenLatencyMatrix] = None,
+) -> Dict[str, object]:
+    """Which constraint pins MII — the blame plane of :func:`min_ii`.
+
+    Recomputes the bound's ingredients and names the binding one:
+
+    * ``mii`` / ``res_mii`` / ``rec_mii`` — the bound and both terms;
+    * ``usage_totals`` — per-resource usage counts of one iteration (the
+      ResMII numerator), sorted most-used first;
+    * ``self_contention`` — per-opcode min-over-variants self-feasible
+      II, for opcodes where that exceeds 1;
+    * ``pinned_by`` — one dict naming the binding constraint:
+      ``{"kind": "recurrence"}`` when RecMII dominates, else
+      ``{"kind": "resource", "resource": ..., "usages": ...}`` for the
+      argmax resource, or ``{"kind": "self-contention", "opcode": ...,
+      "min_ii": ...}`` when an opcode's self-forbidden latencies exceed
+      every usage total.  Ties go to recurrence, then resource (the
+      scheduler cannot relax either by adding hardware of the other
+      kind).
+    """
+    if matrix is None:
+        matrix = ForbiddenLatencyMatrix.from_machine(machine)
+    opcodes = list(graph.opcodes())
+    usage_totals: Dict[str, int] = {}
+    seen: Dict[str, int] = {}
+    for opcode in opcodes:
+        variants = machine.alternatives_of(opcode)
+        variant = variants[seen.get(opcode, 0) % len(variants)]
+        seen[opcode] = seen.get(opcode, 0) + 1
+        for resource, _cycle in machine.table(variant).iter_usages():
+            usage_totals[resource] = usage_totals.get(resource, 0) + 1
+    usage_bound = max(usage_totals.values(), default=1)
+    self_contention: Dict[str, int] = {}
+    for opcode in sorted(set(opcodes)):
+        feasible = min(
+            min_feasible_ii_for_op(matrix, variant)
+            for variant in machine.alternatives_of(opcode)
+        )
+        if feasible > 1:
+            self_contention[opcode] = feasible
+    resource_bound = res_mii(machine, opcodes, matrix=matrix)
+    recurrence_bound = rec_mii(graph)
+    mii = max(resource_bound, recurrence_bound)
+
+    pinned: Dict[str, object]
+    if recurrence_bound >= resource_bound:
+        pinned = {"kind": "recurrence", "rec_mii": recurrence_bound}
+    elif usage_bound >= resource_bound:
+        resource = min(
+            (r for r, n in usage_totals.items() if n == usage_bound)
+        )
+        pinned = {
+            "kind": "resource",
+            "resource": resource,
+            "usages": usage_bound,
+        }
+    else:
+        opcode, feasible = min(
+            (
+                (op, ii) for op, ii in self_contention.items()
+                if ii == resource_bound
+            ),
+            key=lambda item: item[0],
+        )
+        pinned = {
+            "kind": "self-contention",
+            "opcode": opcode,
+            "min_ii": feasible,
+        }
+    ordered_totals = dict(
+        sorted(usage_totals.items(), key=lambda item: (-item[1], item[0]))
+    )
+    return {
+        "mii": mii,
+        "res_mii": resource_bound,
+        "rec_mii": recurrence_bound,
+        "usage_totals": ordered_totals,
+        "self_contention": self_contention,
+        "pinned_by": pinned,
+    }

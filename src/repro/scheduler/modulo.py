@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.forbidden import ForbiddenLatencyMatrix
 from repro.core.machine import MachineDescription
 from repro.errors import ScheduleError
+from repro.obs import ledger as obs_ledger
 from repro.obs import trace as obs
 from repro.query.alternatives import FIRST_FIT
 from repro.query.modulo import DISCRETE, make_query_module
@@ -50,7 +51,8 @@ def compute_heights(graph: DependenceGraph, ii: int) -> Dict[str, int]:
             break
     else:
         raise ScheduleError(
-            "positive cycle at II=%d while computing heights" % ii
+            "positive cycle at II=%d while computing heights" % ii,
+            ledger_tail=obs_ledger.active_tail(),
         )
     return heights
 
@@ -181,7 +183,8 @@ class IterativeModuloScheduler:
         self.alternative_policy = alternative_policy
         if placement_policy not in ("earliest", "lifetime"):
             raise ScheduleError(
-                "unknown placement policy %r" % placement_policy
+                "unknown placement policy %r" % placement_policy,
+                ledger_tail=obs_ledger.active_tail(),
             )
         self.placement_policy = placement_policy
 
@@ -224,6 +227,12 @@ class IterativeModuloScheduler:
                     "ims.give_up", obs.CAT_SCHED,
                     loop=graph.name, max_ii=mii + self.max_ii_slack,
                 )
+                ledger = obs_ledger.current()
+                if ledger is not None:
+                    ledger.record(obs_ledger.GIVE_UP, {
+                        "loop": graph.name,
+                        "ii_range": [mii, mii + self.max_ii_slack],
+                    })
                 raise ScheduleError(
                     "failed to schedule %r up to II=%d"
                     % (graph.name, mii + self.max_ii_slack),
@@ -232,6 +241,7 @@ class IterativeModuloScheduler:
                     budget_exceeded=any(
                         a.budget_exceeded for a in attempts
                     ),
+                    ledger_tail=obs_ledger.active_tail(),
                 )
         result = ModuloScheduleResult(
             graph=graph,
@@ -285,6 +295,12 @@ class IterativeModuloScheduler:
             return (-heights[name], name)
 
         tracer = obs.current()
+        ledger = obs_ledger.current()
+        if ledger is not None:
+            ledger.record(obs_ledger.ATTEMPT, {
+                "ii": ii, "phase": "start",
+                "loop": graph.name, "budget": budget,
+            })
         check_counts = Counter()
         attempt_span = obs.span(
             "ims.attempt", obs.CAT_SCHED,
@@ -345,6 +361,8 @@ class IterativeModuloScheduler:
                     opcode_of[name], *window
                 )
                 forced = slot is None
+                blame = None
+                window_blame: List[dict] = []
                 if forced:
                     # Forced placement (Rau): earliest legal slot, but
                     # strictly after the previous placement when
@@ -358,6 +376,25 @@ class IterativeModuloScheduler:
                     alternative = self.machine.alternatives_of(
                         opcode_of[name]
                     )[0]
+                    if ledger is not None:
+                        # Provenance: name what blocks the forced slot
+                        # and the exhausted window.  Read-only attributed
+                        # probes — the placement trajectory is unchanged.
+                        _free, slot_blame = qm.check_attributed(
+                            alternative, slot
+                        )
+                        blame = (
+                            slot_blame.to_dict()
+                            if slot_blame is not None else None
+                        )
+                        scan: List[tuple] = []
+                        qm.check_range(
+                            alternative, window[0], window[1],
+                            attribute=scan,
+                        )
+                        window_blame = [
+                            cell.to_dict() for _cycle, cell in scan[:8]
+                        ]
 
                 checks_after = (
                     qm.work.calls[CHECK] + qm.work.calls[CHECK_RANGE]
@@ -376,10 +413,31 @@ class IterativeModuloScheduler:
                         obs.CAT_SCHED,
                         op=name, opcode=alternative, cycle=slot, ii=ii,
                     )
+                if ledger is not None:
+                    record = {
+                        "ii": ii, "op": name, "opcode": opcode_of[name],
+                        "alternative": alternative, "cycle": slot,
+                        "window": [window[0], window[1]],
+                        "direction": window[2],
+                        "decisions": decisions, "budget": budget,
+                    }
+                    if forced:
+                        record["blame"] = blame
+                        record["window_blame"] = window_blame
+                    ledger.record(
+                        obs_ledger.FORCE if forced else obs_ledger.PLACE,
+                        record,
+                    )
 
                 for victim_token in evicted:
                     victim = token_owner.pop(victim_token.ident)
                     evict_resource += 1
+                    if ledger is not None:
+                        ledger.record(obs_ledger.EVICT, {
+                            "ii": ii, "op": victim, "by": name,
+                            "reason": "resource",
+                            "cycle": times[victim],
+                        })
                     del times[victim]
                     del tokens[victim]
                     unscheduled.add(victim)
@@ -403,6 +461,12 @@ class IterativeModuloScheduler:
                         token_owner.pop(victim_token.ident, None)
                         qm.free(victim_token)
                         evict_dependence += 1
+                        if ledger is not None:
+                            ledger.record(obs_ledger.EVICT, {
+                                "ii": ii, "op": succ, "by": name,
+                                "reason": "dependence",
+                                "cycle": times[succ],
+                            })
                         del times[succ]
                         unscheduled.add(succ)
                         if tracer is not None:
@@ -424,6 +488,15 @@ class IterativeModuloScheduler:
                         "ims.budget_exceeded", obs.CAT_SCHED,
                         loop=graph.name, ii=ii, budget=budget,
                     )
+            if ledger is not None:
+                ledger.record(obs_ledger.ATTEMPT, {
+                    "ii": ii, "phase": "end", "loop": graph.name,
+                    "succeeded": succeeded,
+                    "budget_exceeded": not succeeded,
+                    "decisions": decisions, "budget": budget,
+                    "evictions_resource": evict_resource,
+                    "evictions_dependence": evict_dependence,
+                })
         work.merge(qm.work)
         stats = AttemptStats(
             ii=ii,
@@ -451,6 +524,7 @@ class IterativeModuloScheduler:
                 if slot in reserved:
                     raise ScheduleError(
                         "resource contention between %s and %s at MRT slot %s"
-                        % (reserved[slot], name, slot)
+                        % (reserved[slot], name, slot),
+                        ledger_tail=obs_ledger.active_tail(),
                     )
                 reserved[slot] = name

@@ -13,6 +13,7 @@ from typing import Any, Dict
 from repro.errors import ScheduleError
 from repro.scheduler.ddg import DependenceGraph
 from repro.scheduler.list_scheduler import BlockScheduleResult
+from repro.obs import ledger as obs_ledger
 from repro.scheduler.modulo import ModuloScheduleResult
 
 FORMAT_VERSION = 1
@@ -45,7 +46,7 @@ def graph_from_json(data: Dict[str, Any]) -> DependenceGraph:
     if data.get("version") != FORMAT_VERSION:
         raise ScheduleError(
             "unsupported graph format version %r" % data.get("version")
-        )
+        , ledger_tail=obs_ledger.active_tail())
     graph = DependenceGraph(data["name"])
     for op in data["operations"]:
         graph.add_operation(op["name"], op["opcode"])

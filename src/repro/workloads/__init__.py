@@ -2,7 +2,14 @@
 
 from repro.workloads.blockgen import DEFAULT_MIX, block_suite, generate_block
 from repro.workloads.kernels import KERNELS, all_kernels
-from repro.workloads.translate import CYDRA_TO_PLAYDOH, translate_graph
+from repro.workloads.translate import (
+    CYDRA_TO_ALPHA,
+    CYDRA_TO_MIPS,
+    CYDRA_TO_PLAYDOH,
+    PORTS,
+    port_graph,
+    translate_graph,
+)
 from repro.workloads.loopgen import (
     MAX_OPS,
     MIN_OPS,
@@ -23,5 +30,9 @@ __all__ = [
     "all_kernels",
     "generate_loop",
     "loop_suite",
+    "CYDRA_TO_ALPHA",
+    "CYDRA_TO_MIPS",
+    "PORTS",
+    "port_graph",
     "translate_graph",
 ]

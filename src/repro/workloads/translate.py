@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.machine import MachineDescription
-from repro.errors import ScheduleError
+from repro.errors import MachineDescriptionError, ScheduleError
 from repro.scheduler.ddg import DependenceGraph
 
 #: Cydra-5-subset opcodes -> PlayDoh opcodes.
@@ -27,6 +27,40 @@ CYDRA_TO_PLAYDOH: Dict[str, str] = {
     "fmul_s": "fma",
     "mov": "xmove",
     "brtop": "br",
+}
+
+#: Cydra-5-subset opcodes -> Alpha 21064 opcodes.
+CYDRA_TO_ALPHA: Dict[str, str] = {
+    "load_s": "load",
+    "store_s": "store",
+    "addr_gen": "int_alu",
+    "iadd": "int_alu",
+    "icmp": "int_alu",
+    "fadd_s": "fadd",
+    "fmul_s": "fmul",
+    "mov": "int_alu",
+    "brtop": "branch",
+}
+
+#: Cydra-5-subset opcodes -> MIPS R3000 opcodes.
+CYDRA_TO_MIPS: Dict[str, str] = {
+    "load_s": "load",
+    "store_s": "store",
+    "addr_gen": "int_alu",
+    "iadd": "int_alu",
+    "icmp": "int_alu",
+    "fadd_s": "fadd",
+    "fmul_s": "fmul_s",
+    "mov": "int_alu",
+    "brtop": "branch",
+}
+
+#: Opcode maps by target machine *name* — how the suite ports to every
+#: non-Cydra study machine.
+PORTS: Dict[str, Dict[str, str]] = {
+    "playdoh": CYDRA_TO_PLAYDOH,
+    "alpha-21064": CYDRA_TO_ALPHA,
+    "mips-r3000": CYDRA_TO_MIPS,
 }
 
 
@@ -66,3 +100,33 @@ def translate_graph(
             kind=edge.kind,
         )
     return translated
+
+
+def _resolves(machine: MachineDescription, opcode: str) -> bool:
+    """True when ``machine`` knows ``opcode`` (directly or as a group)."""
+    try:
+        machine.alternatives_of(opcode)
+    except MachineDescriptionError:
+        return False
+    return True
+
+
+def port_graph(
+    graph: DependenceGraph, machine: MachineDescription
+) -> DependenceGraph:
+    """Port ``graph`` to ``machine`` when its vocabulary requires it.
+
+    Graphs whose opcodes the machine already resolves pass through
+    unchanged; otherwise the registered :data:`PORTS` map for the
+    machine's name applies (a missing map raises
+    :class:`~repro.errors.ScheduleError`, like any unknown opcode).
+    """
+    if all(_resolves(machine, op.opcode) for op in graph.operations()):
+        return graph
+    opcode_map = PORTS.get(machine.name)
+    if opcode_map is None:
+        raise ScheduleError(
+            "graph %r uses opcodes unknown to machine %r and no opcode"
+            " map is registered for it" % (graph.name, machine.name)
+        )
+    return translate_graph(graph, opcode_map, machine, name=graph.name)

@@ -454,3 +454,56 @@ def test_schema_constants_stable():
     # The checked-in baseline depends on these; bump deliberately.
     assert RESULT_SCHEMA_NAME == "repro-bench-result"
     assert RESULT_SCHEMA_VERSION == 1
+
+
+# ----------------------------------------------------------------------
+# Forward compatibility with pre-attribution results
+# ----------------------------------------------------------------------
+def test_pre_attribution_fixture_compares_clean(tmp_path):
+    """A PR-5-era result (no ``query.attribute.*``) still gates today.
+
+    The attribution plane added a new work currency to the shared
+    registries; older stored bench results know nothing about it.  The
+    comparator must classify the one-sided counters as informational
+    (never gated) instead of failing on the unknown metric.
+    """
+    import os
+
+    from repro.bench.compare import MISSING_BASE
+
+    fixture = os.path.join(
+        os.path.dirname(__file__), "fixtures", "bench-result-pr5.json"
+    )
+    base = load_result(fixture)
+    assert "cydra5-subset/compiled" in base.cases
+
+    new = BenchResult(
+        meta={"git_sha": "feedface"},
+        config={"loops": 4, "repetitions": 3, "seed": 0},
+    )
+    new_work = dict(base.cases["cydra5-subset/compiled"].work)
+    new_work["query.attribute.units"] = 42.0  # the new currency
+    new.add_case(
+        BenchCase(
+            machine="cydra5-subset",
+            representation="compiled",
+            work=new_work,
+            wall=summarize([0.0101, 0.0104, 0.0108]),
+            phases={},
+            quality=dict(base.cases["cydra5-subset/compiled"].quality),
+        )
+    )
+
+    comparison = compare_results(base, new)
+    assert comparison.ok  # the new counter must not gate
+    missing = [
+        delta for delta in comparison.deltas
+        if delta.metric == "query.attribute.units"
+    ]
+    assert missing, "new counter should surface as an ungated delta"
+    assert all(d.classification == MISSING_BASE for d in missing)
+    assert all(d.kind == "work" for d in missing)
+    assert not any(delta.gated for delta in missing)
+    # And the rendered report stays usable.
+    text = render_comparison_text(comparison, base, new)
+    assert text.startswith("verdict: OK")

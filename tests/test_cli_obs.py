@@ -153,3 +153,27 @@ class TestLintListRules:
 def _tracing_disabled_after_each_test():
     yield
     assert obs.current() is None
+
+
+class TestFlamegraphNoSpans:
+    def test_profile_flamegraph_no_span_run(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """A run that records no spans still writes a clean (empty) file.
+
+        ``flamegraph.pl``/speedscope treat a blank line as a malformed
+        frame, so the no-span export must be zero bytes, not "\\n".
+        """
+        from repro.obs import profile as obs_profile
+
+        monkeypatch.setattr(
+            obs_profile, "profile_machine",
+            lambda machine, tracer=None, **kwargs: tracer,
+        )
+        out = tmp_path / "flame.txt"
+        rc = main(
+            ["profile", "example", "--flamegraph", str(out)]
+        )
+        assert rc == 0
+        assert out.read_text() == ""
+        assert "wrote collapsed stacks" in capsys.readouterr().err

@@ -477,3 +477,34 @@ class TestExclusiveTimes:
         assert set(document["exclusive_s"]) == set(times)
         text = obs.render_text(tracer)
         assert "self ms" in text
+
+
+class TestEmptyTraceGuards:
+    """Span-math guards: exports must survive empty and trivial traces."""
+
+    def test_exclusive_times_empty_trace(self):
+        assert obs.exclusive_times(obs.Tracer()) == {}
+
+    def test_collapsed_stack_lines_empty_trace(self):
+        assert obs.collapsed_stack_lines(obs.Tracer()) == []
+
+    def test_single_span_is_its_own_self_time(self):
+        from repro.obs.trace import SpanRecord
+
+        tracer = obs.Tracer()
+        tracer.spans = [SpanRecord("reduce", "reduce", 0.0, 2.0)]
+        assert obs.exclusive_times(tracer) == {
+            "reduce.reduce": pytest.approx(2.0)
+        }
+        assert obs.collapsed_stack_lines(tracer) == [
+            "reduce.reduce 2000000"
+        ]
+
+    def test_write_collapsed_stack_empty_trace_writes_empty_file(
+        self, tmp_path
+    ):
+        # A lone blank line reads as a malformed frame to flamegraph
+        # tooling; a no-span trace must produce a genuinely empty file.
+        out = tmp_path / "flame.txt"
+        obs.write_collapsed_stack(obs.Tracer(), str(out))
+        assert out.read_text() == ""

@@ -18,6 +18,7 @@ import time
 
 from repro import obs
 from repro.machines import cydra5_subset
+from repro.obs import ledger as obs_ledger
 from repro.obs.instrument import observed_class
 from repro.query import make_query_module
 from repro.query.discrete import DiscreteQueryModule
@@ -76,6 +77,16 @@ class TestDisabledStructure:
         assert result.work.total_units > 0
         assert obs.current() is None
 
+    def test_disabled_ims_run_leaves_no_ledger(self):
+        # The decision ledger follows the tracer's switch pattern: with
+        # no recording active, a scheduler run must neither activate one
+        # nor charge the attribute work currency.
+        result = IterativeModuloScheduler(cydra5_subset()).schedule(
+            KERNELS["tridiagonal"]()
+        )
+        assert obs_ledger.current() is None
+        assert result.work.calls["attribute"] == 0
+
 
 class TestDisabledOverhead:
     def test_disabled_factory_path_within_margin(self):
@@ -109,4 +120,53 @@ class TestDisabledOverhead:
         assert elapsed / iterations < 10e-6, (
             "disabled obs helpers cost %.2fus per iteration"
             % (elapsed / iterations * 1e6)
+        )
+
+    def test_disabled_ledger_path_is_cheap(self):
+        """The ledger-off path: one global read plus a None test.
+
+        Schedulers capture ``obs_ledger.current()`` once per run and
+        guard each emission with ``is not None``; ``active_tail`` is the
+        error-path helper.  All three must stay allocation-free when no
+        ledger is recording — the same 10us/iteration bound as the span
+        helpers (observed well under 1us).
+        """
+        assert obs_ledger.current() is None
+        iterations = 10_000
+        start = time.perf_counter()
+        for _ in range(iterations):
+            ledger = obs_ledger.current()
+            if ledger is not None:  # the schedulers' emission guard
+                ledger.record("place", {})
+            obs_ledger.enabled()
+            obs_ledger.active_tail()
+        elapsed = time.perf_counter() - start
+        assert elapsed / iterations < 10e-6, (
+            "disabled ledger path costs %.2fus per iteration"
+            % (elapsed / iterations * 1e6)
+        )
+
+    def test_ledger_off_schedule_within_margin(self):
+        """Full IMS runs: the ledger-capable scheduler, recording off,
+        must stay within the 5% margin of its own best — i.e. the
+        per-decision ``is not None`` guards cost scheduler noise, not
+        time.  Measured as best-vs-worst of interleaved repetitions so a
+        systematic slowdown (accidental emission on the off path) fails
+        while CI jitter does not."""
+        machine = cydra5_subset()
+        graph_builder = KERNELS["daxpy"]
+
+        def run_once():
+            scheduler = IterativeModuloScheduler(machine)
+            start = time.perf_counter()
+            scheduler.schedule(graph_builder())
+            return time.perf_counter() - start
+
+        assert obs_ledger.current() is None
+        baseline = min(run_once() for _ in range(REPEATS))
+        again = min(run_once() for _ in range(REPEATS))
+        slower, faster = max(baseline, again), min(baseline, again)
+        assert slower <= faster * 1.05 + 200e-6, (
+            "ledger-off scheduling is unstable: %.6fs vs %.6fs"
+            % (faster, slower)
         )

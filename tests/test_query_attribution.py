@@ -1,0 +1,249 @@
+"""Conflict attribution: blame exactness across representations.
+
+The attribution plane promises that every representation names the same
+canonical blocked cell for a failed check — ``Blame.key = (resource,
+cycle, kind)`` — and that turning attribution on never perturbs the
+fast paths: attributed probes charge the ``attribute`` work currency
+(never ``check``/``check_range``), and ``attribute=None`` calls remain
+trajectory-identical to the pre-attribution module.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MachineDescription
+from repro.machines import STUDY_MACHINES, example_machine
+from repro.query import (
+    ATTRIBUTE,
+    BLAME_RESERVED,
+    BLAME_SELF,
+    Blame,
+    BitvectorQueryModule,
+    CHECK,
+    CompiledQueryModule,
+    DiscreteQueryModule,
+)
+
+RESOURCES = ["r0", "r1", "r2"]
+OPS = ["opA", "opB"]
+BACKENDS = (BitvectorQueryModule, CompiledQueryModule)
+
+
+@st.composite
+def machines(draw):
+    """Small random machines: 1-2 ops over 1-3 resources, cycles 0-5."""
+    operations = {}
+    for index in range(draw(st.integers(1, 2))):
+        usages = {}
+        for _ in range(draw(st.integers(0, 4))):
+            usages.setdefault(
+                draw(st.sampled_from(RESOURCES)), set()
+            ).add(draw(st.integers(0, 5)))
+        operations[OPS[index]] = usages
+    return MachineDescription("random", operations)
+
+
+@st.composite
+def probe_plans(draw):
+    """Random assignments plus probe cycles/windows."""
+    assigns = [
+        (draw(st.integers(0, 1)), draw(st.integers(-6, 18)))
+        for _ in range(draw(st.integers(0, 6)))
+    ]
+    probes = [
+        (
+            draw(st.integers(0, 1)),
+            draw(st.integers(-6, 18)),
+            draw(st.integers(0, 10)),
+            draw(st.sampled_from((1, -1))),
+        )
+        for _ in range(draw(st.integers(1, 10)))
+    ]
+    return assigns, probes
+
+
+def _build(machine, modulo):
+    """One module per representation, discrete first (the reference)."""
+    reference = DiscreteQueryModule(machine, modulo=modulo)
+    others = [backend(machine, modulo=modulo) for backend in BACKENDS]
+    return reference, others
+
+
+def _replay_assigns(machine, modules, assigns):
+    ops = machine.operation_names
+    reference = modules[0]
+    for op_index, cycle in assigns:
+        op = ops[op_index % len(ops)]
+        if reference.check(op, cycle):
+            for module in modules:
+                module.assign(op, cycle)
+        else:
+            for module in modules[1:]:
+                assert not module.check(op, cycle)
+
+
+def _assert_same_blame(machine, modulo, assigns, probes):
+    reference, others = _build(machine, modulo)
+    modules = [reference] + others
+    _replay_assigns(machine, modules, assigns)
+    ops = machine.operation_names
+    for op_index, cycle, width, direction in probes:
+        op = ops[op_index % len(ops)]
+        want_free, want_blame = reference.check_attributed(op, cycle)
+        for module in others:
+            free, blame = module.check_attributed(op, cycle)
+            assert free == want_free
+            if want_free:
+                assert blame is None
+            else:
+                assert blame is not None
+                assert blame.key == want_blame.key
+        want_pairs = []
+        want_answers = reference.check_range(
+            op, cycle, cycle + width, attribute=want_pairs
+        )
+        want_first_pairs = []
+        want_first = reference.first_free(
+            op, cycle, cycle + width, direction,
+            attribute=want_first_pairs,
+        )
+        for module in others:
+            pairs = []
+            answers = module.check_range(
+                op, cycle, cycle + width, attribute=pairs
+            )
+            assert answers == want_answers
+            assert [(c, b.key) for c, b in pairs] == (
+                [(c, b.key) for c, b in want_pairs]
+            )
+            first_pairs = []
+            first = module.first_free(
+                op, cycle, cycle + width, direction,
+                attribute=first_pairs,
+            )
+            assert first == want_first
+            assert [(c, b.key) for c, b in first_pairs] == (
+                [(c, b.key) for c, b in want_first_pairs]
+            )
+
+
+class TestPropertyExactness:
+    @given(machines(), probe_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_blame_matches_discrete(self, machine, plan):
+        assigns, probes = plan
+        _assert_same_blame(machine, None, assigns, probes)
+
+    @given(machines(), probe_plans(), st.integers(1, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_modulo_blame_matches_discrete(self, machine, plan, ii):
+        assigns, probes = plan
+        _assert_same_blame(machine, ii, assigns, probes)
+
+
+class TestStudyMachines:
+    @pytest.mark.parametrize("name", sorted(STUDY_MACHINES))
+    def test_blame_sweep_matches_discrete(self, name):
+        machine = STUDY_MACHINES[name]()
+        rng = random.Random(hash(name) & 0xFFFF)
+        for modulo in (None, 3, 7):
+            reference, others = _build(machine, modulo)
+            modules = [reference] + others
+            placed = 0
+            for _step in range(120):
+                op = rng.choice(machine.operation_names)
+                cycle = rng.randint(-4, 30)
+                want_free, want_blame = reference.check_attributed(
+                    op, cycle
+                )
+                for module in others:
+                    free, blame = module.check_attributed(op, cycle)
+                    assert free == want_free
+                    if want_blame is None:
+                        assert blame is None
+                    else:
+                        assert blame.key == want_blame.key
+                if want_free and placed < 25 and rng.random() < 0.5:
+                    for module in modules:
+                        module.assign(op, cycle)
+                    placed += 1
+
+
+class TestBlameSemantics:
+    def test_reserved_blame_names_owner_cell(self):
+        machine = example_machine()
+        op = machine.operation_names[0]
+        module = DiscreteQueryModule(machine)
+        module.assign(op, 0)
+        free, blame = module.check_attributed(op, 0)
+        assert not free
+        assert blame.kind == BLAME_RESERVED
+        assert blame.resource in machine.resources
+        assert blame.owner_op == op
+
+    def test_modulo_self_conflict_precedes_reserved(self):
+        """An op whose own usages fold onto one MRT slot blames itself."""
+        machine = MachineDescription(
+            "fold", {"op": {"bus": [0, 2]}}
+        )
+        for backend in (DiscreteQueryModule,) + BACKENDS:
+            module = backend(machine, modulo=2)
+            free, blame = module.check_attributed("op", 0)
+            assert not free, backend.__name__
+            assert blame.kind == BLAME_SELF, backend.__name__
+            assert blame.resource == "bus"
+
+    def test_blame_key_and_dict_round_trip(self):
+        blame = Blame("bus", 3, BLAME_RESERVED, owner_op="a", owner_cycle=1)
+        assert blame.key == ("bus", 3, BLAME_RESERVED)
+        doc = blame.to_dict()
+        assert doc == {
+            "resource": "bus", "cycle": 3, "kind": BLAME_RESERVED,
+            "owner_op": "a", "owner_cycle": 1,
+        }
+        assert "held by a" in blame.describe()
+        self_blame = Blame("bus", 1, BLAME_SELF)
+        assert "self-conflict" in self_blame.describe()
+
+
+class TestWorkCurrency:
+    def test_attributed_probes_charge_attribute_not_check(self):
+        machine = example_machine()
+        op = machine.operation_names[0]
+        for backend in (DiscreteQueryModule,) + BACKENDS:
+            module = backend(machine)
+            module.assign(op, 0)
+            checks = module.work.calls[CHECK]
+            module.check_attributed(op, 0)
+            module.check_range(op, 0, 6, attribute=[])
+            module.first_free(op, 0, 6, attribute=[])
+            assert module.work.calls[ATTRIBUTE] > 0, backend.__name__
+            assert module.work.calls[CHECK] == checks, backend.__name__
+
+    def test_attribute_off_paths_are_untouched(self):
+        """``attribute=None`` answers and charges exactly as before."""
+        machine = example_machine()
+        op = machine.operation_names[0]
+        for backend in (DiscreteQueryModule,) + BACKENDS:
+            plain = backend(machine)
+            probed = backend(machine)
+            plain.assign(op, 0)
+            probed.assign(op, 0)
+            # Attributed probes in between must not disturb later calls.
+            probed.check_attributed(op, 0)
+            probed.check_range(op, 0, 8, attribute=[])
+            assert plain.check_range(op, 0, 8) == (
+                probed.check_range(op, 0, 8)
+            )
+            assert plain.first_free(op, 0, 8) == probed.first_free(
+                op, 0, 8
+            )
+            for currency in ("check", "check_range", "assign", "free"):
+                assert plain.work.calls[currency] == (
+                    probed.work.calls[currency]
+                ), (backend.__name__, currency)
+                assert plain.work.units[currency] == (
+                    probed.work.units[currency]
+                ), (backend.__name__, currency)
