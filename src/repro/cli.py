@@ -18,6 +18,8 @@ Commands
               ``--code`` the repro sources themselves
 ``profile``   reduce + schedule under tracing; per-phase time/work report
 ``chaos``     deterministic fault injection against the resilience layer
+``fuzz``      seeded fuzz campaign: generated machines through the
+              differential pipeline oracle (plus composed chaos plans)
 ``bench``     benchmark observatory: ``run`` / ``compare`` / ``report``
 
 ``certify`` validates Theorem-1 witness certificates without re-running
@@ -46,9 +48,16 @@ see ``docs/observability.md``.
 ``schedule --explain FILE`` writes the same document alongside a normal
 run — see ``docs/explain.md``.
 
+``fuzz`` generates seeded, lintable machine descriptions and pushes each
+through reduce → certify → schedule, cross-checking the three query
+representations and classifying every run ``ok`` / ``handled`` / ``bug``
+(``repro fuzz --seed N --runs M [--shrink] [--out FILE]``) — see
+``docs/fuzzing.md``.
+
 Machines are referenced either by a built-in name (``cydra5``,
 ``cydra5-subset``, ``alpha21064``, ``mips-r3000``, ``playdoh``,
-``example``) or by the path of an MDL file.
+``example``, ``buffered-pu``, ``clustered-vliw``) or by the path of an
+MDL file.
 """
 
 from __future__ import annotations
@@ -66,7 +75,12 @@ from repro.core.forbidden import ForbiddenLatencyMatrix
 from repro.core.machine import MachineDescription
 from repro.core.verify import differences
 from repro.errors import BudgetExceeded, ReproError
-from repro.machines import STUDY_MACHINES, example_machine, playdoh
+from repro.machines import (
+    CORPUS_MACHINES,
+    STUDY_MACHINES,
+    example_machine,
+    playdoh,
+)
 from repro.scheduler import IterativeModuloScheduler
 from repro.stats import describe
 from repro.workloads import KERNELS, loop_suite
@@ -74,6 +88,7 @@ from repro.workloads import KERNELS, loop_suite
 _BUILTINS = dict(STUDY_MACHINES)
 _BUILTINS["example"] = example_machine
 _BUILTINS["playdoh"] = playdoh
+_BUILTINS.update(CORPUS_MACHINES)
 
 
 def _load_machine(ref: str) -> MachineDescription:
@@ -581,12 +596,71 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             seed=args.seed,
             faults=args.faults,
             workdir=args.workdir,
+            budget=_make_budget(args, "chaos"),
         )
         print(report.render_text())
         if args.out:
-            artifacts.write_json(args.out, report.to_dict(), kind="chaos")
-            print("wrote %s" % args.out, file=sys.stderr)
+            header = artifacts.write_json(
+                args.out, report.to_dict(), kind="chaos"
+            )
+            # Read the artifact straight back: a chaos run that cannot
+            # round-trip its own report through the checksummed store is
+            # itself a resilience failure.
+            artifacts.verify_artifact(args.out)
+            print(
+                "wrote %s (sha256 %s)" % (args.out, header["sha256"]),
+                file=sys.stderr,
+            )
+    # Exit-code contract: 0 = every fault handled, 1 = any unhandled
+    # fault, 3 = budget exceeded (raised through main()'s handler).
     return 0 if report.ok else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import run_campaign
+    from repro.resilience import artifacts
+
+    with _observing(args) as tracer:
+        if tracer is not None:
+            tracer.meta.update(
+                command="fuzz", seed=args.seed, profile=args.profile
+            )
+        report = run_campaign(
+            seed=args.seed,
+            runs=args.runs,
+            profile=args.profile,
+            max_units=args.budget,
+            do_shrink=args.shrink,
+            bundle_dir=args.bundles,
+            plans_every=args.plans_every,
+        )
+        counts = report["counts"]
+        print(
+            "fuzz campaign seed=%d profile=%s: %d runs"
+            % (args.seed, args.profile, args.runs)
+        )
+        print(
+            "  ok=%d handled=%d bug=%d plans=%d"
+            % (
+                counts["ok"], counts["handled"], counts["bug"],
+                len(report["plans"]),
+            )
+        )
+        for bug in report["bugs"]:
+            print(
+                "  BUG run=%d seed=%d %s (%s)"
+                % (
+                    bug["run"], bug["seed"], bug["fingerprint"],
+                    bug["stage"],
+                )
+            )
+        for manifest in report["bundles"]:
+            print("  repro bundle: %s" % manifest["directory"])
+        if args.out:
+            artifacts.write_json(args.out, report, kind="fuzz")
+            artifacts.verify_artifact(args.out)
+            print("wrote %s" % args.out, file=sys.stderr)
+    return 0 if report["ok"] else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -1466,11 +1540,22 @@ def build_parser() -> argparse.ArgumentParser:
         description="Inject seed-derived faults (dropped/shifted usages,"
         " phase delays, truncated artifact writes, flipped checksums,"
         " corrupted reduction-cache entries) and report whether each was"
-        " detected or survived via the verified fallback ladder.  Exits 1"
-        " when any fault goes unhandled.",
+        " detected or survived via the verified fallback ladder.  Exits 0"
+        " when every fault was handled, 1 when any fault goes unhandled,"
+        " and 3 when the --deadline/--max-units budget is exceeded.",
     )
     p.add_argument("machine", help="built-in name or MDL file")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--deadline", type=float, metavar="SECONDS",
+        help="wall-clock budget for the whole fault sweep (exceeded"
+        " budgets exit 3)",
+    )
+    p.add_argument(
+        "--max-units", type=int, metavar="N",
+        help="work-unit budget for the whole fault sweep (exceeded"
+        " budgets exit 3)",
+    )
     p.add_argument(
         "--faults",
         nargs="+",
@@ -1497,6 +1582,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="seeded fuzz campaign through the differential pipeline"
+        " oracle",
+        description="Generate seed-derived machine descriptions and push"
+        " each through lint, the three query representations, reduce,"
+        " certify, and the modulo scheduler, cross-checking every stage"
+        " differentially.  Every fourth run additionally executes a"
+        " composed multi-fault chaos plan.  The report is byte-identical"
+        " across repeated runs of the same campaign.  Exits 1 when any"
+        " run produced a bug verdict.",
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p.add_argument(
+        "--runs", type=int, default=20,
+        help="number of generated machines (default: 20)",
+    )
+    from repro.fuzz.mdlgen import PROFILES as _fuzz_profiles
+
+    p.add_argument(
+        "--profile",
+        default="mixed",
+        choices=tuple(sorted(_fuzz_profiles)),
+        help="generator profile (default: mixed)",
+    )
+    p.add_argument(
+        "--budget", type=int, metavar="UNITS",
+        help="work-unit budget per oracle pipeline stage (exceeded stages"
+        " become handled verdicts, not bugs)",
+    )
+    p.add_argument(
+        "--shrink", action="store_true",
+        help="minimize every bug to a local-minimum repro machine",
+    )
+    p.add_argument(
+        "--bundles", metavar="DIR",
+        help="with --shrink: write checksummed repro bundles under DIR",
+    )
+    p.add_argument(
+        "--plans-every", type=int, default=4, metavar="N",
+        help="run a composed chaos plan every N-th run (0 disables;"
+        " default: 4)",
+    )
+    p.add_argument(
+        "--out", metavar="FILE",
+        help="write the campaign report as a checksummed JSON artifact",
+    )
+    _add_observability_flags(p)
+    p.set_defaults(func=_cmd_fuzz)
 
     return parser
 

@@ -1,0 +1,86 @@
+"""Seeded, fully deterministic fuzzing for the reduction pipeline.
+
+Four planes (see ``docs/fuzzing.md``):
+
+* :mod:`repro.fuzz.mdlgen` — machine-description generator (profiles,
+  machine families, seeded workloads);
+* :mod:`repro.fuzz.oracle` — differential pipeline oracle classifying
+  every generated machine as ``ok`` / ``handled`` / ``bug``;
+* :mod:`repro.fuzz.shrink` — greedy minimizer + checksummed repro
+  bundles;
+* :mod:`repro.fuzz.plans` — composable chaos scenarios (seeded
+  multi-fault plans at named pipeline phases).
+
+:func:`repro.fuzz.campaign.run_campaign` ties them together and backs
+the ``repro fuzz`` CLI.
+"""
+
+from repro.fuzz.campaign import (
+    FUZZ_SCHEMA_NAME,
+    FUZZ_SCHEMA_VERSION,
+    machine_seed,
+    run_campaign,
+)
+from repro.fuzz.mdlgen import (
+    FAMILIES,
+    GeneratorProfile,
+    PROFILES,
+    STRUCTURAL_RULES,
+    generate_machine,
+    generate_workload,
+    schedulable_opcodes,
+)
+from repro.fuzz.oracle import (
+    OracleConfig,
+    OracleOutcome,
+    VERDICTS,
+    VERDICT_BUG,
+    VERDICT_HANDLED,
+    VERDICT_OK,
+    run_oracle,
+)
+from repro.fuzz.plans import (
+    FaultPlan,
+    PHASES,
+    PlanReport,
+    PlanStep,
+    compose_plan,
+    run_plan,
+)
+from repro.fuzz.shrink import (
+    ShrinkResult,
+    load_repro_bundle,
+    shrink,
+    write_repro_bundle,
+)
+
+__all__ = [
+    "FAMILIES",
+    "FUZZ_SCHEMA_NAME",
+    "FUZZ_SCHEMA_VERSION",
+    "FaultPlan",
+    "GeneratorProfile",
+    "OracleConfig",
+    "OracleOutcome",
+    "PHASES",
+    "PROFILES",
+    "PlanReport",
+    "PlanStep",
+    "STRUCTURAL_RULES",
+    "ShrinkResult",
+    "VERDICTS",
+    "VERDICT_BUG",
+    "VERDICT_HANDLED",
+    "VERDICT_OK",
+    "compose_plan",
+    "generate_machine",
+    "generate_workload",
+    "load_repro_bundle",
+    "machine_seed",
+    "run_campaign",
+    "run_oracle",
+    "run_plan",
+    "schedulable_opcodes",
+    "shrink",
+    "write_repro_bundle",
+]

@@ -1,0 +1,380 @@
+"""Seeded machine-description generator.
+
+Produces random-but-lintable machine descriptions from a
+:class:`random.Random` seeded with a *string* key (string seeding is
+deterministic regardless of ``PYTHONHASHSEED``, unlike hashing tuples).
+Every structural choice is drawn from the seeded stream and every
+iteration order is sorted, so ``generate_machine(seed, profile)`` is a
+pure function of its arguments — the whole fuzzing subsystem inherits
+byte-determinism from here.
+
+A :class:`GeneratorProfile` parameterizes the shape of the space:
+resource and operation counts, usage density, alternative probability,
+latency spread, and *modulo-friendliness* (short tables, one usage per
+row per operation, which keeps self-conflicts rare and loops
+schedulable at small IIs).  Profiles also select a machine *family*:
+
+``pipelined``
+    Conventional shared-pipeline shapes (the paper's study machines).
+``buffered-pu``
+    Exposed-datapath buffered processing units after Dahlem,
+    Bhagyanath and Schneider — transport buses are the scarce
+    resource and every class has one alternative per bus (the
+    permanent corpus machine :func:`repro.machines.buffered_pu` is
+    the hand-written representative of this family).
+``clustered-vliw``
+    Two-cluster VLIW shapes with per-cluster alternatives and a
+    shared crossbar (corpus representative
+    :func:`repro.machines.clustered_vliw`).
+
+Generated machines are guaranteed to pass the *structural* lint rules
+(``negative-cycle``, ``cycle-overflow``, ``empty-operation``,
+``duplicate-alternative``, ``dominated-alternative``,
+``unused-resource``); the informational redundancy rules are expected
+to fire — redundancy is precisely what the reduction under test
+removes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.machine import MachineBuilder, MachineDescription
+from repro.scheduler.ddg import DependenceGraph
+
+#: Machine families a profile can select.
+FAMILY_PIPELINED = "pipelined"
+FAMILY_BUFFERED_PU = "buffered-pu"
+FAMILY_CLUSTERED = "clustered-vliw"
+
+FAMILIES = (FAMILY_PIPELINED, FAMILY_BUFFERED_PU, FAMILY_CLUSTERED)
+
+#: Lint rules every generated machine is guaranteed to pass.  The
+#: oracle treats a finding from one of these as a generator bug.
+STRUCTURAL_RULES = (
+    "negative-cycle",
+    "cycle-overflow",
+    "empty-operation",
+    "duplicate-alternative",
+    "dominated-alternative",
+    "unused-resource",
+)
+
+
+@dataclass(frozen=True)
+class GeneratorProfile:
+    """Shape parameters for one region of the description space."""
+
+    name: str
+    family: str = FAMILY_PIPELINED
+    min_resources: int = 3
+    max_resources: int = 6
+    min_operations: int = 3
+    max_operations: int = 7
+    #: Upper bound on usage cycle indices (well under the lint
+    #: ``cycle-overflow`` plausibility bound of 512).
+    max_cycle: int = 8
+    #: Expected extra usages per operation beyond the mandatory one.
+    usage_density: float = 1.5
+    #: Probability that an operation class carries alternatives.
+    alternative_prob: float = 0.3
+    max_alternatives: int = 3
+    #: Result-latency metadata range (inclusive).
+    max_latency: int = 4
+    #: Keep tables short and one-usage-per-row so self-conflicts stay
+    #: rare and small loops schedule at small IIs.
+    modulo_friendly: bool = True
+
+    def derived(self, **changes) -> "GeneratorProfile":
+        """A renamed copy with some fields overridden."""
+        return replace(self, **changes)
+
+
+#: The built-in profile registry, keyed by profile name.
+PROFILES: Dict[str, GeneratorProfile] = {}
+
+
+def _register(profile: GeneratorProfile) -> GeneratorProfile:
+    PROFILES[profile.name] = profile
+    return profile
+
+
+MIXED = _register(GeneratorProfile(name="mixed"))
+TINY = _register(
+    GeneratorProfile(
+        name="tiny",
+        min_resources=1,
+        max_resources=2,
+        min_operations=1,
+        max_operations=3,
+        max_cycle=3,
+        usage_density=0.8,
+        alternative_prob=0.5,
+        max_latency=2,
+    )
+)
+DEEP = _register(
+    GeneratorProfile(
+        name="deep",
+        min_resources=4,
+        max_resources=8,
+        min_operations=4,
+        max_operations=9,
+        max_cycle=24,
+        usage_density=2.5,
+        alternative_prob=0.2,
+        max_latency=12,
+        modulo_friendly=False,
+    )
+)
+BUFFERED_PU = _register(
+    GeneratorProfile(
+        name="buffered-pu",
+        family=FAMILY_BUFFERED_PU,
+        min_resources=2,  # processing units, not raw rows
+        max_resources=3,
+        min_operations=2,
+        max_operations=4,
+        max_cycle=6,
+        max_latency=6,
+    )
+)
+CLUSTERED = _register(
+    GeneratorProfile(
+        name="clustered-vliw",
+        family=FAMILY_CLUSTERED,
+        min_operations=3,
+        max_operations=5,
+        max_cycle=4,
+        max_latency=4,
+    )
+)
+
+
+def machine_key(profile_name: str, seed: int) -> str:
+    """The string RNG key of one generated machine (stable identity)."""
+    return "mdlgen:%s:%d" % (profile_name, seed)
+
+
+def _usage_set(table: Dict[str, List[int]]) -> FrozenSet[Tuple[str, int]]:
+    return frozenset(
+        (resource, cycle)
+        for resource, cycles in table.items()
+        for cycle in cycles
+    )
+
+
+def _comparable(a: FrozenSet, b: FrozenSet) -> bool:
+    """True when one usage set contains the other (lint would flag it
+    as a duplicate or dominated alternative)."""
+    return a <= b or b <= a
+
+
+def _random_table(
+    rng: random.Random,
+    resources: List[str],
+    profile: GeneratorProfile,
+) -> Dict[str, List[int]]:
+    """One non-empty reservation table over the given resource pool."""
+    count = 1
+    while (
+        count < len(resources)
+        and rng.random() < profile.usage_density / (count + 1)
+    ):
+        count += 1
+    chosen = rng.sample(resources, count)
+    table: Dict[str, List[int]] = {}
+    for resource in sorted(chosen):
+        if profile.modulo_friendly:
+            cycles = [rng.randint(0, profile.max_cycle)]
+        else:
+            first = rng.randint(0, profile.max_cycle)
+            span = rng.randint(1, 3)
+            cycles = list(
+                range(first, min(first + span, profile.max_cycle + 1))
+            )
+        table[resource] = cycles
+    return table
+
+
+def _pipelined(rng: random.Random, profile: GeneratorProfile, name: str):
+    builder = MachineBuilder(name)
+    n_res = rng.randint(profile.min_resources, profile.max_resources)
+    resources = ["r%d" % i for i in range(n_res)]
+    n_ops = rng.randint(profile.min_operations, profile.max_operations)
+    for index in range(n_ops):
+        op = "op%d" % index
+        latency = rng.randint(0, profile.max_latency)
+        if rng.random() < profile.alternative_prob:
+            wanted = rng.randint(2, profile.max_alternatives)
+            variants: List[Dict[str, List[int]]] = []
+            kept: List[FrozenSet] = []
+            for _ in range(wanted * 3):
+                if len(variants) == wanted:
+                    break
+                candidate = _random_table(rng, resources, profile)
+                usages = _usage_set(candidate)
+                if any(_comparable(usages, seen) for seen in kept):
+                    continue
+                variants.append(candidate)
+                kept.append(usages)
+            builder.operation_with_alternatives(op, variants, latency=latency)
+        else:
+            builder.operation(
+                op, _random_table(rng, resources, profile), latency=latency
+            )
+    return builder
+
+
+def _buffered_pu(rng: random.Random, profile: GeneratorProfile, name: str):
+    builder = MachineBuilder(name)
+    n_pus = rng.randint(profile.min_resources, profile.max_resources)
+    n_buses = 2
+    buses = ["bus.%d" % i for i in range(n_buses)]
+    for index in range(n_pus):
+        pu = "pu%d" % index
+        span = 1 if profile.modulo_friendly and rng.random() < 0.5 \
+            else rng.randint(1, 3)
+        rows = {
+            "%s.in" % pu: [0],
+            "%s.fu" % pu: list(range(1, 1 + span)),
+            "%s.out" % pu: [1 + span],
+        }
+        variants = []
+        for bus in buses:
+            usages = {bus: [0]}
+            usages.update(rows)
+            variants.append(usages)
+        builder.operation_with_alternatives(
+            "%s_op" % pu, variants, latency=1 + span
+        )
+    # Result moves contend only for transport bandwidth.
+    builder.operation_with_alternatives(
+        "mov", [{bus: [0]} for bus in buses], latency=1
+    )
+    return builder
+
+
+def _clustered(rng: random.Random, profile: GeneratorProfile, name: str):
+    builder = MachineBuilder(name)
+    clusters = ("c0", "c1")
+    n_ops = rng.randint(profile.min_operations, profile.max_operations)
+    for index in range(n_ops):
+        op = "op%d" % index
+        unit = rng.choice(("alu", "mem"))
+        span = 1 if profile.modulo_friendly and rng.random() < 0.7 \
+            else rng.randint(1, 2)
+        latency = rng.randint(0, profile.max_latency)
+        variants = []
+        for cluster in clusters:
+            usages = {
+                "%s.issue" % cluster: [0],
+                "%s.%s" % (cluster, unit): list(range(span)),
+            }
+            if rng.random() < 0.7:
+                usages["%s.wb" % cluster] = [span]
+            variants.append(usages)
+        builder.operation_with_alternatives(op, variants, latency=latency)
+    # Cross-cluster copies keep the crossbar row used on every shape.
+    builder.operation_with_alternatives(
+        "xmov",
+        [
+            {"c0.issue": [0], "xbar": [1], "c1.wb": [2]},
+            {"c1.issue": [0], "xbar": [1], "c0.wb": [2]},
+        ],
+        latency=2,
+    )
+    return builder
+
+
+_FAMILY_BUILDERS = {
+    FAMILY_PIPELINED: _pipelined,
+    FAMILY_BUFFERED_PU: _buffered_pu,
+    FAMILY_CLUSTERED: _clustered,
+}
+
+
+def generate_machine(
+    seed: int, profile: GeneratorProfile = MIXED
+) -> MachineDescription:
+    """Generate one machine description, a pure function of its inputs."""
+    key = machine_key(profile.name, seed)
+    rng = random.Random(key)
+    builder = _FAMILY_BUILDERS[profile.family](rng, profile, key)
+    return builder.build()
+
+
+def schedulable_opcodes(machine: MachineDescription) -> List[str]:
+    """Opcodes a workload may name: alternative-group bases plus
+    operations outside any group (variants are reached through their
+    base by ``check_with_alternatives``)."""
+    groups = machine.alternatives
+    variants = {v for members in groups.values() for v in members}
+    names = set(groups)
+    names.update(
+        op for op in machine.operation_names if op not in variants
+    )
+    return sorted(names)
+
+
+def generate_workload(
+    machine: MachineDescription,
+    seed: int,
+    max_operations: int = 6,
+) -> DependenceGraph:
+    """A small seeded loop body over the machine's own opcodes.
+
+    Edges only go from earlier to later nodes (acyclic at distance 0 by
+    construction); an occasional loop-carried self-edge adds a
+    recurrence so RecMII is exercised too.
+    """
+    key = "fuzzload:%s:%d" % (machine.name, seed)
+    rng = random.Random(key)
+    opcodes = schedulable_opcodes(machine)
+    graph = DependenceGraph("fuzz-%d" % seed)
+    count = rng.randint(2, max(2, max_operations))
+    names = []
+    for index in range(count):
+        opcode = rng.choice(opcodes)
+        node = "n%d" % index
+        graph.add_operation(node, opcode)
+        names.append((node, opcode))
+    for index in range(1, count):
+        node, _ = names[index]
+        src, src_opcode = names[rng.randrange(index)]
+        latency = machine.latency_of(src_opcode, default=1) or 1
+        graph.add_dependence(src, node, latency=latency)
+        if rng.random() < 0.2:
+            extra_src, extra_opcode = names[rng.randrange(index)]
+            if extra_src != src:
+                graph.add_dependence(
+                    extra_src, node,
+                    latency=machine.latency_of(extra_opcode, default=1) or 1,
+                )
+    if count >= 2 and rng.random() < 0.4:
+        node, opcode = names[rng.randrange(count)]
+        graph.add_dependence(
+            node, node,
+            latency=max(1, machine.latency_of(opcode, default=1) or 1),
+            distance=rng.randint(1, 2),
+        )
+    return graph
+
+
+__all__ = [
+    "BUFFERED_PU",
+    "CLUSTERED",
+    "DEEP",
+    "FAMILIES",
+    "GeneratorProfile",
+    "MIXED",
+    "PROFILES",
+    "STRUCTURAL_RULES",
+    "TINY",
+    "generate_machine",
+    "generate_workload",
+    "machine_key",
+    "schedulable_opcodes",
+]

@@ -1,0 +1,246 @@
+"""Composable chaos scenarios: seeded multi-fault plans.
+
+Generalizes :mod:`repro.resilience.chaos` from six *fixed* fault classes
+to seeded fault **plans**: ordered sequences of faults injected at named
+pipeline phases.  A plan step names *where* the fault lands, not just
+what it is:
+
+``reduce``
+    Description corruption (or a clock delay) while the fallback ladder
+    is reducing — the classic single-fault chaos scenario.
+``mid-ladder``
+    Corruption *composed with* a tripping clock, so the ladder is
+    already degrading when the corrupted rung is served.  Exercises the
+    "never serve unverified" invariant under compound failure.
+``cache-warm``
+    The reduction cache is primed first and the fault lands on the warm
+    entry, so the fault surfaces on a *hit* path, not a miss.
+``artifact``
+    A stored machine artifact is corrupted between write and load.
+
+:func:`compose_plan` draws a plan from the seeded stream (string-keyed
+``random.Random``, like every fuzz component); :func:`run_plan` executes
+it step by step and reports per-step outcomes in the chaos harness's
+``survived-fallback`` / ``detected`` vocabulary.  A step whose fault was
+*not* handled marks the plan failed — the fuzz oracle reports that as a
+``bug`` (the resilience layer broke its contract), while a structured
+:class:`~repro.errors.BudgetExceeded` from the plan budget stays a
+``handled`` outcome.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.machine import MachineDescription
+from repro.errors import ReproError
+from repro.resilience.chaos import (
+    DelayedClock,
+    FAULT_DROP_USAGE,
+    FAULT_FLIP_CHECKSUM,
+    FAULT_PHASE_DELAY,
+    FAULT_SHIFT_USAGE,
+    FAULT_TRUNCATE_WRITE,
+    FaultOutcome,
+    inject_artifact_fault,
+    inject_cache_fault,
+    inject_corruption,
+    inject_phase_delay,
+)
+
+PHASE_REDUCE = "reduce"
+PHASE_MID_LADDER = "mid-ladder"
+PHASE_CACHE_WARM = "cache-warm"
+PHASE_ARTIFACT = "artifact"
+
+PHASES = (PHASE_REDUCE, PHASE_MID_LADDER, PHASE_CACHE_WARM, PHASE_ARTIFACT)
+
+#: Fault classes that make sense at each phase.
+PHASE_FAULTS: Dict[str, Tuple[str, ...]] = {
+    PHASE_REDUCE: (FAULT_DROP_USAGE, FAULT_SHIFT_USAGE, FAULT_PHASE_DELAY),
+    PHASE_MID_LADDER: (FAULT_DROP_USAGE, FAULT_SHIFT_USAGE),
+    PHASE_CACHE_WARM: (FAULT_TRUNCATE_WRITE, FAULT_FLIP_CHECKSUM),
+    PHASE_ARTIFACT: (FAULT_TRUNCATE_WRITE, FAULT_FLIP_CHECKSUM),
+}
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One fault at one named pipeline phase."""
+
+    phase: str
+    fault: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"phase": self.phase, "fault": self.fault}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered multi-fault sequence."""
+
+    seed: int
+    steps: Tuple[PlanStep, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+
+@dataclass
+class StepOutcome:
+    """A :class:`~repro.resilience.chaos.FaultOutcome` plus its phase."""
+
+    step: PlanStep
+    outcome: FaultOutcome
+
+    @property
+    def handled(self) -> bool:
+        return self.outcome.handled
+
+    def to_dict(self) -> Dict[str, object]:
+        document = self.outcome.to_dict()
+        document["phase"] = self.step.phase
+        return document
+
+
+@dataclass
+class PlanReport:
+    """Per-step outcomes of one executed plan."""
+
+    machine: str
+    plan: FaultPlan
+    outcomes: List[StepOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.handled for outcome in self.outcomes)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "machine": self.machine,
+            "plan": self.plan.to_dict(),
+            "ok": self.ok,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+
+def compose_plan(
+    seed: int,
+    length: int = 3,
+    phases: Optional[Tuple[str, ...]] = None,
+) -> FaultPlan:
+    """Draw an ordered fault plan from the seeded stream.
+
+    Every plan of length >= 2 includes at least one compound phase
+    (mid-ladder or cache-warm) so plans exercise fault *interaction*,
+    not just a shuffled version of the fixed classes.
+    """
+    if length < 1:
+        raise ReproError("a fault plan needs at least one step")
+    phases = tuple(phases if phases is not None else PHASES)
+    unknown = [phase for phase in phases if phase not in PHASES]
+    if unknown:
+        raise ReproError(
+            "unknown plan phase(s) %s (known: %s)"
+            % (", ".join(sorted(unknown)), ", ".join(PHASES))
+        )
+    rng = random.Random("fuzzplan:%d" % seed)
+    steps = []
+    for _ in range(length):
+        phase = rng.choice(phases)
+        fault = rng.choice(PHASE_FAULTS[phase])
+        steps.append(PlanStep(phase=phase, fault=fault))
+    compound = (PHASE_MID_LADDER, PHASE_CACHE_WARM)
+    wanted = tuple(p for p in compound if p in phases)
+    if (
+        length >= 2
+        and wanted
+        and not any(step.phase in compound for step in steps)
+    ):
+        phase = rng.choice(wanted)
+        fault = rng.choice(PHASE_FAULTS[phase])
+        index = rng.randrange(length)
+        steps[index] = PlanStep(phase=phase, fault=fault)
+    return FaultPlan(seed=seed, steps=tuple(steps))
+
+
+def _run_step(
+    machine: MachineDescription,
+    seed: int,
+    step: PlanStep,
+    workdir: str,
+) -> FaultOutcome:
+    if step.phase == PHASE_REDUCE:
+        if step.fault == FAULT_PHASE_DELAY:
+            return inject_phase_delay(machine, seed)
+        return inject_corruption(machine, seed, step.fault)
+    if step.phase == PHASE_MID_LADDER:
+        # Corruption with a clock that trips mid-ladder: the rungs race
+        # the deadline while the reduced description is corrupt.
+        rng = random.Random(
+            "fuzzplan:%s:%d:%s" % (machine.name, seed, step.fault)
+        )
+        clock = DelayedClock(trip=rng.randrange(6, 14))
+        outcome = inject_corruption(
+            machine, seed, step.fault, clock=clock, deadline_s=60.0
+        )
+        outcome.detail = "mid-ladder (clock trips after %d calls): %s" % (
+            clock.trip, outcome.detail,
+        )
+        return outcome
+    if step.phase == PHASE_CACHE_WARM:
+        return inject_cache_fault(machine, seed, workdir, fault=step.fault)
+    if step.phase == PHASE_ARTIFACT:
+        return inject_artifact_fault(machine, seed, step.fault, workdir)
+    raise ReproError("unknown plan phase %r" % step.phase)
+
+
+def run_plan(
+    machine: MachineDescription,
+    plan: FaultPlan,
+    workdir: str,
+    budget=None,
+) -> PlanReport:
+    """Execute a fault plan step by step.
+
+    Deterministic in ``(machine, plan)``.  ``budget`` is checked before
+    every step (phase ``"chaos-plan"``); exceeding it raises
+    :class:`~repro.errors.BudgetExceeded` with the outcomes so far as
+    the partial result.
+    """
+    report = PlanReport(machine=machine.name, plan=plan)
+    for index, step in enumerate(plan.steps):
+        if budget is not None:
+            budget.checkpoint(
+                "chaos-plan",
+                units=machine.total_usages,
+                progress="step %d/%d (%s@%s)"
+                % (index + 1, len(plan.steps), step.fault, step.phase),
+                partial=[o.to_dict() for o in report.outcomes],
+            )
+        # Vary the per-step seed so repeating a fault class at two plan
+        # positions draws two different corruptions.
+        outcome = _run_step(machine, plan.seed * 101 + index, step, workdir)
+        report.outcomes.append(StepOutcome(step=step, outcome=outcome))
+    return report
+
+
+__all__ = [
+    "FaultPlan",
+    "PHASES",
+    "PHASE_ARTIFACT",
+    "PHASE_CACHE_WARM",
+    "PHASE_MID_LADDER",
+    "PHASE_REDUCE",
+    "PHASE_FAULTS",
+    "PlanReport",
+    "PlanStep",
+    "StepOutcome",
+    "compose_plan",
+    "run_plan",
+]

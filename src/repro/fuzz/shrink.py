@@ -1,0 +1,291 @@
+"""Greedy minimizer for failing machine descriptions.
+
+Given a machine on which the differential oracle reports a ``bug``, the
+shrinker tries a deterministic sequence of simplifying transforms —
+drop an alternative group, drop an operation, drop a resource row, drop
+a single usage, truncate multi-cycle usages, discard latency metadata —
+and accepts a candidate only when the oracle still reports a ``bug``
+with the *identical fingerprint*.  The loop restarts after every
+accepted candidate (greedy descent) and stops at a fixpoint or the
+attempt cap, so the result is a local minimum that still reproduces the
+original failure class.
+
+The minimal repro ships as a checksummed artifact bundle — the MDL, the
+seed, and the oracle report — written through the resilience store, so
+a bundle that survives transport unmodified is verifiable offline and a
+corrupted one refuses to load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.machine import MachineDescription
+from repro.fuzz.oracle import (
+    OracleConfig,
+    OracleOutcome,
+    VERDICT_BUG,
+    run_oracle,
+)
+from repro.resilience import artifacts
+
+#: Schema tag of the repro-bundle report document.
+REPRO_SCHEMA_NAME = "repro-fuzz-repro"
+REPRO_SCHEMA_VERSION = 1
+
+#: File names inside a repro bundle directory.
+BUNDLE_MACHINE = "machine.mdl"
+BUNDLE_REPORT = "repro.json"
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    machine: MachineDescription
+    outcome: OracleOutcome
+    rounds: int
+    attempts: int
+    accepted: int
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        return self.outcome.fingerprint
+
+
+def _rebuild(
+    machine: MachineDescription,
+    operations: Dict[str, Dict[str, List[int]]],
+) -> Optional[MachineDescription]:
+    """A machine with the given operation tables, restricting groups and
+    latencies; ``None`` when the result would be degenerate."""
+    if not operations:
+        return None
+    alternatives = {}
+    for base, variants in machine.alternatives.items():
+        kept = tuple(v for v in variants if v in operations)
+        if kept:
+            alternatives[base] = kept
+    latencies = {
+        op: value
+        for op, value in machine.latencies.items()
+        if op in operations or op in alternatives
+    }
+    used = set()
+    for table in operations.values():
+        used.update(table)
+    resources = [r for r in machine.resources if r in used]
+    return MachineDescription(
+        machine.name, operations, resources, alternatives, latencies
+    )
+
+
+def _tables(machine: MachineDescription) -> Dict[str, Dict[str, List[int]]]:
+    return {
+        op: {
+            resource: sorted(machine.table(op).usage_set(resource))
+            for resource in machine.table(op).resources
+        }
+        for op in machine.operation_names
+    }
+
+
+def _candidates(
+    machine: MachineDescription,
+) -> Iterator[Tuple[str, MachineDescription]]:
+    """Simplified variants of ``machine`` in deterministic order, from
+    coarsest (drop a whole group) to finest (drop latency metadata)."""
+    tables = _tables(machine)
+
+    # Drop a whole alternative group.
+    for base in sorted(machine.alternatives):
+        remaining = {
+            op: table for op, table in tables.items()
+            if op not in machine.alternatives[base]
+        }
+        candidate = _rebuild(machine, remaining)
+        if candidate is not None:
+            yield ("drop-group:%s" % base, candidate)
+
+    # Drop a single operation (group variant or plain).
+    for op in sorted(tables):
+        remaining = {
+            name: table for name, table in tables.items() if name != op
+        }
+        candidate = _rebuild(machine, remaining)
+        if candidate is not None:
+            yield ("drop-op:%s" % op, candidate)
+
+    # Drop a resource row everywhere (and any operation it empties).
+    for resource in machine.resources:
+        remaining = {}
+        for op, table in sorted(tables.items()):
+            kept = {r: c for r, c in table.items() if r != resource}
+            if kept:
+                remaining[op] = kept
+        candidate = _rebuild(machine, remaining)
+        if candidate is not None:
+            yield ("drop-resource:%s" % resource, candidate)
+
+    # Drop one usage row from one operation.
+    for op in sorted(tables):
+        if len(tables[op]) < 2:
+            continue
+        for resource in sorted(tables[op]):
+            remaining = {
+                name: dict(table) for name, table in tables.items()
+            }
+            remaining[op] = {
+                r: c for r, c in remaining[op].items() if r != resource
+            }
+            candidate = _rebuild(machine, remaining)
+            if candidate is not None:
+                yield ("drop-usage:%s:%s" % (op, resource), candidate)
+
+    # Truncate a multi-cycle usage to its first cycle.
+    for op in sorted(tables):
+        for resource in sorted(tables[op]):
+            cycles = tables[op][resource]
+            if len(cycles) < 2:
+                continue
+            remaining = {
+                name: dict(table) for name, table in tables.items()
+            }
+            remaining[op] = dict(remaining[op])
+            remaining[op][resource] = cycles[:1]
+            candidate = _rebuild(machine, remaining)
+            if candidate is not None:
+                yield ("truncate:%s:%s" % (op, resource), candidate)
+
+    # Discard latency metadata wholesale.
+    if machine.latencies:
+        candidate = MachineDescription(
+            machine.name, tables,
+            machine.resources, machine.alternatives, None,
+        )
+        yield ("drop-latencies", candidate)
+
+
+def shrink(
+    machine: MachineDescription,
+    seed: int,
+    fingerprint: str,
+    config: Optional[OracleConfig] = None,
+    profile: str = "",
+    max_attempts: int = 400,
+) -> ShrinkResult:
+    """Greedily minimize ``machine`` while the oracle keeps reporting a
+    ``bug`` with exactly ``fingerprint``."""
+    config = config or OracleConfig()
+    current = machine
+    outcome = run_oracle(current, seed, config, profile=profile)
+    if outcome.verdict != VERDICT_BUG or outcome.fingerprint != fingerprint:
+        raise ValueError(
+            "shrink precondition failed: oracle reports %r/%r, expected"
+            " bug/%r" % (outcome.verdict, outcome.fingerprint, fingerprint)
+        )
+    attempts = 0
+    rounds = 0
+    accepted = 0
+    progressed = True
+    while progressed and attempts < max_attempts:
+        progressed = False
+        rounds += 1
+        for _label, candidate in _candidates(current):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            candidate_outcome = run_oracle(
+                candidate, seed, config, profile=profile
+            )
+            if (
+                candidate_outcome.verdict == VERDICT_BUG
+                and candidate_outcome.fingerprint == fingerprint
+            ):
+                current = candidate
+                outcome = candidate_outcome
+                accepted += 1
+                progressed = True
+                break
+    return ShrinkResult(
+        machine=current,
+        outcome=outcome,
+        rounds=rounds,
+        attempts=attempts,
+        accepted=accepted,
+    )
+
+
+# ----------------------------------------------------------------------
+# Repro bundles
+# ----------------------------------------------------------------------
+def write_repro_bundle(
+    directory: str,
+    result: ShrinkResult,
+    seed: int,
+    profile: str = "",
+) -> Dict[str, object]:
+    """Write a minimal-repro bundle (checksummed MDL + oracle report).
+
+    Returns a manifest naming both artifacts and their digests, suitable
+    for embedding in the fuzz report.
+    """
+    os.makedirs(directory, exist_ok=True)
+    machine_path = os.path.join(directory, BUNDLE_MACHINE)
+    report_path = os.path.join(directory, BUNDLE_REPORT)
+    machine_meta = artifacts.write_machine(machine_path, result.machine)
+    document = {
+        "schema": REPRO_SCHEMA_NAME,
+        "version": REPRO_SCHEMA_VERSION,
+        "seed": seed,
+        "profile": profile,
+        "fingerprint": result.fingerprint,
+        "outcome": result.outcome.to_dict(),
+        "shrink": {
+            "rounds": result.rounds,
+            "attempts": result.attempts,
+            "accepted": result.accepted,
+        },
+    }
+    report_meta = artifacts.write_json(
+        report_path, document, kind="fuzz-repro"
+    )
+    return {
+        "directory": directory,
+        "machine": {
+            "path": machine_path,
+            "sha256": machine_meta.get("sha256"),
+        },
+        "report": {
+            "path": report_path,
+            "sha256": report_meta.get("sha256"),
+        },
+        "fingerprint": result.fingerprint,
+    }
+
+
+def load_repro_bundle(
+    directory: str,
+) -> Tuple[MachineDescription, Dict[str, object]]:
+    """Load and verify a repro bundle; raises
+    :class:`~repro.errors.ArtifactIntegrityError` on any corruption."""
+    machine = artifacts.load_machine(os.path.join(directory, BUNDLE_MACHINE))
+    text, _header = artifacts.read_artifact(
+        os.path.join(directory, BUNDLE_REPORT), expect_kind="fuzz-repro"
+    )
+    return machine, json.loads(text)
+
+
+__all__ = [
+    "BUNDLE_MACHINE",
+    "BUNDLE_REPORT",
+    "REPRO_SCHEMA_NAME",
+    "REPRO_SCHEMA_VERSION",
+    "ShrinkResult",
+    "load_repro_bundle",
+    "shrink",
+    "write_repro_bundle",
+]

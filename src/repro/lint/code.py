@@ -7,7 +7,9 @@ repo invariants the test suite cannot see locally:
 determinism
     Nothing order-sensitive may iterate a ``set`` — schedule priority,
     resource selection, and report layouts must not depend on hash
-    order (``code-unordered-iteration``).
+    order (``code-unordered-iteration``) — and every random draw must
+    come from an *explicitly seeded* ``random.Random`` instance, never
+    the process-seeded global RNG (``code-unseeded-random``).
 accounting
     Every cycle loop in a query backend must charge
     :class:`~repro.query.work.WorkCounters` (or delegate to an entry
@@ -498,6 +500,84 @@ def _check_unattributed_raise(ctx: CodeContext) -> Iterator[Diagnostic]:
             hint="pass ledger_tail=obs_ledger.active_tail() (a no-op "
             "None when no DecisionLedger is recording)",
         )
+
+
+#: Draw/state methods of the module-level (process-seeded) global RNG.
+_GLOBAL_RNG_DRAWS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "getstate", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+#: RNG constructors that take a seed as their first positional argument.
+_RNG_CONSTRUCTORS = frozenset({"Random"})
+
+
+@rule(
+    "code-unseeded-random",
+    severity="warning",
+    summary="random draw not tied to an explicit seed",
+    scope="code",
+)
+def _check_unseeded_random(ctx: CodeContext) -> Iterator[Diagnostic]:
+    """Every random draw must come from an explicitly seeded stream.
+
+    The whole repo — fuzz generator, chaos harness, workload suites,
+    backoff jitter — promises bit-for-bit reproducibility from a seed.
+    Three constructions silently break that promise: calling a draw
+    method on the ``random`` *module* (the hidden global ``Random``
+    seeded from OS entropy at import), constructing ``Random()`` with
+    no seed argument, and ``SystemRandom`` (OS entropy by design).  The
+    repo idiom is a string-keyed instance per stream, e.g.
+    ``random.Random("mdlgen:%s:%d" % (profile, seed))`` — string seeds
+    are immune to ``PYTHONHASHSEED``.
+    """
+    if ctx.tree is None:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr in _GLOBAL_RNG_DRAWS
+        ):
+            yield finding(
+                "random.%s() draws from the module-level global RNG, "
+                "which is seeded from OS entropy at interpreter start"
+                % func.attr,
+                location=ctx.locate(node),
+                hint="draw from an explicitly seeded random.Random "
+                "instance (string-keyed, like the fuzz/chaos streams)",
+            )
+            continue
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name == "SystemRandom":
+            yield finding(
+                "SystemRandom draws OS entropy and can never replay "
+                "from a seed",
+                location=ctx.locate(node),
+                hint="use a seeded random.Random unless this is "
+                "explicitly cryptographic (it should not be, here)",
+            )
+        elif name in _RNG_CONSTRUCTORS and not node.args:
+            yield finding(
+                "Random() without a seed argument falls back to OS "
+                "entropy; the stream cannot be replayed",
+                location=ctx.locate(node),
+                hint="pass an explicit seed — the repo idiom is a "
+                "string key naming the stream and its parameters",
+            )
 
 
 # ----------------------------------------------------------------------

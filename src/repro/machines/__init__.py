@@ -2,8 +2,10 @@
 and small toy machines used by tests and documentation."""
 
 from repro.machines.alpha import alpha21064
+from repro.machines.clustered import clustered_vliw
 from repro.machines.cydra5 import SUBSET_OPERATIONS, cydra5, cydra5_subset
 from repro.machines.example import example_machine
+from repro.machines.exposed import buffered_pu
 from repro.machines.mips import mips_r3000
 from repro.machines.playdoh import PLAYDOH_LATENCIES, PLAYDOH_MIX, playdoh
 from repro.machines.toys import (
@@ -23,13 +25,24 @@ STUDY_MACHINES = {
     "mips-r3000": mips_r3000,
 }
 
+#: Modern machine families grown out of the fuzzing corpus (ROADMAP
+#: item 4): exposed-datapath and clustered-VLIW shapes beyond the
+#: paper's three study machines.
+CORPUS_MACHINES = {
+    "buffered-pu": buffered_pu,
+    "clustered-vliw": clustered_vliw,
+}
+
 __all__ = [
+    "CORPUS_MACHINES",
     "PLAYDOH_LATENCIES",
     "PLAYDOH_MIX",
     "STUDY_MACHINES",
     "SUBSET_OPERATIONS",
     "alpha21064",
     "alternatives_machine",
+    "buffered_pu",
+    "clustered_vliw",
     "cydra5",
     "cydra5_subset",
     "dense_conflict_machine",

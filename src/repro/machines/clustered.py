@@ -1,0 +1,75 @@
+"""Clustered-VLIW machine description.
+
+A two-cluster VLIW in the TI C6x / HP Lx mould: each cluster owns an
+issue slot, an ALU, a memory port, and a register-file write port; the
+clusters exchange values over a single shared crossbar.  Every symmetric
+operation class is declared with one *alternative* per cluster, so the
+scheduler's alternative-selection machinery (paper Section 3) decides
+the cluster assignment, and the crossbar row makes cross-cluster copies
+a first-class scheduling constraint.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import MachineBuilder, MachineDescription
+
+
+def _per_cluster(rows):
+    """Expand ``{"alu": [...]}``-style rows to one variant per cluster."""
+    variants = []
+    for cluster in ("c0", "c1"):
+        variants.append(
+            {
+                "%s.%s" % (cluster, unit): list(cycles)
+                for unit, cycles in rows.items()
+            }
+        )
+    return variants
+
+
+def clustered_vliw() -> MachineDescription:
+    """A two-cluster VLIW with a shared inter-cluster crossbar."""
+    b = MachineBuilder("clustered-vliw")
+    b.resource(
+        "c0.issue", "c0.alu", "c0.mem", "c0.wb",
+        "c1.issue", "c1.alu", "c1.mem", "c1.wb",
+        "xbar",
+    )
+
+    b.operation_with_alternatives(
+        "add",
+        _per_cluster({"issue": [0], "alu": [0], "wb": [1]}),
+        latency=1,
+    )
+    # The multiplier shares the cluster ALU and occupies it for two
+    # cycles (partially pipelined), raising ResMII for multiply loops.
+    b.operation_with_alternatives(
+        "mul",
+        _per_cluster({"issue": [0], "alu": [0, 1], "wb": [2]}),
+        latency=2,
+    )
+    b.operation_with_alternatives(
+        "load",
+        _per_cluster({"issue": [0], "mem": [0, 1], "wb": [2]}),
+        latency=2,
+    )
+    b.operation_with_alternatives(
+        "store",
+        _per_cluster({"issue": [0], "mem": [0]}),
+        latency=1,
+    )
+
+    # Cross-cluster copy: issue on the source cluster, one crossbar beat,
+    # write into the *other* cluster's register file.
+    b.operation_with_alternatives(
+        "xmov",
+        [
+            {"c0.issue": [0], "xbar": [1], "c1.wb": [2]},
+            {"c1.issue": [0], "xbar": [1], "c0.wb": [2]},
+        ],
+        latency=2,
+    )
+
+    # Control flow lives on cluster 0 only: no alternatives.
+    b.operation("branch", {"c0.issue": [0], "c0.alu": [0]}, latency=1)
+    return b.build()

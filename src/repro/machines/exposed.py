@@ -1,0 +1,99 @@
+"""Buffered-PU exposed-datapath machine description.
+
+Models the *exposed datapath* architectures of Dahlem, Bhagyanath and
+Schneider (ASP scheduling; see PAPERS.md): processing units with input
+and output buffers connected by a small set of shared transport buses.
+The compiler — not hardware interlocks — moves operands over a bus into
+a PU's input buffer, the PU fires, and the result lands in its output
+buffer until a later move drains it.  Every move claims a bus for one
+cycle, so bus contention is the dominant scheduling constraint and every
+operation class carries *alternative* usages, one per bus.
+
+Structure per processing unit ``X``: an input-buffer write port
+(``X.in``), the function unit proper (``X.fu``), and an output-buffer
+slot (``X.out``).  The rows are deliberately physical — in/fu/out of a
+pipelined PU generate overlapping forbidden latencies, exactly the
+redundancy the paper's reduction removes.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import MachineBuilder, MachineDescription
+
+
+def _triggered(bus_cycles, pu_usages):
+    """Variant usages: the trigger move on one bus plus the PU's rows."""
+    usages = {bus: list(cycles) for bus, cycles in bus_cycles.items()}
+    usages.update({res: list(cycles) for res, cycles in pu_usages.items()})
+    return usages
+
+
+def buffered_pu() -> MachineDescription:
+    """A two-bus, three-PU buffered exposed-datapath machine.
+
+    Processing units: a pipelined single-cycle ALU, a non-pipelined
+    three-cycle multiply-accumulate unit, and a two-cycle load/store
+    unit.  Every operation is triggered by a move over one of the two
+    transport buses, so each class has one alternative per bus.
+    """
+    b = MachineBuilder("buffered-pu")
+    b.resource(
+        "bus.0", "bus.1",
+        "alu.in", "alu.fu", "alu.out",
+        "mac.in", "mac.fu", "mac.out",
+        "lsu.in", "lsu.fu", "lsu.out",
+    )
+
+    # Trigger move into the ALU: operand over a bus at cycle 0, the unit
+    # fires the next cycle, result buffered the cycle after.
+    alu_rows = {"alu.in": [0], "alu.fu": [1], "alu.out": [2]}
+    b.operation_with_alternatives(
+        "alu_op",
+        [
+            _triggered({"bus.0": [0]}, alu_rows),
+            _triggered({"bus.1": [0]}, alu_rows),
+        ],
+        latency=2,
+    )
+
+    # The MAC unit is not pipelined: the function unit stays busy for
+    # three cycles, forbidding back-to-back MAC issue at distances 1-2.
+    mac_rows = {"mac.in": [0], "mac.fu": [1, 2, 3], "mac.out": [4]}
+    b.operation_with_alternatives(
+        "mac_op",
+        [
+            _triggered({"bus.0": [0]}, mac_rows),
+            _triggered({"bus.1": [0]}, mac_rows),
+        ],
+        latency=4,
+    )
+
+    # Loads flow through the LSU port for two cycles and buffer a result;
+    # stores claim the port for a single cycle and produce nothing.
+    load_rows = {"lsu.in": [0], "lsu.fu": [1, 2], "lsu.out": [3]}
+    b.operation_with_alternatives(
+        "load",
+        [
+            _triggered({"bus.0": [0]}, load_rows),
+            _triggered({"bus.1": [0]}, load_rows),
+        ],
+        latency=3,
+    )
+    store_rows = {"lsu.in": [0], "lsu.fu": [1]}
+    b.operation_with_alternatives(
+        "store",
+        [
+            _triggered({"bus.0": [0]}, store_rows),
+            _triggered({"bus.1": [0]}, store_rows),
+        ],
+        latency=1,
+    )
+
+    # A result move drains an output buffer over either bus; it touches
+    # no PU rows, so it contends only for transport bandwidth.
+    b.operation_with_alternatives(
+        "mov",
+        [{"bus.0": [0]}, {"bus.1": [0]}],
+        latency=1,
+    )
+    return b.build()

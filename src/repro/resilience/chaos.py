@@ -247,16 +247,34 @@ def flip_checksum(path: str, rng: random.Random) -> None:
 
 # ----------------------------------------------------------------------
 # Fault drivers
+#
+# Every driver shares one signature — ``(machine, seed, workdir)`` — so
+# the :data:`INJECTORS` registry can dispatch uniformly and the fuzz
+# plan composer (:mod:`repro.fuzz.plans`) can sequence them at named
+# pipeline phases.  Drivers that need no scratch directory ignore it.
 # ----------------------------------------------------------------------
-def _inject_corruption(
-    machine: MachineDescription, seed: int, fault: str
+def inject_corruption(
+    machine: MachineDescription,
+    seed: int,
+    fault: str,
+    clock=None,
+    deadline_s: Optional[float] = None,
 ) -> FaultOutcome:
+    """Corrupt the reduced description mid-ladder; the ladder must only
+    ever serve a *verified* result.  ``clock``/``deadline_s`` optionally
+    compose a phase delay on top (the fuzz composer's mid-ladder plans).
+    """
     rng = _rng(machine, seed, fault)
     corrupt = (
         corrupt_drop_usage if fault == FAULT_DROP_USAGE
         else corrupt_shift_usage
     )
-    policy = FallbackPolicy(mutate_reduced=lambda m: corrupt(m, rng))
+    policy_kwargs = {"mutate_reduced": lambda m: corrupt(m, rng)}
+    if clock is not None:
+        policy_kwargs["clock"] = clock
+    if deadline_s is not None:
+        policy_kwargs["deadline_s"] = deadline_s
+    policy = FallbackPolicy(**policy_kwargs)
     outcome = reduce_with_fallback(machine, policy)
     handled = outcome.verified
     detail = "served %s (%d attempts)" % (
@@ -274,7 +292,7 @@ def _inject_corruption(
     )
 
 
-def _inject_phase_delay(
+def inject_phase_delay(
     machine: MachineDescription, seed: int
 ) -> FaultOutcome:
     rng = _rng(machine, seed, FAULT_PHASE_DELAY)
@@ -300,7 +318,7 @@ def _inject_phase_delay(
     )
 
 
-def _inject_artifact_fault(
+def inject_artifact_fault(
     machine: MachineDescription, seed: int, fault: str, workdir: str
 ) -> FaultOutcome:
     rng = _rng(machine, seed, fault)
@@ -329,10 +347,19 @@ def _inject_artifact_fault(
     )
 
 
-def _inject_cache_fault(
-    machine: MachineDescription, seed: int, workdir: str
+def inject_cache_fault(
+    machine: MachineDescription,
+    seed: int,
+    workdir: str,
+    fault: Optional[str] = None,
 ) -> FaultOutcome:
-    """Corrupt a reduction-cache entry; the cache must heal itself."""
+    """Corrupt a reduction-cache entry; the cache must heal itself.
+
+    ``fault`` optionally forces the corruption primitive
+    (``truncate-write`` or ``flip-checksum``) instead of drawing it from
+    the seeded stream — the fuzz composer uses this to target the
+    cache-warm point with a specific primitive.
+    """
     from repro.resilience.reduction_cache import (
         SOURCE_DISK,
         SOURCE_FRESH,
@@ -342,7 +369,12 @@ def _inject_cache_fault(
     rng = _rng(machine, seed, FAULT_CORRUPT_CACHE)
     cache_dir = os.path.join(workdir, "reduction-cache")
     primed = cached_reduce(machine, cache_dir=cache_dir, use_memo=False)
-    if rng.random() < 0.5:
+    if fault is None:
+        fault = (
+            FAULT_TRUNCATE_WRITE if rng.random() < 0.5
+            else FAULT_FLIP_CHECKSUM
+        )
+    if fault == FAULT_TRUNCATE_WRITE:
         truncate_file(primed.path, rng)
         what = "truncated cache entry"
     else:
@@ -370,17 +402,50 @@ def _inject_cache_fault(
     )
 
 
+def inject_fault(
+    machine: MachineDescription, seed: int, fault: str, workdir: str
+) -> FaultOutcome:
+    """Inject one fault class — the uniform registry entry point."""
+    if fault in (FAULT_DROP_USAGE, FAULT_SHIFT_USAGE):
+        return inject_corruption(machine, seed, fault)
+    if fault == FAULT_PHASE_DELAY:
+        return inject_phase_delay(machine, seed)
+    if fault == FAULT_CORRUPT_CACHE:
+        return inject_cache_fault(machine, seed, workdir)
+    if fault in (FAULT_TRUNCATE_WRITE, FAULT_FLIP_CHECKSUM):
+        return inject_artifact_fault(machine, seed, fault, workdir)
+    raise ReproError(
+        "unknown chaos fault %r (known: %s)" % (fault, ", ".join(FAULTS))
+    )
+
+
+#: Registry of fault drivers, keyed by fault class; every driver is
+#: ``(machine, seed, workdir) -> FaultOutcome``.
+INJECTORS = {
+    fault: (
+        lambda machine, seed, workdir, _fault=fault:
+        inject_fault(machine, seed, _fault, workdir)
+    )
+    for fault in FAULTS
+}
+
+
 def run_chaos(
     machine: MachineDescription,
     seed: int = 0,
     faults: Optional[Sequence[str]] = None,
     workdir: Optional[str] = None,
+    budget=None,
 ) -> ChaosReport:
     """Inject every requested fault class and report how each was handled.
 
     ``workdir`` hosts the artifact-fault files (a temporary directory is
     created and removed when omitted).  The report is deterministic in
-    ``(machine, seed, faults)``.
+    ``(machine, seed, faults)``.  ``budget`` is an optional
+    :class:`~repro.resilience.budget.Budget` checked before every
+    injection; exceeding it raises
+    :class:`~repro.errors.BudgetExceeded` with phase ``"chaos"`` and the
+    outcomes collected so far as the partial result.
     """
     faults = tuple(faults if faults is not None else FAULTS)
     unknown = [fault for fault in faults if fault not in FAULTS]
@@ -397,18 +462,17 @@ def run_chaos(
     else:
         os.makedirs(workdir, exist_ok=True)
     try:
-        for fault in faults:
-            obs.count("chaos.fault")
-            if fault in (FAULT_DROP_USAGE, FAULT_SHIFT_USAGE):
-                outcome = _inject_corruption(machine, seed, fault)
-            elif fault == FAULT_PHASE_DELAY:
-                outcome = _inject_phase_delay(machine, seed)
-            elif fault == FAULT_CORRUPT_CACHE:
-                outcome = _inject_cache_fault(machine, seed, workdir)
-            else:
-                outcome = _inject_artifact_fault(
-                    machine, seed, fault, workdir
+        for index, fault in enumerate(faults):
+            if budget is not None:
+                budget.checkpoint(
+                    "chaos",
+                    units=machine.total_usages,
+                    progress="fault %d/%d (%s)"
+                    % (index + 1, len(faults), fault),
+                    partial=[o.to_dict() for o in report.outcomes],
                 )
+            obs.count("chaos.fault")
+            outcome = INJECTORS[fault](machine, seed, workdir)
             if not outcome.handled:
                 obs.count("chaos.unhandled")
             report.outcomes.append(outcome)
@@ -431,11 +495,17 @@ __all__ = [
     "FAULT_TRUNCATE_WRITE",
     "FAULTS",
     "FaultOutcome",
+    "INJECTORS",
     "MODE_DETECTED",
     "MODE_SURVIVED",
     "corrupt_drop_usage",
     "corrupt_shift_usage",
     "flip_checksum",
+    "inject_artifact_fault",
+    "inject_cache_fault",
+    "inject_corruption",
+    "inject_fault",
+    "inject_phase_delay",
     "run_chaos",
     "truncate_file",
 ]

@@ -27,6 +27,7 @@ Both emit ``resilience.fallback`` / ``resilience.retry`` counters and a
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -100,9 +101,18 @@ class FallbackPolicy:
         The reduction retry ladder: ``(objective, word_cycles)`` pairs
         tried in order before degrading (paper objectives: ``res-uses``
         then ``k-cycle-word uses``).
-    backoff_s / backoff_factor:
-        Exponential backoff between retries (0 disables sleeping —
-        the default, since in-process retries rarely benefit from it).
+    backoff_s / backoff_factor / backoff_max_s:
+        Bounded exponential backoff between retries: retry *i* sleeps
+        ``min(backoff_s * backoff_factor**(i-1), backoff_max_s)``
+        before jitter.  ``backoff_s = 0`` disables sleeping — the
+        default, since in-process retries rarely benefit from it.
+    backoff_jitter / backoff_seed:
+        Deterministic seeded jitter: each delay is scaled by a factor
+        drawn uniformly from ``[1 - jitter, 1 + jitter]`` out of a
+        ``random.Random`` keyed by ``(backoff_seed, retry_index)`` —
+        string-seeded, so the full delay sequence is reproducible
+        across processes regardless of hash randomization.  The
+        jittered delay is re-clamped to ``backoff_max_s``.
     ims_escalation:
         The scheduling retry ladder: ``(budget_ratio, max_ii_slack)``
         pairs for successive IMS attempts.
@@ -126,6 +136,9 @@ class FallbackPolicy:
     )
     backoff_s: float = 0.0
     backoff_factor: float = 2.0
+    backoff_max_s: float = 60.0
+    backoff_jitter: float = 0.1
+    backoff_seed: int = 0
     ims_escalation: Sequence[Tuple[int, int]] = (
         (6, 16),
         (12, 32),
@@ -149,11 +162,30 @@ class FallbackPolicy:
             label=label,
         )
 
+    def backoff_delay(self, retry_index: int) -> float:
+        """Delay in seconds before retry number ``retry_index`` (1-based).
+
+        Pure and deterministic: bounded exponential growth, then seeded
+        jitter, then the bound again.  Exposed separately from
+        :meth:`backoff` so tests (and capacity planning) can inspect the
+        exact delay sequence without sleeping.
+        """
+        if self.backoff_s <= 0:
+            return 0.0
+        delay = self.backoff_s * self.backoff_factor ** (retry_index - 1)
+        delay = min(delay, self.backoff_max_s)
+        if self.backoff_jitter > 0:
+            rng = random.Random(
+                "backoff:%d:%d" % (self.backoff_seed, retry_index)
+            )
+            delay *= 1.0 + self.backoff_jitter * (2.0 * rng.random() - 1.0)
+        return min(delay, self.backoff_max_s)
+
     def backoff(self, retry_index: int) -> None:
         """Sleep before retry number ``retry_index`` (1-based)."""
-        if self.backoff_s <= 0:
-            return
-        self.sleep(self.backoff_s * self.backoff_factor ** (retry_index - 1))
+        delay = self.backoff_delay(retry_index)
+        if delay > 0:
+            self.sleep(delay)
 
 
 @dataclass

@@ -167,6 +167,7 @@ def _verify_disk_hit(
     path: str,
     cert_path: str,
     paranoid: bool,
+    budget=None,
 ) -> Tuple[MachineDescription, Optional[Certificate], str, int]:
     """Load and prove one disk entry; raises on any verification failure.
 
@@ -174,7 +175,11 @@ def _verify_disk_hit(
     certificate path the expensive matrix recomputations are skipped
     entirely: the byte checksum plus the structural soundness/coverage
     proof replace both ``load_machine``'s matrix-digest re-derivation
-    and ``assert_equivalent``.
+    and ``assert_equivalent``.  A :class:`~repro.errors.BudgetExceeded`
+    raised inside the certificate check is a *structured* failure of the
+    caller's budget, not cache corruption — it propagates instead of
+    triggering the fresh-reduction fallback, so a hit is never served
+    with its verification half-done.
     """
     if paranoid:
         loaded = load_machine(path)
@@ -183,7 +188,8 @@ def _verify_disk_hit(
         if os.path.exists(cert_path):
             certificate = load_certificate(cert_path)
             check_certificate(
-                certificate, machine, loaded, recompute_matrix=True
+                certificate, machine, loaded, recompute_matrix=True,
+                budget=budget,
             )
         return loaded, certificate, VERIFIED_EQUIVALENCE, 0
     if not os.path.exists(cert_path):
@@ -191,14 +197,14 @@ def _verify_disk_hit(
         # heal by issuing + storing the missing certificate.
         loaded = load_machine(path)
         assert_equivalent(machine, loaded)
-        certificate = certificate_from_machines(machine, loaded)
+        certificate = certificate_from_machines(machine, loaded, budget=budget)
         write_certificate(cert_path, certificate)
         obs.count("cache.reduction.certificate_healed")
         return loaded, certificate, VERIFIED_EQUIVALENCE, 0
     loaded = load_machine(path, verify_matrix=False)
     certificate = load_certificate(cert_path)
     check = check_certificate(
-        certificate, machine, loaded, recompute_matrix=False
+        certificate, machine, loaded, recompute_matrix=False, budget=budget
     )
     obs.count("cache.reduction.certificate_hit")
     obs.count("cache.reduction.certificate_units", value=check.units)
@@ -212,6 +218,7 @@ def cached_reduce(
     cache_dir: Optional[str] = None,
     use_memo: bool = True,
     paranoid: bool = False,
+    budget=None,
 ) -> CachedReduction:
     """Reduce ``machine``, serving verified repeats from the cache.
 
@@ -227,6 +234,13 @@ def cached_reduce(
     :func:`~repro.core.verify.assert_equivalent` matrix comparison (and
     additionally validates the stored certificate in full mode when one
     exists) instead of the cheaper certificate check.
+
+    ``budget`` threads :class:`~repro.core.budget.Budget` checkpoints
+    through warm-hit certificate verification and the fresh reduction.
+    Running out of budget *mid-verification* raises
+    :class:`~repro.errors.BudgetExceeded` — a structured, reportable
+    degradation — rather than falling back as if the entry were
+    corrupt; an unverified hit is never served.
     """
     digest = reduction_digest(machine, objective, word_cycles)
     path = cache_entry_path(cache_dir, digest) if cache_dir else None
@@ -252,7 +266,7 @@ def cached_reduce(
                 machine=machine.name, paranoid=paranoid,
             ):
                 loaded, certificate, verification, units = _verify_disk_hit(
-                    machine, path, cert_path, paranoid
+                    machine, path, cert_path, paranoid, budget=budget
                 )
         except (
             ArtifactIntegrityError, CertificateError, EquivalenceError,
@@ -275,7 +289,7 @@ def cached_reduce(
 
     obs.count("cache.reduction.miss")
     reduction = reduce_machine(
-        machine, objective=objective, word_cycles=word_cycles
+        machine, objective=objective, word_cycles=word_cycles, budget=budget
     )
     certificate = issue_certificate(reduction)
     if path is not None:

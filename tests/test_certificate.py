@@ -15,7 +15,8 @@ from repro.core import (
 )
 from repro.core.machine import MachineDescription
 from repro.core.reservation import ReservationTable
-from repro.errors import CertificateError, EquivalenceError
+from repro.errors import BudgetExceeded, CertificateError, EquivalenceError
+from repro.resilience.budget import Budget
 from repro.machines import (
     alpha21064,
     alternatives_machine,
@@ -270,3 +271,36 @@ class TestFallbackIntegration:
         )
         assert not outcome.verified
         assert outcome.certificate is None
+
+
+class TestBudgetedCheck:
+    def test_tight_budget_raises_with_certificate_phase(self):
+        reduction = reduce_machine(example_machine())
+        certificate = issue_certificate(reduction)
+        with pytest.raises(BudgetExceeded) as info:
+            check_certificate(
+                certificate, reduction.original, reduction.reduced,
+                budget=Budget(max_units=1),
+            )
+        assert info.value.phase == "certificate"
+
+    def test_ample_budget_matches_unbudgeted_result(self):
+        reduction = reduce_machine(example_machine())
+        certificate = issue_certificate(reduction)
+        unbudgeted = check_certificate(
+            certificate, reduction.original, reduction.reduced
+        )
+        budgeted = check_certificate(
+            certificate, reduction.original, reduction.reduced,
+            budget=Budget(max_units=10**9),
+        )
+        assert budgeted.units == unbudgeted.units
+
+    def test_full_matrix_recheck_is_budgeted_too(self):
+        reduction = reduce_machine(cydra5_subset())
+        certificate = issue_certificate(reduction)
+        with pytest.raises(BudgetExceeded):
+            check_certificate(
+                certificate, reduction.original, reduction.reduced,
+                recompute_matrix=True, budget=Budget(max_units=1),
+            )

@@ -304,6 +304,82 @@ class TestBroadExcept:
         assert _rules(report) == []
 
 
+class TestUnseededRandom:
+    def test_global_rng_draw_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def jitter():
+                return random.random() * 0.5
+            """,
+        )
+        assert "code-unseeded-random" in _rules(report)
+
+    def test_module_level_shuffle_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def scramble(items):
+                random.shuffle(items)
+                return items
+            """,
+        )
+        assert "code-unseeded-random" in _rules(report)
+
+    def test_unseeded_constructor_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def fresh():
+                return random.Random()
+            """,
+        )
+        assert _rules(report) == ["code-unseeded-random"]
+
+    def test_system_random_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def entropy():
+                return random.SystemRandom().random()
+            """,
+        )
+        assert "code-unseeded-random" in _rules(report)
+
+    def test_seeded_instance_not_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def stream(seed):
+                rng = random.Random("mdlgen:%d" % seed)
+                return rng.random()
+            """,
+        )
+        assert "code-unseeded-random" not in _rules(report)
+
+    def test_instance_draws_not_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def draws(rng: random.Random):
+                return [rng.random(), rng.choice([1, 2])]
+            """,
+        )
+        assert "code-unseeded-random" not in _rules(report)
+
+
 class TestDriver:
     def test_invalid_source_reported_not_raised(self, tmp_path):
         report = _lint_snippet(

@@ -250,3 +250,50 @@ class TestCertificateVerification:
         assert memoed.source == "memo"
         assert memoed.verification == "memo"
         assert memoed.certificate is not None
+
+
+class TestBudgetedWarmHit:
+    """A budget trip during warm-hit verification must surface as a
+    structured BudgetExceeded — never a silent fresh-reduction fallback,
+    never an unverified serve."""
+
+    def test_warm_hit_budget_exceeded_propagates(self, tmp_path):
+        from repro.errors import BudgetExceeded
+        from repro.resilience.budget import Budget
+
+        machine = example_machine()
+        cached_reduce(machine, cache_dir=str(tmp_path))
+        clear_reduction_memo()
+        with pytest.raises(BudgetExceeded) as info:
+            cached_reduce(
+                machine,
+                cache_dir=str(tmp_path),
+                budget=Budget(max_units=1),
+            )
+        assert info.value.phase == "certificate"
+
+    def test_warm_hit_with_ample_budget_serves_verified(self, tmp_path):
+        from repro.resilience.budget import Budget
+
+        machine = example_machine()
+        cached_reduce(machine, cache_dir=str(tmp_path))
+        clear_reduction_memo()
+        hit = cached_reduce(
+            machine,
+            cache_dir=str(tmp_path),
+            budget=Budget(max_units=10**9),
+        )
+        assert hit.source == "disk"
+        assert hit.verification == "certificate"
+        assert matrices_equal(machine, hit.reduced)
+
+    def test_fresh_reduction_budget_exceeded_propagates(self, tmp_path):
+        from repro.errors import BudgetExceeded
+        from repro.resilience.budget import Budget
+
+        with pytest.raises(BudgetExceeded):
+            cached_reduce(
+                example_machine(),
+                cache_dir=str(tmp_path),
+                budget=Budget(max_units=1),
+            )

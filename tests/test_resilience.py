@@ -295,7 +295,58 @@ class TestReduceLadder:
             sleep=sleeps.append,
         )
         reduce_with_fallback(example_machine(), policy)
-        assert sleeps == [0.5]  # one retry between the two objectives
+        # one retry between the two objectives, jittered deterministically
+        assert sleeps == [policy.backoff_delay(1)]
+        assert 0.45 <= sleeps[0] <= 0.55
+
+
+class TestBackoffDelay:
+    def test_exact_exponential_without_jitter(self):
+        policy = FallbackPolicy(
+            backoff_s=0.5, backoff_factor=2.0, backoff_jitter=0.0
+        )
+        delays = [policy.backoff_delay(i) for i in range(1, 5)]
+        assert delays == [0.5, 1.0, 2.0, 4.0]
+
+    def test_growth_is_capped(self):
+        policy = FallbackPolicy(
+            backoff_s=1.0, backoff_factor=10.0, backoff_max_s=5.0,
+            backoff_jitter=0.0,
+        )
+        assert policy.backoff_delay(1) == 1.0
+        assert policy.backoff_delay(2) == 5.0
+        assert policy.backoff_delay(50) == 5.0
+
+    def test_jitter_stays_in_band_and_under_cap(self):
+        policy = FallbackPolicy(
+            backoff_s=1.0, backoff_factor=2.0, backoff_max_s=4.0,
+            backoff_jitter=0.25,
+        )
+        for index in range(1, 20):
+            delay = policy.backoff_delay(index)
+            base = min(1.0 * 2.0 ** (index - 1), 4.0)
+            assert base * 0.75 <= delay <= min(base * 1.25, 4.0)
+            assert delay <= 4.0  # jitter never busts the bound
+
+    def test_sequence_deterministic_across_instances(self):
+        first = FallbackPolicy(backoff_s=0.5, backoff_seed=7)
+        second = FallbackPolicy(backoff_s=0.5, backoff_seed=7)
+        sequence = [first.backoff_delay(i) for i in range(1, 8)]
+        assert sequence == [second.backoff_delay(i) for i in range(1, 8)]
+
+    def test_seed_changes_jitter(self):
+        a = FallbackPolicy(backoff_s=0.5, backoff_seed=0)
+        b = FallbackPolicy(backoff_s=0.5, backoff_seed=1)
+        assert [a.backoff_delay(i) for i in range(1, 5)] != [
+            b.backoff_delay(i) for i in range(1, 5)
+        ]
+
+    def test_disabled_backoff_never_sleeps(self):
+        sleeps = []
+        policy = FallbackPolicy(backoff_s=0.0, sleep=sleeps.append)
+        assert policy.backoff_delay(1) == 0.0
+        policy.backoff(1)
+        assert sleeps == []
 
 
 class TestScheduleLadder:
@@ -346,7 +397,7 @@ class TestScheduleLadder:
             "budget_ratio=6 max_ii_slack=16",
             "budget_ratio=12 max_ii_slack=32",
         ]
-        assert sleeps == [1.0]
+        assert sleeps == [policy.backoff_delay(1)]
 
     def test_impossible_graph_raises_clean_schedule_error(self):
         from repro.scheduler.ddg import DependenceGraph
