@@ -1,0 +1,179 @@
+"""Runlog + sampler overhead benchmark, and the headline runs trajectory.
+
+Two jobs:
+
+* **Overhead pinning** — measure a full IMS schedule bare, the same run
+  with a live :class:`~repro.obs.runlog.RunRecorder` finalized and
+  appended to a registry, and the same run with the sampler constructed
+  but never started.  Both observability costs must stay under the
+  repo's <5% disabled-overhead guard (the same margin
+  ``tests/test_obs_overhead.py`` enforces structurally).
+
+* **Trajectory seeding** — run the quick bench suite through the CLI
+  with ``--runlog`` live, persist the result as the repo-root headline
+  ``BENCH_runs.json`` (+ ``.sum.json`` checksum sidecar via the artifact
+  store), and record the registry's own view of the run alongside the
+  per-cell numbers under ``benchmarks/results/``.
+"""
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR
+
+from repro.cli import main
+from repro.machines import cydra5_subset
+from repro.obs.runlog import RunLog, RunRecorder
+from repro.obs.sampler import StackSampler
+from repro.scheduler import IterativeModuloScheduler
+from repro.workloads import KERNELS
+
+REPEATS = 7
+#: Schedules per measured "invocation".  The registry appends once per
+#: CLI invocation, not once per loop, so the overhead pin amortizes the
+#: fixed append cost over an invocation-sized batch of work — the shape
+#: ``repro schedule`` actually has.
+LOOPS_PER_RUN = 150
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+HEADLINE = os.path.join(REPO_ROOT, "BENCH_runs.json")
+
+
+def _best_of(run):
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_runlog_and_sampler_overhead(tmp_path, record):
+    machine = cydra5_subset()
+    graph_builder = KERNELS["daxpy"]
+    registry = RunLog(str(tmp_path / "runs"))
+
+    def bare():
+        for _ in range(LOOPS_PER_RUN):
+            IterativeModuloScheduler(machine).schedule(graph_builder())
+
+    def logged():
+        recorder = RunRecorder("schedule", {"kernel": "daxpy"})
+        for _ in range(LOOPS_PER_RUN):
+            result = IterativeModuloScheduler(machine).schedule(
+                graph_builder()
+            )
+            recorder.add_work(result.work)
+            recorder.merge_quality({
+                "loops": 1,
+                "ii_total": result.ii,
+                "mii_total": result.mii,
+            })
+        registry.append(recorder.finalize("ok", 0))
+
+    def sampler_off():
+        sampler = StackSampler(frames=lambda: {})
+        assert not sampler.running
+        for _ in range(LOOPS_PER_RUN):
+            IterativeModuloScheduler(machine).schedule(graph_builder())
+
+    baseline = _best_of(bare)
+    with_runlog = _best_of(logged)
+    with_sampler_off = _best_of(sampler_off)
+
+    # The repo-wide disabled-overhead contract: 5% plus absolute slack
+    # so a sub-millisecond baseline cannot flake the pin.
+    margin = baseline * 1.05 + 500e-6
+    assert with_runlog <= margin, (
+        "runlog append overhead too high: bare=%.6fs logged=%.6fs"
+        % (baseline, with_runlog)
+    )
+    assert with_sampler_off <= margin, (
+        "sampler-off overhead too high: bare=%.6fs off=%.6fs"
+        % (baseline, with_sampler_off)
+    )
+    assert len(registry.records()) == REPEATS
+
+    data = {
+        "baseline_s": baseline,
+        "runlog_append_s": with_runlog,
+        "sampler_off_s": with_sampler_off,
+        "runlog_ratio": with_runlog / baseline,
+        "sampler_off_ratio": with_sampler_off / baseline,
+        "margin": 1.05,
+        "records_appended": len(registry.records()),
+    }
+    text = (
+        "runlog/sampler overhead (best of %d, %d IMS daxpy schedules"
+        " per invocation on %s)\n"
+        "  bare schedule        %.6fs\n"
+        "  + runlog append      %.6fs  (x%.4f)\n"
+        "  sampler off          %.6fs  (x%.4f)\n"
+        "  guard: <= 1.05x + 500us absolute slack\n"
+        % (
+            REPEATS, LOOPS_PER_RUN, machine.name,
+            baseline,
+            with_runlog, with_runlog / baseline,
+            with_sampler_off, with_sampler_off / baseline,
+        )
+    )
+    record(
+        "runlog_overhead", text, data=data,
+        meta={"machine": machine.name, "kernel": "daxpy",
+              "repeats": REPEATS, "loops_per_run": LOOPS_PER_RUN},
+    )
+
+
+def test_headline_runs_trajectory(tmp_path, record, capsys):
+    """Seed the repo-root bench trajectory from a runlog-driven run."""
+    runlog = tmp_path / "runs"
+    assert main([
+        "bench", "run", "--quick",
+        "--output", HEADLINE,
+        "--runlog", str(runlog),
+    ]) == 0
+    capsys.readouterr()  # the rendered result table
+
+    # The artifact store wrote the headline plus its checksum sidecar,
+    # and it loads back through the bench comparator's entry point.
+    from repro.bench import load_result
+
+    assert os.path.exists(HEADLINE)
+    assert os.path.exists(HEADLINE + ".sum.json")
+    result = load_result(HEADLINE)
+    assert result.cases
+
+    # The same invocation landed in the registry with the summed work.
+    records = RunLog(str(runlog)).records()
+    assert len(records) == 1
+    bench_record = records[0]
+    assert bench_record.command == "bench run"
+    assert not bench_record.corrupt
+    assert bench_record.units().get("check", 0) > 0
+
+    sidecar = json.load(open(HEADLINE + ".sum.json"))
+    text = (
+        "headline runs trajectory\n"
+        "  wrote %s (%d cases, sha256 %s)\n"
+        "  registry record: command=%s outcome=%s check-units=%d\n"
+        % (
+            os.path.relpath(HEADLINE, REPO_ROOT),
+            len(result.cases),
+            sidecar["sha256"][:12],
+            bench_record.command,
+            bench_record.outcome,
+            int(bench_record.units().get("check", 0)),
+        )
+    )
+    record(
+        "runs_trajectory", text,
+        data={
+            "headline": os.path.relpath(HEADLINE, REPO_ROOT),
+            "cases": sorted(result.cases),
+            "registry": bench_record.data,
+        },
+        meta={"quick": True},
+    )
+    assert os.path.exists(
+        os.path.join(RESULTS_DIR, "BENCH_runs_trajectory.json")
+    )

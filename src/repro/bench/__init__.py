@@ -24,6 +24,7 @@ from repro.bench.compare import (
     CompareConfig,
     Comparison,
     MetricDelta,
+    compare_metric_maps,
     compare_results,
     ensure_comparable,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "MetricDelta",
     "PhaseDelta",
     "bootstrap_ci",
+    "compare_metric_maps",
     "compare_results",
     "default_meta",
     "diff_case",

@@ -374,6 +374,45 @@ def compare_results(
     return comparison
 
 
+def compare_metric_maps(
+    case_key: str,
+    base_work: Dict[str, float],
+    new_work: Dict[str, float],
+    base_quality: Optional[Dict[str, float]] = None,
+    new_quality: Optional[Dict[str, float]] = None,
+    config: Optional[CompareConfig] = None,
+    skip: frozenset = frozenset(),
+) -> Comparison:
+    """Compare bare work/quality metric maps under the bench policy.
+
+    The reuse surface for callers that have metric dictionaries but no
+    :class:`~repro.bench.result.BenchResult` envelope — ``repro runs
+    diff`` feeds two runlog records through this so a registry diff and
+    a bench comparison always agree on what gates.  Semantics are
+    identical to :func:`compare_results`: deterministic work counters
+    hard-gate at ``work_ratio`` above the ``min_units`` floor, quality
+    gates at ``quality_ratio`` with ``loops_at_mii`` bigger-is-better, a
+    workload-property mismatch marks the case incomparable, and metrics
+    present on only one side are noted but never gated.
+    """
+    if config is None:
+        config = CompareConfig()
+    comparison = Comparison(base_meta={}, new_meta={}, config=config)
+    base_quality = base_quality or {}
+    new_quality = new_quality or {}
+    comparable = True
+    if base_quality or new_quality:
+        comparable = _compare_quality(
+            case_key, base_quality, new_quality,
+            config, comparison.deltas, comparison.notes,
+        )
+    if comparable:
+        _compare_work(
+            case_key, base_work, new_work, skip, config, comparison.deltas
+        )
+    return comparison
+
+
 def ensure_comparable(base: BenchResult, new: BenchResult) -> None:
     """Raise :class:`BenchFormatError` when two results cannot be compared.
 
@@ -396,6 +435,7 @@ __all__ = [
     "CompareConfig",
     "Comparison",
     "MetricDelta",
+    "compare_metric_maps",
     "compare_results",
     "ensure_comparable",
 ]

@@ -21,6 +21,8 @@ Commands
 ``fuzz``      seeded fuzz campaign: generated machines through the
               differential pipeline oracle (plus composed chaos plans)
 ``bench``     benchmark observatory: ``run`` / ``compare`` / ``report``
+``runs``      run registry: ``list`` / ``show`` / ``diff`` / ``trend`` /
+              ``gc`` / ``metrics`` (OpenMetrics export)
 
 ``certify`` validates Theorem-1 witness certificates without re-running
 the reduction (``repro certify ORIG REDUCED [--cert FILE]``); ``reduce``
@@ -47,6 +49,12 @@ see ``docs/observability.md``.
 *why* each loop scheduled at its II (``repro-explain-report`` v1);
 ``schedule --explain FILE`` writes the same document alongside a normal
 run — see ``docs/explain.md``.
+
+``reduce``, ``schedule``, ``bench run``, ``certify``, ``fuzz``,
+``chaos``, ``profile``, and ``explain`` accept ``--runlog DIR`` (or the
+``REPRO_RUNLOG`` environment variable) to append one checksummed
+``repro-runlog-record`` v1 document per invocation to the persistent run
+registry; ``repro runs`` queries it — see ``docs/runs.md``.
 
 ``fuzz`` generates seeded, lintable machine descriptions and pushes each
 through reduce → certify → schedule, cross-checking the three query
@@ -107,16 +115,94 @@ def _load_machine(ref: str) -> MachineDescription:
     )
 
 
+# ----------------------------------------------------------------------
+# Run registry (flight recorder) plumbing.  One recorder is active per
+# recorded invocation (see main()); command bodies contribute what they
+# know through these helpers, each a no-op when the runlog is off so the
+# disabled path stays a single global read.
+# ----------------------------------------------------------------------
+_RECORDER = None
+_RECORDER_BUDGETS: List[object] = []
+
+#: Commands that append a registry record when ``--runlog`` is set.  The
+#: ``runs`` query family never records itself — reading the registry
+#: must not grow it.
+_RECORDED_COMMANDS = frozenset(
+    ("reduce", "schedule", "certify", "fuzz", "chaos", "profile", "explain")
+)
+
+
+def _record_command(args: argparse.Namespace) -> Optional[str]:
+    """The registry command label for this invocation, or ``None``."""
+    command = getattr(args, "command", None)
+    if command in _RECORDED_COMMANDS:
+        return command
+    if command == "bench" and getattr(args, "bench_command", None) == "run":
+        return "bench run"
+    return None
+
+
+def _runlog_note(**fields) -> None:
+    if _RECORDER is not None:
+        _RECORDER.note(**fields)
+
+
+def _runlog_units(units) -> None:
+    if _RECORDER is not None:
+        _RECORDER.add_units(units)
+
+
+def _runlog_quality(**quality) -> None:
+    if _RECORDER is not None:
+        _RECORDER.merge_quality(quality)
+
+
+def _runlog_harvest(tracer) -> None:
+    """Copy a tracer's query work and profile quality into the recorder.
+
+    The shared registry keys (``query.<fn>.units`` counters, per-function
+    timers, ``profile.*`` quality counters) are the same ones the metrics
+    JSON reads, so a runlog record and a ``--metrics`` export of the same
+    run always agree.
+    """
+    if _RECORDER is None or tracer is None:
+        return
+    from repro.obs.instrument import QUERY_FUNCTIONS
+
+    units = {}
+    for function in QUERY_FUNCTIONS:
+        name = "query." + function
+        value = tracer.metrics.get_counter(name + ".units")
+        if value:
+            units[function] = value
+        timer = tracer.metrics.timers.get(name)
+        if timer is not None and timer.count:
+            _RECORDER.calls[function] = (
+                _RECORDER.calls.get(function, 0) + timer.count
+            )
+    _RECORDER.add_units(units)
+    quality = {}
+    for key in ("loops", "loops_at_mii", "ii_total", "mii_total"):
+        value = tracer.metrics.get_counter("profile." + key)
+        if value:
+            quality[key] = value
+    if quality:
+        _RECORDER.merge_quality(quality)
+
+
 @contextlib.contextmanager
 def _observing(args: argparse.Namespace):
     """Activate tracing for a command when ``--trace``/``--metrics`` ask.
 
     Yields the tracer (or ``None`` when observability is off) and writes
-    the requested export files after the command body finishes.
+    the requested export files after the command body finishes.  An
+    active run recorder also forces tracing on — the registry record
+    needs the work-counter snapshot — but with the runlog off the
+    untraced zero-overhead path is untouched.
     """
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
-    if not trace_path and not metrics_path:
+    if not trace_path and not metrics_path and _RECORDER is None:
         yield None
         return
     from repro import obs
@@ -130,6 +216,7 @@ def _observing(args: argparse.Namespace):
                 yield tracer
         else:
             yield tracer
+    _runlog_harvest(tracer)
     if metrics_path:
         _write_export(obs.write_metrics, tracer, metrics_path, "metrics")
         if metrics_path != "-":
@@ -171,7 +258,21 @@ def _make_budget(args: argparse.Namespace, label: str):
         return None
     from repro.resilience import Budget
 
-    return Budget(deadline_s=deadline, max_units=max_units, label=label)
+    budget = Budget(deadline_s=deadline, max_units=max_units, label=label)
+    if _RECORDER is not None:
+        # Remember the object so the registry record can report the
+        # units actually consumed, not just the configured caps.
+        _RECORDER_BUDGETS.append(budget)
+    return budget
+
+
+def _add_runlog_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--runlog",
+        metavar="DIR",
+        help="append a checksummed run record to this registry directory"
+        " (default: $REPRO_RUNLOG when set; see 'repro runs')",
+    )
 
 
 def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
@@ -197,6 +298,7 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_reduce(args: argparse.Namespace) -> int:
     machine = _load_machine(args.machine)
+    _runlog_note(machine=machine.name, rung="full")
     with _observing(args) as tracer:
         if tracer is not None:
             tracer.meta.update(
@@ -211,6 +313,7 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
                 deadline_s=args.deadline, max_units=args.max_units
             )
             outcome = reduce_with_fallback(machine, policy)
+            _runlog_note(rung=outcome.rung)
             print(
                 "fallback ladder served rung %r (%s) after %d attempt(s)"
                 % (outcome.rung, outcome.marker, len(outcome.attempts))
@@ -235,6 +338,7 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
                 cache_dir=args.cache,
                 paranoid=args.paranoid,
             )
+            _runlog_note(rung="cache:%s" % cached.source)
             if cached.reduction is not None:
                 print(cached.reduction.summary())
             detail = "verified via %s" % cached.verification
@@ -322,6 +426,9 @@ def _cmd_certify(args: argparse.Namespace) -> int:
 
     original = _load_machine(args.original)
     reduced = _load_machine(args.reduced)
+    _runlog_note(
+        machine=original.name, workload="certify:%s" % reduced.name
+    )
     document = {
         "schema": "repro-certify-report",
         "version": 1,
@@ -369,6 +476,9 @@ def _cmd_certify(args: argparse.Namespace) -> int:
             print("CERTIFICATE REJECTED: %s" % exc, file=sys.stderr)
         return 1
 
+    # Certificate-check work is denominated in the ``check`` currency
+    # (usage-touch units, same as the paper's Table 6 rows).
+    _runlog_units({"check": check.units})
     document.update(
         ok=True,
         mode="paranoid" if args.paranoid else check.mode,
@@ -441,6 +551,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     else:
         graphs = loop_suite(args.loops)
     optimal = 0
+    _runlog_note(
+        machine=machine.name,
+        workload=args.kernel or ("suite[%d]" % args.loops),
+        representation=args.representation,
+        rung="full",
+    )
     with _observing(args) as tracer:
         if tracer is not None:
             tracer.meta.update(
@@ -458,6 +574,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                 "%-22s %4s %4s %4s %-6s"
                 % ("loop", "ops", "MII", "II", "rung")
             )
+            rungs = set()
             for graph in graphs:
                 outcome = schedule_with_fallback(
                     machine,
@@ -467,6 +584,13 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                     word_cycles=args.word_cycles,
                 )
                 optimal += outcome.ii == outcome.mii
+                rungs.add(outcome.rung)
+                _runlog_quality(
+                    loops=1,
+                    loops_at_mii=int(outcome.ii == outcome.mii),
+                    ii_total=outcome.ii,
+                    mii_total=outcome.mii,
+                )
                 print(
                     "%-22s %4d %4d %4d %-6s"
                     % (
@@ -477,6 +601,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                         outcome.rung,
                     )
                 )
+            _runlog_note(rung=",".join(sorted(rungs)) or "full")
         else:
             print(
                 "%-22s %4s %4s %4s %8s"
@@ -487,6 +612,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                     graph, budget=_make_budget(args, "schedule:" + graph.name)
                 )
                 optimal += result.optimal
+                _runlog_quality(
+                    loops=1,
+                    loops_at_mii=int(result.optimal),
+                    ii_total=result.ii,
+                    mii_total=result.mii,
+                )
                 print(
                     "%-22s %4d %4d %4d %8.2f"
                     % (
@@ -539,6 +670,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     # a registered opcode map (playdoh, alpha, mips) so every study
     # machine can be explained.
     graphs = [port_graph(graph, machine) for graph in graphs]
+    _runlog_note(
+        machine=machine.name,
+        workload=args.kernel or ("suite[%d]" % args.loops),
+        representation=args.representation,
+    )
     with _observing(args) as tracer:
         if tracer is not None:
             tracer.meta.update(
@@ -579,6 +715,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
                 print("wrote %s" % args.out, file=sys.stderr)
             else:
                 print(text)
+    _runlog_note(failed=report["summary"]["failed"])
     return 0 if report["summary"]["failed"] == 0 else 1
 
 
@@ -586,6 +723,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.resilience import artifacts, run_chaos
 
     machine = _load_machine(args.machine)
+    _runlog_note(machine=machine.name, seed=args.seed)
     with _observing(args) as tracer:
         if tracer is not None:
             tracer.meta.update(
@@ -611,6 +749,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 "wrote %s (sha256 %s)" % (args.out, header["sha256"]),
                 file=sys.stderr,
             )
+    _runlog_note(
+        faults=len(report.outcomes),
+        unhandled=sum(1 for r in report.outcomes if not r.handled),
+    )
     # Exit-code contract: 0 = every fault handled, 1 = any unhandled
     # fault, 3 = budget exceeded (raised through main()'s handler).
     return 0 if report.ok else 1
@@ -635,6 +777,14 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             plans_every=args.plans_every,
         )
         counts = report["counts"]
+        _runlog_note(
+            workload="fuzz[%d]" % args.runs,
+            seed=args.seed,
+            fuzz_profile=args.profile,
+            ok_runs=counts["ok"],
+            handled_runs=counts["handled"],
+            bug_runs=counts["bug"],
+        )
         print(
             "fuzz campaign seed=%d profile=%s: %d runs"
             % (args.seed, args.profile, args.runs)
@@ -790,22 +940,45 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs.profile import profile_machine
 
     machine = _load_machine(args.machine)
+    _runlog_note(
+        machine=machine.name,
+        workload=args.kernel or ("suite[%d]" % args.loops),
+        representation=args.representation,
+    )
     # Per-query spans are only worth recording when a per-span export
     # (Chrome trace or flamegraph) is requested.
     tracer = obs.Tracer(
         trace_queries=bool(args.trace or args.flamegraph)
     )
-    profile_machine(
-        machine,
-        kernel=args.kernel,
-        loops=args.loops,
-        representation=args.representation,
-        word_cycles=args.word_cycles,
-        objective=args.objective,
-        schedule_reduced=args.reduced,
-        tracer=tracer,
-        reduction_cache=args.reduction_cache,
-    )
+    sampler = None
+    if args.sample:
+        from repro.obs.sampler import StackSampler
+
+        sampler = StackSampler(
+            interval_s=args.sample_interval, tracer=tracer
+        ).start()
+    try:
+        profile_machine(
+            machine,
+            kernel=args.kernel,
+            loops=args.loops,
+            representation=args.representation,
+            word_cycles=args.word_cycles,
+            objective=args.objective,
+            schedule_reduced=args.reduced,
+            tracer=tracer,
+            reduction_cache=args.reduction_cache,
+        )
+    finally:
+        if sampler is not None:
+            sampler.stop()
+    _runlog_harvest(tracer)
+    if sampler is not None:
+        print(
+            "sampler: %d stacks captured at %.1fms intervals"
+            % (sampler.samples, sampler.interval_s * 1e3),
+            file=sys.stderr,
+        )
     if args.metrics != "-" and args.flamegraph != "-":
         # With ``--metrics -``/``--flamegraph -`` stdout carries the
         # export alone.
@@ -821,9 +994,25 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     if args.flamegraph:
-        _write_export(
-            obs.write_collapsed_stack, tracer, args.flamegraph, "flamegraph"
-        )
+        lines = obs.collapsed_stack_lines(tracer)
+        if sampler is not None:
+            # Sampled stacks (weighted in estimated microseconds, rooted
+            # under "sampler") merge into the same collapsed file as the
+            # instrumented spans — one flamegraph, two vantage points.
+            lines.extend(sampler.collapsed_lines())
+        text = "\n".join(lines) + "\n" if lines else ""
+        if args.flamegraph == "-":
+            sys.stdout.write(text)
+        else:
+            from repro._atomic import atomic_write_text
+
+            try:
+                atomic_write_text(args.flamegraph, text)
+            except OSError as exc:
+                raise ReproError(
+                    "cannot write flamegraph file %r: %s"
+                    % (args.flamegraph, exc)
+                )
         if args.flamegraph != "-":
             print(
                 "wrote collapsed stacks %s (flamegraph.pl / speedscope"
@@ -879,6 +1068,24 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         quick=args.quick,
         case_filter=args.filter,
     )
+    _runlog_note(
+        machine=",".join(name for name, _ in machines),
+        workload="bench[%d cases]" % len(result.cases),
+        representation=args.representations,
+    )
+    for case in result.cases.values():
+        units = {}
+        for key, value in case.work.items():
+            # Case work keys are "query.<currency>.units"; the registry
+            # stores bare currency names.
+            if key.startswith("query.") and key.endswith(".units"):
+                units[key[len("query."):-len(".units")]] = value
+        _runlog_units(units)
+        _runlog_quality(**{
+            key: case.quality[key]
+            for key in ("loops", "loops_at_mii", "ii_total", "mii_total")
+            if key in case.quality
+        })
     if args.format == "json":
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
@@ -933,6 +1140,236 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
         print(render_result_text(result))
+    return 0
+
+
+def _runs_log(args: argparse.Namespace):
+    """Open the registry named by ``--runlog`` / ``REPRO_RUNLOG``."""
+    from repro.obs.runlog import ENV_RUNLOG, RunLog
+
+    directory = args.runlog or os.environ.get(ENV_RUNLOG)
+    if not directory:
+        raise ReproError(
+            "no run registry: pass --runlog DIR or set REPRO_RUNLOG"
+        )
+    if not os.path.isdir(directory):
+        raise ReproError("run registry %r does not exist" % directory)
+    return RunLog(directory)
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    log = _runs_log(args)
+    records = log.records()
+    if args.tail:
+        records = records[-args.tail:]
+    if args.format == "json":
+        print(json.dumps(
+            [
+                record.data if not record.corrupt
+                else {"seq": record.seq, "corrupt": True,
+                      "error": record.error}
+                for record in records
+            ],
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(
+        "%6s  %-10s %-8s %4s %9s %12s  %s"
+        % ("seq", "command", "outcome", "exit", "dur s", "units", "what")
+    )
+    for record in records:
+        if record.corrupt:
+            print(
+                "%6d  CORRUPT: %s" % (record.seq, record.error)
+            )
+            continue
+        what = str(
+            record.data.get("machine", record.data.get("workload", ""))
+        )
+        workload = record.data.get("workload")
+        if workload and workload != what:
+            what = "%s %s" % (what, workload)
+        print(
+            "%6d  %-10s %-8s %4s %9.3f %12d  %s"
+            % (
+                record.seq,
+                record.command,
+                record.outcome,
+                record.data.get("exit_code", "?"),
+                float(record.data.get("duration_s", 0.0)),
+                int(sum(record.units().values())),
+                what,
+            )
+        )
+    corrupt = sum(1 for record in records if record.corrupt)
+    print(
+        "\n%d record(s)%s in %s"
+        % (
+            len(records),
+            " (%d corrupt)" % corrupt if corrupt else "",
+            log.directory,
+        )
+    )
+    return 1 if corrupt else 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    record = _runs_log(args).get(args.seq)
+    if record.corrupt:
+        print(
+            "record %d is corrupt: %s" % (record.seq, record.error),
+            file=sys.stderr,
+        )
+        if record.data:
+            print(json.dumps(record.data, indent=2, sort_keys=True))
+        return 1
+    print(json.dumps(record.data, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro.bench import CompareConfig, compare_metric_maps
+    from repro.errors import RunlogError
+
+    log = _runs_log(args)
+    base = log.get(args.base)
+    new = log.get(args.new)
+    for which, record in (("base", base), ("candidate", new)):
+        if record.corrupt:
+            raise RunlogError(
+                "%s record %d is corrupt: %s"
+                % (which, record.seq, record.error),
+                path=record.path,
+            )
+    config = CompareConfig(
+        work_ratio=args.work_ratio,
+        quality_ratio=args.quality_ratio,
+        min_units=args.min_units,
+    )
+    case_key = "runs %d..%d" % (base.seq, new.seq)
+    comparison = compare_metric_maps(
+        case_key,
+        {"units." + k: v for k, v in base.units().items()},
+        {"units." + k: v for k, v in new.units().items()},
+        base_quality=base.quality(),
+        new_quality=new.quality(),
+        config=config,
+    )
+    if args.format == "json":
+        print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+        return 0 if comparison.ok else 1
+    print(
+        "diff %s: base seq %d (%s) vs candidate seq %d (%s)"
+        % (case_key, base.seq, base.command, new.seq, new.command)
+    )
+    for note in comparison.notes:
+        print("  note: %s" % note)
+    for delta in comparison.deltas:
+        ratio = delta.ratio
+        print(
+            "  %-28s %12s -> %-12s %-8s %-12s%s"
+            % (
+                delta.metric,
+                "-" if delta.base is None else "%g" % delta.base,
+                "-" if delta.new is None else "%g" % delta.new,
+                "x%.4f" % ratio if ratio is not None else "",
+                delta.classification,
+                " [gated]" if delta.gated else "",
+            )
+        )
+    print("verdict: %s" % ("ok" if comparison.ok else "REGRESSION"))
+    return 0 if comparison.ok else 1
+
+
+def _cmd_runs_trend(args: argparse.Namespace) -> int:
+    from repro.obs.runlog import detect_changepoint
+
+    log = _runs_log(args)
+    points = log.series(args.metric, window=args.window)
+    if len(points) < 4:
+        print(
+            "trend %s: %d point(s) — need at least 4 to test for a"
+            " changepoint" % (args.metric, len(points))
+        )
+        return 0
+    changepoint = detect_changepoint(
+        points,
+        args.metric,
+        seed=args.seed,
+        permutations=args.permutations,
+        alpha=args.alpha,
+        min_ratio=args.min_ratio,
+        bigger_is_better=args.metric.endswith("loops_at_mii"),
+    )
+    values = [value for _seq, value in points]
+    print(
+        "trend %s: %d points (seq %d..%d), mean %.3f"
+        % (
+            args.metric, len(points), points[0][0], points[-1][0],
+            sum(values) / len(values),
+        )
+    )
+    if changepoint is None:
+        print("no significant changepoint")
+        return 0
+    print(
+        "%s at seq %d: mean %.3f -> %.3f (x%.4f), score %.3f,"
+        " p=%.4f (seeded permutation test, seed=%d)"
+        % (
+            changepoint.direction.upper(),
+            changepoint.seq,
+            changepoint.before,
+            changepoint.after,
+            changepoint.ratio if changepoint.ratio is not None else 0.0,
+            changepoint.score,
+            changepoint.p_value,
+            args.seed,
+        )
+    )
+    if args.format == "json":
+        print(json.dumps(changepoint.to_dict(), indent=2, sort_keys=True))
+    return 1 if changepoint.direction == "regression" else 0
+
+
+def _cmd_runs_gc(args: argparse.Namespace) -> int:
+    log = _runs_log(args)
+    removed = log.gc(keep=args.keep, prune_corrupt=args.prune_corrupt)
+    remaining = len(log.records())
+    print(
+        "removed %d record(s), %d remaining in %s"
+        % (len(removed), remaining, log.directory)
+    )
+    return 0
+
+
+def _cmd_runs_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.openmetrics import (
+        metrics_to_openmetrics,
+        runlog_to_openmetrics,
+        write_openmetrics,
+    )
+
+    if args.from_metrics:
+        try:
+            with open(args.from_metrics, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ReproError(
+                "cannot read metrics JSON %r: %s" % (args.from_metrics, exc)
+            )
+        text = metrics_to_openmetrics(document)
+    else:
+        log = _runs_log(args)
+        text = runlog_to_openmetrics(log.tail(args.tail))
+    try:
+        write_openmetrics(text, args.out)
+    except OSError as exc:
+        raise ReproError(
+            "cannot write OpenMetrics file %r: %s" % (args.out, exc)
+        )
+    if args.out != "-":
+        print("wrote OpenMetrics exposition %s" % args.out,
+              file=sys.stderr)
     return 0
 
 
@@ -1122,6 +1559,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(p)
     _add_resilience_flags(p)
+    _add_runlog_flag(p)
     p.set_defaults(func=_cmd_reduce)
 
     p = sub.add_parser("verify", help="compare two descriptions")
@@ -1168,6 +1606,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--format", choices=("text", "json"), default="text"
     )
+    _add_runlog_flag(p)
     p.set_defaults(func=_cmd_certify)
 
     p = sub.add_parser("stats", help="print description metrics")
@@ -1265,7 +1704,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="write spans as collapsed stacks ('-' for stdout) for"
         " flamegraph.pl / speedscope / inferno",
     )
+    p.add_argument(
+        "--sample",
+        action="store_true",
+        help="run the background sampling stack profiler alongside the"
+        " span tracer; sampled stacks merge into --flamegraph and charge"
+        " the 'sample' work currency",
+    )
+    p.add_argument(
+        "--sample-interval",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="sampling period for --sample (default: 0.005)",
+    )
     _add_observability_flags(p)
+    _add_runlog_flag(p)
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser(
@@ -1337,6 +1791,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-units", type=int, metavar="N",
         help="work-unit budget for the whole run",
     )
+    _add_runlog_flag(b)
     b.set_defaults(func=_cmd_bench_run)
 
     b = bench_sub.add_parser(
@@ -1499,6 +1954,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(p)
     _add_resilience_flags(p)
+    _add_runlog_flag(p)
     p.set_defaults(func=_cmd_schedule)
 
     p = sub.add_parser(
@@ -1532,6 +1988,7 @@ def build_parser() -> argparse.ArgumentParser:
         " artifact; text/HTML are written verbatim)",
     )
     _add_observability_flags(p)
+    _add_runlog_flag(p)
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser(
@@ -1581,6 +2038,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for artifact-fault files (default: a temp dir)",
     )
     _add_observability_flags(p)
+    _add_runlog_flag(p)
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
@@ -1631,14 +2089,192 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the campaign report as a checksummed JSON artifact",
     )
     _add_observability_flags(p)
+    _add_runlog_flag(p)
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "runs",
+        help="run registry: list / show / diff / trend / gc / metrics",
+        description="Query the persistent run registry that --runlog"
+        " (or REPRO_RUNLOG) populates: list and inspect records, gate"
+        " one run against another with the bench comparator's policy,"
+        " detect work/quality regressions over the longitudinal series"
+        " with a seeded changepoint test, expire old records, and export"
+        " the registry (or a metrics JSON) as an OpenMetrics scrape."
+        "  See docs/runs.md.",
+    )
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    def _add_runs_common(r):
+        _add_runlog_flag(r)
+        r.add_argument(
+            "--format", choices=("text", "json"), default="text"
+        )
+
+    r = runs_sub.add_parser("list", help="list registry records")
+    r.add_argument(
+        "--tail", type=int, default=0, metavar="N",
+        help="show only the newest N records",
+    )
+    _add_runs_common(r)
+    r.set_defaults(func=_cmd_runs_list)
+
+    r = runs_sub.add_parser("show", help="print one record as JSON")
+    r.add_argument("seq", type=int, help="record sequence number")
+    _add_runs_common(r)
+    r.set_defaults(func=_cmd_runs_show)
+
+    r = runs_sub.add_parser(
+        "diff",
+        help="gate one record against another (exit 1 on regression)",
+        description="Compare two registry records' work units and"
+        " schedule quality under the bench comparator's two-tier"
+        " policy: deterministic work gates hard beyond --work-ratio"
+        " above the --min-units floor, quality gates at"
+        " --quality-ratio (loops_at_mii bigger-is-better), and a"
+        " loops/mii_total mismatch marks the pair incomparable.",
+    )
+    r.add_argument("base", type=int, help="baseline record seq")
+    r.add_argument("new", type=int, help="candidate record seq")
+    r.add_argument("--work-ratio", type=float, default=1.01)
+    r.add_argument("--quality-ratio", type=float, default=1.0)
+    r.add_argument("--min-units", type=float, default=16.0)
+    _add_runs_common(r)
+    r.set_defaults(func=_cmd_runs_diff)
+
+    r = runs_sub.add_parser(
+        "trend",
+        help="seeded changepoint detection over a metric series"
+        " (exit 1 on regression)",
+    )
+    r.add_argument(
+        "--metric", default="units.check", metavar="NAME",
+        help="dotted metric: units.<currency>, calls.<currency>,"
+        " quality.<key>, total_units, duration_s (default: units.check)",
+    )
+    r.add_argument(
+        "--window", type=int, default=0, metavar="N",
+        help="analyze only the trailing N records (default: all)",
+    )
+    r.add_argument(
+        "--seed", type=int, default=0,
+        help="permutation-test seed (default: 0)",
+    )
+    r.add_argument(
+        "--alpha", type=float, default=0.05,
+        help="significance level (default: 0.05)",
+    )
+    r.add_argument(
+        "--permutations", type=int, default=200,
+        help="permutation count (default: 200)",
+    )
+    r.add_argument(
+        "--min-ratio", type=float, default=1.02,
+        help="ignore level shifts smaller than this ratio (default: 1.02)",
+    )
+    _add_runs_common(r)
+    r.set_defaults(func=_cmd_runs_trend)
+
+    r = runs_sub.add_parser("gc", help="expire old registry records")
+    r.add_argument(
+        "--keep", type=int, required=True, metavar="N",
+        help="keep only the newest N records",
+    )
+    r.add_argument(
+        "--prune-corrupt", action="store_true",
+        help="also delete corrupt records regardless of age",
+    )
+    _add_runs_common(r)
+    r.set_defaults(func=_cmd_runs_gc)
+
+    r = runs_sub.add_parser(
+        "metrics",
+        help="export the registry (or a metrics JSON) as OpenMetrics",
+    )
+    r.add_argument(
+        "--tail", type=int, default=0, metavar="N",
+        help="aggregate only the newest N records (default: all)",
+    )
+    r.add_argument(
+        "--from-metrics", metavar="FILE",
+        help="render a repro-obs-metrics JSON document instead of the"
+        " registry",
+    )
+    r.add_argument(
+        "-o", "--out", default="-", metavar="FILE",
+        help="write the exposition to FILE (default: stdout)",
+    )
+    _add_runs_common(r)
+    r.set_defaults(func=_cmd_runs_metrics)
 
     return parser
 
 
+#: Exit code -> registry outcome label (see docs/runs.md).
+_OUTCOME_LABELS = {
+    0: "ok",
+    1: "fail",
+    2: "error",
+    3: "budget-exceeded",
+    130: "interrupted",
+    141: "interrupted",
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    global _RECORDER
     parser = build_parser()
     args = parser.parse_args(argv)
+    runlog_dir = getattr(args, "runlog", None) or os.environ.get(
+        "REPRO_RUNLOG"
+    )
+    recorder = None
+    command = _record_command(args)
+    if runlog_dir and command is not None:
+        from repro.obs.runlog import RunRecorder
+
+        # The registry location is where the record *lands*, not part of
+        # the workload's identity — exclude it so the same invocation
+        # logged to two directories produces byte-identical records.
+        recorder = RunRecorder(
+            command,
+            {
+                k: v for k, v in vars(args).items()
+                if k not in ("func", "runlog")
+            },
+        )
+    _RECORDER = recorder
+    del _RECORDER_BUDGETS[:]
+    try:
+        code = _dispatch(args)
+    finally:
+        _RECORDER = None
+    if recorder is not None:
+        budgets = list(_RECORDER_BUDGETS)
+        del _RECORDER_BUDGETS[:]
+        if budgets:
+            recorder.note(budget={
+                "units": sum(budget.units for budget in budgets),
+                "deadline_s": getattr(args, "deadline", None),
+                "max_units": getattr(args, "max_units", None),
+            })
+        outcome = _OUTCOME_LABELS.get(code, "fail")
+        from repro.obs.runlog import RunLog
+
+        try:
+            RunLog(runlog_dir).append(recorder.finalize(outcome, code))
+        except OSError as exc:
+            # The registry is an observer: failing to append must never
+            # change the recorded command's own outcome.
+            print(
+                "warning: cannot append runlog record to %r: %s"
+                % (runlog_dir, exc),
+                file=sys.stderr,
+            )
+    return code
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     try:
         return args.func(args)
     except KeyboardInterrupt:

@@ -236,6 +236,28 @@ class BenchFormatError(ReproError):
         self.actual = actual
 
 
+class RunlogError(ReproError):
+    """A run-registry record or directory is unusable.
+
+    Raised when a ``repro-runlog-record`` document carries the wrong
+    schema name or version, when a referenced record does not exist, or
+    when a trend/diff query names a metric the registry does not track.
+    Per-record *corruption* (checksum mismatch, torn JSON) is reported
+    structurally by :meth:`repro.obs.runlog.RunLog.records` instead of
+    raised, so one damaged record never takes down the whole registry.
+
+    Attributes
+    ----------
+    path:
+        The record file or registry directory involved (``None`` for
+        in-memory documents).
+    """
+
+    def __init__(self, message, path=None):
+        super().__init__(message)
+        self.path = path
+
+
 class QueryError(ReproError):
     """A contention query module was used inconsistently.
 

@@ -14,7 +14,9 @@ accounting
     Every cycle loop in a query backend must charge
     :class:`~repro.query.work.WorkCounters` (or delegate to an entry
     point that does), so the paper's work-unit comparisons stay honest
-    (``code-uncharged-loop``).
+    (``code-uncharged-loop``); and every charged currency must exist in
+    the shared :data:`repro.query.work.FUNCTIONS` registry so no work
+    is invisible to exporters (``code-unregistered-currency``).
 budget + robustness invariants
     Long loops that carry a ``budget`` must checkpoint it
     (``code-missing-budget-checkpoint``); artifact writes must go
@@ -578,6 +580,86 @@ def _check_unseeded_random(ctx: CodeContext) -> Iterator[Diagnostic]:
                 hint="pass an explicit seed — the repo idiom is a "
                 "string key naming the stream and its parameters",
             )
+
+
+#: Receiver names that identify a WorkCounters charge site
+#: (``self.work.charge(...)``, ``counters.charge(...)``).
+_COUNTER_RECEIVERS = frozenset({"work", "counters", "work_counters"})
+
+
+def _registered_currencies() -> Tuple[frozenset, frozenset]:
+    """(currency strings, constant names) of the shared registry.
+
+    Imported lazily from :data:`repro.query.work.FUNCTIONS` so the lint
+    plane always audits against the registry the runtime actually uses —
+    adding a currency in one place updates the rule automatically.
+    """
+    from repro.query import work
+
+    currencies = frozenset(work.FUNCTIONS)
+    constants = frozenset(
+        name for name in dir(work)
+        if name.isupper() and getattr(work, name) in currencies
+    )
+    return currencies, constants
+
+
+def _is_counter_receiver(func: ast.AST) -> bool:
+    if not (isinstance(func, ast.Attribute) and func.attr == "charge"):
+        return False
+    receiver = func.value
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr in _COUNTER_RECEIVERS
+    if isinstance(receiver, ast.Name):
+        return receiver.id in _COUNTER_RECEIVERS
+    return False
+
+
+@rule(
+    "code-unregistered-currency",
+    severity="warning",
+    summary="WorkCounters charge of a currency not in the shared registry",
+    scope="code",
+)
+def _check_unregistered_currency(ctx: CodeContext) -> Iterator[Diagnostic]:
+    """Every charged currency must exist in ``repro.query.work.FUNCTIONS``.
+
+    The work-unit registry is the shared vocabulary of the metrics JSON,
+    the bench comparator, the runlog, and the OpenMetrics export: a
+    charge under an unregistered name is invisible to ``query_summary``
+    (which iterates the registry), never gates a bench comparison, and
+    silently vanishes from every trend series.  Charges through a string
+    literal are checked against the registry values; ALL_CAPS name
+    constants are checked against the registry's constant names (local
+    variables and other expressions are unresolvable and skipped).
+    """
+    if ctx.tree is None:
+        return
+    currencies, constants = _registered_currencies()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        if not _is_counter_receiver(node.func):
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            if first.value in currencies:
+                continue
+            charged = repr(first.value)
+        elif isinstance(first, ast.Name) and first.id.isupper():
+            if first.id in constants:
+                continue
+            charged = first.id
+        else:
+            continue  # dynamically computed currency: unresolvable
+        yield finding(
+            "charge of currency %s, which is not registered in "
+            "repro.query.work.FUNCTIONS" % charged,
+            location=ctx.locate(node),
+            hint="register the currency constant in query/work.py (and "
+            "mirror it in obs/instrument.py) so exporters, the bench "
+            "comparator, and the runlog can see the work",
+        )
 
 
 # ----------------------------------------------------------------------

@@ -9,6 +9,11 @@ result (text summary, schema-versioned metrics JSON, Chrome
 instrumentation site is a single ``None`` check — see
 ``docs/observability.md`` and ``tests/test_obs_overhead.py``.
 
+Beyond the per-run tracer, the package hosts the durable plane: the
+append-only run registry (:mod:`repro.obs.runlog`), the background
+sampling profiler (:mod:`repro.obs.sampler`), and the OpenMetrics
+exporter (:mod:`repro.obs.openmetrics`) — see ``docs/runs.md``.
+
 This package is a *leaf*: it never imports the query/scheduler/core
 layers (they import it).  The one exception, the ``repro profile``
 pipeline, lives in :mod:`repro.obs.profile` and is intentionally not
@@ -36,6 +41,28 @@ from repro.obs.metrics import (
     TimerStats,
     units_per_second,
 )
+from repro.obs.openmetrics import (
+    metrics_to_openmetrics,
+    runlog_to_openmetrics,
+    validate_openmetrics,
+    write_openmetrics,
+)
+from repro.obs.provenance import (
+    attempt_summaries,
+    blame_counts,
+    pressure_histogram,
+    summarize,
+)
+from repro.obs.runlog import (
+    RUNLOG_SCHEMA_NAME,
+    RUNLOG_SCHEMA_VERSION,
+    Changepoint,
+    RunLog,
+    RunRecord,
+    RunRecorder,
+    detect_changepoint,
+)
+from repro.obs.sampler import StackSampler
 from repro.obs.trace import (
     CAT_AUTOMATA,
     CAT_PROFILE,
@@ -63,6 +90,7 @@ __all__ = [
     "CAT_REDUCE",
     "CAT_RESILIENCE",
     "CAT_SCHED",
+    "Changepoint",
     "DecisionLedger",
     "EventRecord",
     "Histogram",
@@ -71,26 +99,41 @@ __all__ = [
     "LedgerRecord",
     "MetricsRegistry",
     "QUERY_FUNCTIONS",
+    "RUNLOG_SCHEMA_NAME",
+    "RUNLOG_SCHEMA_VERSION",
+    "RunLog",
+    "RunRecord",
+    "RunRecorder",
     "SpanRecord",
+    "StackSampler",
     "TimerStats",
     "Tracer",
+    "attempt_summaries",
+    "blame_counts",
     "chrome_trace_document",
     "collapsed_stack_lines",
     "count",
     "current",
+    "detect_changepoint",
     "enabled",
     "event",
     "exclusive_times",
     "metrics_document",
+    "metrics_to_openmetrics",
     "observed_class",
+    "pressure_histogram",
     "query_summary",
     "render_text",
+    "runlog_to_openmetrics",
     "span",
     "start",
     "stop",
+    "summarize",
     "tracing",
     "units_per_second",
+    "validate_openmetrics",
     "write_chrome_trace",
     "write_collapsed_stack",
     "write_metrics",
+    "write_openmetrics",
 ]

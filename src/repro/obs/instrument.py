@@ -34,6 +34,11 @@ QUERY_FREE = "free"
 QUERY_CHECK_RANGE = "check_range"
 QUERY_COMPILE = "compile"
 QUERY_ATTRIBUTE = "attribute"
+#: Sampling-profiler ticks (:mod:`repro.obs.sampler`).  Not a query
+#: method — no observed override exists — but the currency shares the
+#: units registry (``query.sample.units``) so exporters and the bench
+#: comparator see sampler work next to query work.
+QUERY_SAMPLE = "sample"
 QUERY_FUNCTIONS = (
     QUERY_CHECK,
     QUERY_ASSIGN,
@@ -42,6 +47,7 @@ QUERY_FUNCTIONS = (
     QUERY_CHECK_RANGE,
     QUERY_COMPILE,
     QUERY_ATTRIBUTE,
+    QUERY_SAMPLE,
 )
 #: Timer name for ``first_free`` — its kernel work is charged in the
 #: ``check_range`` unit currency, but wall time gets its own key so the
@@ -129,5 +135,6 @@ __all__ = [
     "QUERY_FIRST_FREE",
     "QUERY_FREE",
     "QUERY_FUNCTIONS",
+    "QUERY_SAMPLE",
     "observed_class",
 ]

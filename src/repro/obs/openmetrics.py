@@ -1,0 +1,319 @@
+"""OpenMetrics / Prometheus textfile exporter.
+
+Renders the repo's two durable metric sources — a ``repro-obs-metrics``
+JSON document and the run registry (:mod:`repro.obs.runlog`) — in the
+OpenMetrics text exposition format, suitable for the Prometheus
+node-exporter textfile collector or a future service daemon's
+``/metrics`` endpoint.
+
+The format contract (enforced by :func:`validate_openmetrics` and the
+test-suite):
+
+* every metric family is declared with ``# TYPE name type`` before its
+  first sample;
+* sample lines are ``name{label="value",...} number``;
+* counter families end in ``_total``; histogram families expose
+  cumulative ``name_bucket{le="..."}`` samples, a ``+Inf`` bucket, and
+  ``name_count`` / ``name_sum``;
+* the exposition ends with ``# EOF``.
+
+All metric and label names are sanitized to ``[a-zA-Z_][a-zA-Z0-9_]*``;
+the repo's dotted registry keys (``query.check.units``) become
+underscore-joined names under the ``repro_`` prefix.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro._atomic import atomic_write_text
+from repro.obs.runlog import RunRecord
+
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_][a-zA-Z0-9_]*"                       # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\n]*\""        # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\n]*\")*\})?"   # more labels
+    r" -?([0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?|[+]?Inf|NaN)$"
+)
+_TYPE_RE = re.compile(
+    r"^# TYPE ([a-zA-Z_][a-zA-Z0-9_]*) (gauge|counter|histogram|"
+    r"summary|info|unknown)$"
+)
+
+
+def sanitize_name(name: str) -> str:
+    """Coerce a registry key into a legal metric/label name."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not cleaned or not re.match(r"^[a-zA-Z_]", cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return "%d" % int(number)
+    return repr(number)
+
+
+def _labels(pairs: Sequence[Tuple[str, object]]) -> str:
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        '%s="%s"' % (
+            sanitize_name(key),
+            str(value).replace("\\", "\\\\").replace('"', '\\"'),
+        )
+        for key, value in pairs
+    )
+    return "{%s}" % rendered
+
+
+class _Exposition:
+    """Accumulates families in declaration order, one TYPE line each."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._declared: Dict[str, str] = {}
+
+    def declare(self, name: str, kind: str) -> str:
+        name = sanitize_name(name)
+        if name not in self._declared:
+            self._declared[name] = kind
+            self.lines.append("# TYPE %s %s" % (name, kind))
+        return name
+
+    def sample(
+        self,
+        family: str,
+        value: float,
+        labels: Sequence[Tuple[str, object]] = (),
+        suffix: str = "",
+    ) -> None:
+        self.lines.append(
+            "%s%s%s %s"
+            % (family, suffix, _labels(labels), _format_value(value))
+        )
+
+    def render(self) -> str:
+        return "\n".join(self.lines + ["# EOF"]) + "\n"
+
+
+def _histogram_samples(
+    out: _Exposition,
+    family: str,
+    hist: Dict[str, object],
+    labels: Sequence[Tuple[str, object]] = (),
+) -> None:
+    """Cumulative ``_bucket``/``_count``/``_sum`` samples for one
+    ``Histogram.to_dict`` payload (sparse ``le_us`` buckets)."""
+    cumulative = 0
+    for bucket in hist.get("buckets", []):
+        cumulative += bucket["count"]
+        out.sample(
+            family,
+            cumulative,
+            tuple(labels) + (("le", _format_value(bucket["le_us"] / 1e6)),),
+            suffix="_bucket",
+        )
+    total = hist.get("count", cumulative + hist.get("overflow", 0))
+    out.sample(
+        family, total, tuple(labels) + (("le", "+Inf"),), suffix="_bucket"
+    )
+    out.sample(family, total, labels, suffix="_count")
+    # The power-of-two histogram does not keep an exact sum; the p50
+    # midpoint estimate keeps the family structurally complete without
+    # inventing precision.
+    estimate = hist.get("p50_us", 0.0) / 1e6 * total
+    out.sample(family, estimate, labels, suffix="_sum")
+
+
+# ----------------------------------------------------------------------
+# Metrics-document rendering
+# ----------------------------------------------------------------------
+def metrics_to_openmetrics(
+    document: Dict[str, object], prefix: str = "repro"
+) -> str:
+    """Render a ``repro-obs-metrics`` document as OpenMetrics text.
+
+    Counters become ``<prefix>_<name>_total`` counter families; timers
+    become a seconds-total counter plus a calls-total counter; histograms
+    become cumulative-bucket histogram families.  The document's ``meta``
+    renders as one ``<prefix>_meta`` info-style gauge carrying the
+    metadata as labels.
+    """
+    out = _Exposition()
+    meta = document.get("meta") or {}
+    if isinstance(meta, dict) and meta:
+        family = out.declare("%s_meta" % prefix, "gauge")
+        out.sample(family, 1, tuple(sorted(meta.items())))
+    counters = document.get("counters") or {}
+    for name, value in sorted(counters.items()):
+        family = out.declare(
+            "%s_%s_total" % (prefix, sanitize_name(name)), "counter"
+        )
+        out.sample(family, value)
+    timers = document.get("timers") or {}
+    for name, timer in sorted(timers.items()):
+        base = "%s_%s" % (prefix, sanitize_name(name))
+        family = out.declare(base + "_seconds_total", "counter")
+        out.sample(family, timer.get("total_s", 0.0))
+        family = out.declare(base + "_calls_total", "counter")
+        out.sample(family, timer.get("count", 0))
+    histograms = document.get("histograms") or {}
+    for name, hist in sorted(histograms.items()):
+        family = out.declare(
+            "%s_%s_seconds" % (prefix, sanitize_name(name)), "histogram"
+        )
+        _histogram_samples(out, family, hist)
+    return out.render()
+
+
+# ----------------------------------------------------------------------
+# Runlog rendering
+# ----------------------------------------------------------------------
+def runlog_to_openmetrics(
+    records: Iterable[RunRecord], prefix: str = "repro_runs"
+) -> str:
+    """Aggregate registry records into an OpenMetrics exposition.
+
+    Totals are labelled by ``command`` (and ``currency`` for work units),
+    outcome counts by ``command``/``outcome`` — the shape a dashboard
+    needs to plot work-per-currency and failure rates over scrapes.
+    Corrupt records are excluded from every total but surfaced in their
+    own counter so damage is visible on the dashboard too.
+    """
+    records = list(records)
+    corrupt = sum(1 for record in records if record.corrupt)
+    good = [record for record in records if not record.corrupt]
+
+    outcomes: Dict[Tuple[str, str], int] = {}
+    duration: Dict[str, float] = {}
+    units: Dict[Tuple[str, str], float] = {}
+    calls: Dict[Tuple[str, str], float] = {}
+    quality: Dict[Tuple[str, str], float] = {}
+    last_seq = 0
+    for record in good:
+        command = record.command
+        key = (command, record.outcome)
+        outcomes[key] = outcomes.get(key, 0) + 1
+        duration[command] = duration.get(command, 0.0) + float(
+            record.data.get("duration_s", 0.0)
+        )
+        for currency, value in record.units().items():
+            ckey = (command, currency)
+            units[ckey] = units.get(ckey, 0.0) + value
+        for currency, value in record.calls().items():
+            ckey = (command, currency)
+            calls[ckey] = calls.get(ckey, 0.0) + value
+        for name, value in record.quality().items():
+            qkey = (command, name)
+            quality[qkey] = quality.get(qkey, 0.0) + value
+        last_seq = max(last_seq, record.seq)
+
+    out = _Exposition()
+    family = out.declare("%s_records" % prefix, "gauge")
+    out.sample(family, len(good))
+    family = out.declare("%s_corrupt_records" % prefix, "gauge")
+    out.sample(family, corrupt)
+    family = out.declare("%s_last_seq" % prefix, "gauge")
+    out.sample(family, last_seq)
+    family = out.declare("%s_outcomes_total" % prefix, "counter")
+    for (command, outcome), count in sorted(outcomes.items()):
+        out.sample(
+            family, count, (("command", command), ("outcome", outcome))
+        )
+    family = out.declare("%s_duration_seconds_total" % prefix, "counter")
+    for command, total in sorted(duration.items()):
+        out.sample(family, total, (("command", command),))
+    family = out.declare("%s_work_units_total" % prefix, "counter")
+    for (command, currency), total in sorted(units.items()):
+        out.sample(
+            family, total, (("command", command), ("currency", currency))
+        )
+    family = out.declare("%s_work_calls_total" % prefix, "counter")
+    for (command, currency), total in sorted(calls.items()):
+        out.sample(
+            family, total, (("command", command), ("currency", currency))
+        )
+    family = out.declare("%s_quality_total" % prefix, "counter")
+    for (command, name), total in sorted(quality.items()):
+        out.sample(
+            family, total, (("command", command), ("metric", name))
+        )
+    return out.render()
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def validate_openmetrics(text: str) -> List[str]:
+    """Structural line-format check; returns problems (empty = valid).
+
+    Enforces the subset this module promises: legal sample lines, every
+    sampled family declared by a ``# TYPE`` line *before* first use, no
+    duplicate declarations, and a terminal ``# EOF``.
+    """
+    problems: List[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        problems.append("exposition must end with '# EOF'")
+    declared: Dict[str, str] = {}
+    for number, line in enumerate(lines, 1):
+        if not line:
+            problems.append("line %d: blank line" % number)
+            continue
+        if line == "# EOF":
+            if number != len(lines):
+                problems.append("line %d: '# EOF' before end" % number)
+            continue
+        if line.startswith("#"):
+            match = _TYPE_RE.match(line)
+            if match is None:
+                if not line.startswith(("# HELP ", "# UNIT ")):
+                    problems.append(
+                        "line %d: unrecognized comment %r" % (number, line)
+                    )
+                continue
+            name = match.group(1)
+            if name in declared:
+                problems.append(
+                    "line %d: duplicate TYPE for %s" % (number, name)
+                )
+            declared[name] = match.group(2)
+            continue
+        if _SAMPLE_RE.match(line) is None:
+            problems.append(
+                "line %d: malformed sample %r" % (number, line)
+            )
+            continue
+        name = re.split(r"[{ ]", line, maxsplit=1)[0]
+        family = name
+        for suffix in ("_bucket", "_count", "_sum", "_total"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                family = name[: -len(suffix)]
+                break
+        if family not in declared and name not in declared:
+            problems.append(
+                "line %d: sample %r has no preceding TYPE" % (number, name)
+            )
+    return problems
+
+
+def write_openmetrics(text: str, path: str) -> None:
+    """Write an exposition to ``path`` (``"-"`` for stdout)."""
+    if path == "-":
+        sys.stdout.write(text)
+        return
+    atomic_write_text(path, text)
+
+
+__all__ = [
+    "metrics_to_openmetrics",
+    "runlog_to_openmetrics",
+    "sanitize_name",
+    "validate_openmetrics",
+    "write_openmetrics",
+]

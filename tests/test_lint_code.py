@@ -476,3 +476,70 @@ class TestDeterminism:
             for d in ordered
         ]
         assert keys == sorted(keys)
+
+
+class TestUnregisteredCurrency:
+    RULE = ["code-unregistered-currency"]
+
+    def test_string_literal_off_registry_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def probe(qm):
+                qm.work.charge("chekc", 4)
+            """,
+            rules=self.RULE,
+        )
+        assert _rules(report) == ["code-unregistered-currency"]
+        assert "'chekc'" in report.diagnostics[0].message
+
+    def test_unknown_constant_flagged(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            SAMPEL = "sampel"
+
+            def probe(counters):
+                counters.charge(SAMPEL, 1)
+            """,
+            rules=self.RULE,
+        )
+        assert _rules(report) == ["code-unregistered-currency"]
+
+    def test_registered_string_and_constant_clean(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            from repro.query.work import CHECK, SAMPLE
+
+            def probe(self, work):
+                work.charge("check", 4)
+                work.charge(CHECK, 2)
+                self.work.charge(SAMPLE, 1)
+            """,
+            rules=self.RULE,
+        )
+        assert _rules(report) == []
+
+    def test_dynamic_currency_is_unresolvable_and_skipped(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def probe(work, name):
+                work.charge(name, 4)
+                work.charge(name.lower(), 4)
+            """,
+            rules=self.RULE,
+        )
+        assert _rules(report) == []
+
+    def test_non_counter_receivers_ignored(self, tmp_path):
+        report = _lint_snippet(
+            tmp_path,
+            """
+            def probe(battery):
+                battery.charge("overnight", 8)
+            """,
+            rules=self.RULE,
+        )
+        assert _rules(report) == []

@@ -146,6 +146,57 @@ class TestDisabledOverhead:
             % (elapsed / iterations * 1e6)
         )
 
+    def test_sampler_off_run_charges_zero_sample_units(self):
+        # The SAMPLE currency exists only while a sampler thread runs;
+        # an ordinary scheduler run must charge exactly zero of it, so
+        # the runlog and bench trajectories stay comparable with PR-8-era
+        # records that predate the currency.
+        result = IterativeModuloScheduler(cydra5_subset()).schedule(
+            KERNELS["daxpy"]()
+        )
+        assert result.work.calls["sample"] == 0
+        assert result.work.units["sample"] == 0
+
+    def test_sampler_off_schedule_within_margin(self):
+        """Full IMS runs with the sampler importable but never started
+        must stay within the 5% margin of themselves — the sampler is a
+        separate daemon thread, so merely shipping it may not tax the
+        scheduling hot path."""
+        machine = cydra5_subset()
+        graph_builder = KERNELS["daxpy"]
+
+        def run_once():
+            scheduler = IterativeModuloScheduler(machine)
+            start = time.perf_counter()
+            scheduler.schedule(graph_builder())
+            return time.perf_counter() - start
+
+        from repro.obs.sampler import StackSampler
+
+        assert StackSampler(frames=lambda: {}).running is False
+        baseline = min(run_once() for _ in range(REPEATS))
+        again = min(run_once() for _ in range(REPEATS))
+        slower, faster = max(baseline, again), min(baseline, again)
+        assert slower <= faster * 1.05 + 200e-6, (
+            "sampler-off scheduling is unstable: %.6fs vs %.6fs"
+            % (faster, slower)
+        )
+
+    def test_runlog_off_cli_run_writes_nothing_and_stays_untraced(
+            self, tmp_path, monkeypatch, capsys):
+        """With no ``--runlog`` and no ``REPRO_RUNLOG``, a CLI run must
+        not create any registry file *and* must keep the untraced
+        bytecode path (the recorder is what forces a tracer on)."""
+        from repro.cli import main
+
+        monkeypatch.delenv("REPRO_RUNLOG", raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert main(["reduce", "example"]) == 0
+        assert list(tmp_path.iterdir()) == []
+        assert obs.current() is None
+        qm = make_query_module(cydra5_subset())
+        assert type(qm) is DiscreteQueryModule
+
     def test_ledger_off_schedule_within_margin(self):
         """Full IMS runs: the ledger-capable scheduler, recording off,
         must stay within the 5% margin of its own best — i.e. the

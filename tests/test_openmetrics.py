@@ -1,0 +1,170 @@
+"""The OpenMetrics exporter: rendering, aggregation, and validation."""
+
+from repro import obs
+from repro.obs.openmetrics import sanitize_name
+from repro.obs.runlog import RunRecord, RunRecorder
+
+
+def _metrics_document():
+    """A real metrics document with a counter, timer, and histogram."""
+    tracer = obs.Tracer()
+    tracer.meta["machine"] = "cydra5-subset"
+    with obs.tracing(tracer=tracer):
+        tracer.count("reduce.iterations", 3)
+        tracer.record_query("check", 0.0, 0.001, 42)
+        tracer.record_query("check", 0.001, 0.002, 8)
+    return obs.metrics_document(tracer)
+
+
+def _record(seq, command="schedule", outcome="ok", units=None,
+            quality=None, corrupt=False):
+    recorder = RunRecorder(command, {}, clock=lambda: 100.0)
+    if units:
+        recorder.add_units(units)
+    if quality:
+        recorder.merge_quality(quality)
+    data = recorder.finalize(outcome, 0 if outcome == "ok" else 1)
+    data["seq"] = seq
+    return RunRecord(
+        seq=seq, path="run-%08d.json" % seq, data=data,
+        corrupt=corrupt, error="torn write" if corrupt else "",
+    )
+
+
+class TestMetricsToOpenmetrics:
+    def test_real_document_renders_and_validates(self):
+        text = obs.metrics_to_openmetrics(_metrics_document())
+        assert obs.validate_openmetrics(text) == []
+        assert text.endswith("# EOF\n")
+        assert '# TYPE repro_meta gauge' in text
+        assert 'repro_meta{machine="cydra5-subset"' in text
+        assert "# TYPE repro_query_check_units_total counter" in text
+        assert "repro_query_check_units_total 50" in text
+        assert "# TYPE repro_query_check_calls_total counter" in text
+        assert "repro_query_check_calls_total 2" in text
+        assert "# TYPE repro_query_check_seconds histogram" in text
+        assert 'repro_query_check_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_query_check_seconds_count 2" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = obs.metrics_to_openmetrics(_metrics_document())
+        bucket_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_query_check_seconds_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 2
+
+    def test_counter_names_end_in_total(self):
+        document = {"counters": {"reduce.iterations": 3}}
+        text = obs.metrics_to_openmetrics(document)
+        assert "repro_reduce_iterations_total 3" in text
+        assert obs.validate_openmetrics(text) == []
+
+    def test_custom_prefix(self):
+        text = obs.metrics_to_openmetrics(
+            {"counters": {"x": 1}}, prefix="acme"
+        )
+        assert "acme_x_total 1" in text
+
+    def test_empty_document_is_just_eof(self):
+        text = obs.metrics_to_openmetrics({})
+        assert text == "# EOF\n"
+        assert obs.validate_openmetrics(text) == []
+
+
+class TestRunlogToOpenmetrics:
+    def _records(self):
+        return [
+            _record(1, "schedule", "ok",
+                    units={"check": 100.0, "assign": 10.0},
+                    quality={"ii_total": 7, "mii_total": 6, "loops": 1}),
+            _record(2, "schedule", "ok", units={"check": 50.0}),
+            _record(3, "reduce", "fail"),
+            _record(4, corrupt=True),
+        ]
+
+    def test_aggregation_and_labels(self):
+        text = obs.runlog_to_openmetrics(self._records())
+        assert obs.validate_openmetrics(text) == []
+        assert "repro_runs_records 3" in text
+        assert "repro_runs_corrupt_records 1" in text
+        assert "repro_runs_last_seq 3" in text
+        assert ('repro_runs_outcomes_total{command="schedule",'
+                'outcome="ok"} 2') in text
+        assert ('repro_runs_outcomes_total{command="reduce",'
+                'outcome="fail"} 1') in text
+        assert ('repro_runs_work_units_total{command="schedule",'
+                'currency="check"} 150') in text
+        assert ('repro_runs_work_units_total{command="schedule",'
+                'currency="assign"} 10') in text
+        assert ('repro_runs_quality_total{command="schedule",'
+                'metric="mii_gap"} 1') in text
+
+    def test_corrupt_records_are_excluded_from_totals(self):
+        corrupt_only = [_record(9, corrupt=True)]
+        text = obs.runlog_to_openmetrics(corrupt_only)
+        assert "repro_runs_records 0" in text
+        assert "repro_runs_corrupt_records 1" in text
+        assert "outcome=" not in text
+
+    def test_empty_registry(self):
+        text = obs.runlog_to_openmetrics([])
+        assert obs.validate_openmetrics(text) == []
+        assert "repro_runs_records 0" in text
+
+
+class TestValidation:
+    def test_missing_eof_is_a_problem(self):
+        problems = obs.validate_openmetrics("# TYPE x gauge\nx 1\n")
+        assert any("# EOF" in p for p in problems)
+
+    def test_sample_before_type_is_a_problem(self):
+        text = "x 1\n# TYPE x gauge\n# EOF\n"
+        problems = obs.validate_openmetrics(text)
+        assert any("no preceding TYPE" in p for p in problems)
+
+    def test_malformed_sample_line(self):
+        text = "# TYPE x gauge\nx one\n# EOF\n"
+        problems = obs.validate_openmetrics(text)
+        assert any("malformed sample" in p for p in problems)
+
+    def test_blank_line_is_a_problem(self):
+        text = "# TYPE x gauge\nx 1\n\n# EOF\n"
+        assert any(
+            "blank" in p for p in obs.validate_openmetrics(text)
+        )
+
+    def test_duplicate_type_is_a_problem(self):
+        text = "# TYPE x gauge\n# TYPE x gauge\nx 1\n# EOF\n"
+        assert any(
+            "duplicate" in p for p in obs.validate_openmetrics(text)
+        )
+
+    def test_suffix_resolution_against_histogram_family(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 2\nh_count 2\nh_sum 0.5\n# EOF\n'
+        )
+        assert obs.validate_openmetrics(text) == []
+
+    def test_negative_and_scientific_values_are_legal(self):
+        text = "# TYPE x gauge\nx -1.5e-3\n# EOF\n"
+        assert obs.validate_openmetrics(text) == []
+
+
+class TestWriteAndNames:
+    def test_sanitize_name(self):
+        assert sanitize_name("query.check.units") == "query_check_units"
+        assert sanitize_name("9lives") == "_9lives"
+        assert sanitize_name("") == "_"
+
+    def test_write_to_file(self, tmp_path):
+        out = tmp_path / "scrape.prom"
+        obs.write_openmetrics("# EOF\n", str(out))
+        assert out.read_text() == "# EOF\n"
+
+    def test_write_to_stdout(self, capsys):
+        obs.write_openmetrics("# EOF\n", "-")
+        assert capsys.readouterr().out == "# EOF\n"
