@@ -152,6 +152,11 @@ def _runlog_units(units) -> None:
         _RECORDER.add_units(units)
 
 
+def _runlog_work(work) -> None:
+    if _RECORDER is not None:
+        _RECORDER.add_work(work)
+
+
 def _runlog_quality(**quality) -> None:
     if _RECORDER is not None:
         _RECORDER.merge_quality(quality)
@@ -541,6 +546,10 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
     machine = _load_machine(args.machine)
+    if args.representation is None:
+        args.representation = "batch" if args.corpus else "discrete"
+    if args.corpus:
+        return _cmd_schedule_corpus(args, machine)
     scheduler = IterativeModuloScheduler(
         machine,
         representation=args.representation,
@@ -635,6 +644,87 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         if args.explain:
             _write_explain_report(machine, graphs, args, args.explain)
     return 0
+
+
+def _cmd_schedule_corpus(args: argparse.Namespace, machine) -> int:
+    """``repro schedule --corpus``: the whole suite in one pass."""
+    from repro.scheduler.corpus import CorpusScheduler
+
+    if args.kernel:
+        graphs = [KERNELS[args.kernel]()]
+    else:
+        graphs = loop_suite(args.loops)
+    policy = None
+    budget = None
+    if args.fallback:
+        from repro.resilience import FallbackPolicy
+
+        policy = FallbackPolicy(
+            deadline_s=args.deadline, max_units=args.max_units
+        )
+    else:
+        budget = _make_budget(args, "schedule:corpus")
+    scheduler = CorpusScheduler(
+        machine,
+        representation=args.representation,
+        word_cycles=args.word_cycles,
+        policy=policy,
+        processes=args.processes,
+    )
+    _runlog_note(
+        machine=machine.name,
+        workload=args.kernel or ("suite[%d]" % args.loops),
+        representation=args.representation,
+        rung="corpus",
+    )
+    with _observing(args) as tracer:
+        if tracer is not None:
+            tracer.meta.update(
+                command="schedule", machine=machine.name,
+                representation=args.representation,
+                kernel=args.kernel or ("suite[%d]" % args.loops),
+            )
+        result = scheduler.schedule_suite(graphs, budget=budget)
+        print(
+            "%-22s %4s %4s %4s %-6s"
+            % ("loop", "ops", "MII", "II", "rung")
+        )
+        optimal = 0
+        for outcome in result.outcomes:
+            if outcome.failed:
+                print(
+                    "%-22s %4d %4s %4s %-6s"
+                    % (outcome.name, outcome.ops, "-", "-",
+                       outcome.error_type)
+                )
+                continue
+            optimal += outcome.ii == outcome.mii
+            _runlog_quality(
+                loops=1,
+                loops_at_mii=int(outcome.ii == outcome.mii),
+                ii_total=outcome.ii,
+                mii_total=outcome.mii,
+            )
+            print(
+                "%-22s %4d %4d %4d %-6s"
+                % (outcome.name, outcome.ops, outcome.mii,
+                   outcome.ii, outcome.rung)
+            )
+        print(
+            "\ncorpus: %d scheduled, %d degraded, %d failed of %d loops"
+            " (%d at MII)"
+            % (result.scheduled, result.degraded, result.failed,
+               len(result.outcomes), optimal)
+        )
+        if result.backend is not None:
+            print(
+                "batch plane: %s backend, %d batch units,"
+                " %d compile units"
+                % (result.backend, result.work.units["batch"],
+                   result.work.units["compile"])
+            )
+    _runlog_work(result.work)
+    return 1 if result.failed else 0
 
 
 def _write_explain_report(machine, graphs, args, path: str) -> None:
@@ -1057,6 +1147,12 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     repetitions = args.repetitions or (
         runner.QUICK_REPETITIONS if args.quick else runner.DEFAULT_REPETITIONS
     )
+    corpus_loops = args.corpus_loops
+    if corpus_loops is None:
+        corpus_loops = (
+            runner.QUICK_CORPUS_LOOPS if args.quick
+            else runner.DEFAULT_CORPUS_LOOPS
+        )
     result = runner.run_benchmark(
         machines,
         representations=representations,
@@ -1067,6 +1163,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         label=args.label,
         quick=args.quick,
         case_filter=args.filter,
+        corpus_loops=corpus_loops,
     )
     _runlog_note(
         machine=",".join(name for name, _ in machines),
@@ -1766,6 +1863,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="loop-suite size per case (default: 8; --quick: 4)",
     )
     b.add_argument(
+        "--corpus-loops",
+        type=int,
+        metavar="N",
+        help="suite size for the corpus-batch/corpus-perloop cells"
+        " (default: 24; --quick: 8; 0 skips them)",
+    )
+    b.add_argument(
         "--repetitions",
         type=int,
         help="wall-time repetitions per case (default: 5; --quick: 3)",
@@ -1942,8 +2046,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--loops", type=int, default=20)
     p.add_argument(
         "--representation",
-        choices=("discrete", "bitvector", "compiled"),
-        default="discrete",
+        choices=("discrete", "bitvector", "compiled", "batch"),
+        default=None,
+        help="query representation (default: discrete, or batch"
+        " with --corpus)",
+    )
+    p.add_argument(
+        "--corpus",
+        action="store_true",
+        help="schedule the whole suite in one pass against a shared"
+        " compiled kernel (columnar batch plane); loop failures are"
+        " contained per loop and reported, exiting 1",
+    )
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --corpus: fan the suite out over N worker processes"
+        " (forced serial when a --max-units/--deadline budget is set)",
     )
     p.add_argument("--word-cycles", type=int, default=1)
     p.add_argument(

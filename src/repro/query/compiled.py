@@ -176,12 +176,22 @@ class CompiledQueryModule(ContentionQueryModule):
         # the MRT ring, and collision bitsets folded mod II.
         self._fold_cache: Dict[Tuple[str, int], Tuple[int, bool]] = {}
         self._pair_fold: Dict[Tuple[str, str], int] = {}
+        self._charge_construction()
+
+    def _charge_construction(self) -> None:
+        """Charge the kernel build cost (hook: shared-compilation
+        modules charge it once per machine digest instead)."""
         self._charge_compile(self._kernel.build_units)
 
     def _charge_compile(self, units: int) -> None:
         """Charge compilation work (deterministic per construction)."""
         self.work.charge(COMPILE, units)
         obs.count("query.compile.units", max(1, units))
+
+    def _charge_scan(self, units: int) -> None:
+        """Charge one batched window scan (hook: the batch plane charges
+        its O(1) column fetches to the ``batch`` currency instead)."""
+        self.work.charge(CHECK_RANGE, units)
 
     # ------------------------------------------------------------------
     # Packed-mask arithmetic
@@ -523,10 +533,10 @@ class CompiledQueryModule(ContentionQueryModule):
             return self._attributed_check_range(op, start, stop, attribute)
         width = stop - start
         if width <= 0:
-            self.work.charge(CHECK_RANGE, 1)
+            self._charge_scan(1)
             return []
         blocked, units = self._blocked_window(op, start, width)
-        self.work.charge(CHECK_RANGE, units)
+        self._charge_scan(units)
         effective = width
         if self.modulo is not None:
             effective = min(width, self.modulo)
@@ -547,20 +557,30 @@ class CompiledQueryModule(ContentionQueryModule):
             return self._attributed_first_free(op, start, stop, direction, attribute)
         width = stop - start
         if width <= 0:
-            self.work.charge(CHECK_RANGE, 1)
+            self._charge_scan(1)
             return None
         blocked, units = self._blocked_window(op, start, width)
-        self.work.charge(CHECK_RANGE, units)
+        self._charge_scan(units)
         effective = width
         if self.modulo is not None:
             effective = min(width, self.modulo)
+        offset = self._pick_free(blocked, width, effective, direction)
+        if offset is None:
+            return None
+        return start + offset
+
+    @staticmethod
+    def _pick_free(
+        blocked: int, width: int, effective: int, direction: int
+    ) -> Optional[int]:
+        """Window-relative position of the first clear bit, or ``None``."""
         free_bits = ~blocked & ((1 << effective) - 1)
         if not free_bits:
             return None
         if direction >= 0:
-            return start + (free_bits & -free_bits).bit_length() - 1
+            return (free_bits & -free_bits).bit_length() - 1
         if width <= effective:
-            return start + free_bits.bit_length() - 1
+            return free_bits.bit_length() - 1
         # Downward scan over a window wider than the ring: the best
         # position of each free residue is its last repetition below
         # the window end.
@@ -575,7 +595,7 @@ class CompiledQueryModule(ContentionQueryModule):
             )
             if position > best:
                 best = position
-        return start + best
+        return best
 
     def first_free_with_alternatives(
         self, op: str, start: int, stop: int, direction: int = 1

@@ -16,6 +16,7 @@ from repro.core.machine import MachineDescription
 from repro.obs.instrument import observed_class
 from repro.obs.trace import current as _current_tracer
 from repro.query.base import ContentionQueryModule
+from repro.query.batch import BatchQueryModule, SharedCompilation
 from repro.query.bitvector import BitvectorQueryModule
 from repro.query.compiled import CompiledQueryModule
 from repro.query.discrete import DiscreteQueryModule
@@ -23,8 +24,16 @@ from repro.query.discrete import DiscreteQueryModule
 DISCRETE = "discrete"
 BITVECTOR = "bitvector"
 COMPILED = "compiled"
+BATCH = "batch"
 
+#: The paper's three interpretable/compiled representations, which every
+#: differential cross-check drives.  The columnar ``batch`` plane is a
+#: byte-identical accelerator of ``compiled`` and is cross-checked by
+#: the corpus-vs-per-loop differential stage instead.
 REPRESENTATIONS = (DISCRETE, BITVECTOR, COMPILED)
+
+#: Everything :func:`make_query_module` accepts (CLI choice lists).
+ALL_REPRESENTATIONS = REPRESENTATIONS + (BATCH,)
 
 
 def make_query_module(
@@ -32,6 +41,7 @@ def make_query_module(
     representation: str = DISCRETE,
     word_cycles: int = 1,
     modulo: Optional[int] = None,
+    shared: Optional[SharedCompilation] = None,
 ) -> ContentionQueryModule:
     """Build a contention query module.
 
@@ -40,15 +50,22 @@ def make_query_module(
     machine:
         Machine description (original or reduced).
     representation:
-        ``"discrete"``, ``"bitvector"``, or ``"compiled"`` (packed
-        big-int masks plus pairwise collision bitsets; see
-        :mod:`repro.query.compiled`).
+        ``"discrete"``, ``"bitvector"``, ``"compiled"`` (packed big-int
+        masks plus pairwise collision bitsets; see
+        :mod:`repro.query.compiled`), or ``"batch"`` (the columnar
+        batch plane over the compiled kernel; see
+        :mod:`repro.query.batch`).
     word_cycles:
         Cycle-bitvectors per word (bitvector representation only;
         ignored by the other representations).
     modulo:
         Initiation interval for a modulo reservation table; ``None`` gives
         an ordinary (scalar) reserved table.
+    shared:
+        Optional :class:`~repro.query.batch.SharedCompilation` handle
+        (batch representation only): corpus drivers pass one so kernel
+        compilation is charged once per machine digest instead of per
+        module.
 
     While an observability tracer is active (:func:`repro.obs.tracing`)
     the *observed* subclass is constructed instead, so every basic
@@ -62,13 +79,21 @@ def make_query_module(
         cls = BitvectorQueryModule
     elif representation == COMPILED:
         cls = CompiledQueryModule
+    elif representation == BATCH:
+        cls = BatchQueryModule
     else:
         raise ValueError(
             "unknown representation %r (expected one of %s)"
-            % (representation, REPRESENTATIONS)
+            % (representation, ALL_REPRESENTATIONS)
+        )
+    if shared is not None and representation != BATCH:
+        raise ValueError(
+            "shared compilation requires the batch representation"
         )
     if _current_tracer() is not None:
         cls = observed_class(cls)
     if representation == BITVECTOR:
         return cls(machine, word_cycles=word_cycles, modulo=modulo)
+    if representation == BATCH:
+        return cls(machine, modulo=modulo, shared=shared)
     return cls(machine, modulo=modulo)

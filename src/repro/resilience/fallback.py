@@ -46,6 +46,7 @@ from repro.core.selection import RES_USES, WORD_USES, SelectionResult
 from repro.core.verify import assert_equivalent
 from repro.errors import BudgetExceeded, ReductionError, ScheduleError
 from repro.obs import trace as obs
+from repro.query.work import WorkCounters
 from repro.resilience.budget import Budget
 from repro.scheduler.ddg import DependenceGraph
 from repro.scheduler.list_scheduler import OperationDrivenScheduler
@@ -406,7 +407,12 @@ def reduce_with_fallback(
 # ----------------------------------------------------------------------
 @dataclass
 class ScheduleOutcome:
-    """What the scheduling ladder served, and how it got there."""
+    """What the scheduling ladder served, and how it got there.
+
+    ``work`` carries the serving rung's query-module work counters (the
+    IMS result's counters, or the flat rung's block counters), so
+    corpus drivers can merge per-loop accounting whichever rung served.
+    """
 
     graph: DependenceGraph
     machine: MachineDescription
@@ -418,6 +424,7 @@ class ScheduleOutcome:
     chosen_opcodes: Dict[str, str]
     attempts: List[AttemptRecord] = field(default_factory=list)
     result: Optional[ModuloScheduleResult] = None
+    work: Optional[WorkCounters] = None
 
     @property
     def degraded(self) -> bool:
@@ -458,8 +465,10 @@ def _verify_modulo_reservation(
 
 
 def _flat_schedule(
-    machine: MachineDescription, graph: DependenceGraph
-) -> Tuple[Dict[str, int], Dict[str, str], int]:
+    machine: MachineDescription,
+    graph: DependenceGraph,
+    query_factory: Optional[Callable[[Optional[int]], object]] = None,
+) -> Tuple[Dict[str, int], Dict[str, str], int, WorkCounters]:
     """Non-pipelined loop schedule: list-schedule one iteration, then
     stretch the II until modulo wrap-around and every loop-carried
     dependence are satisfied.
@@ -468,7 +477,9 @@ def _flat_schedule(
     slots never wrap, so the acyclic schedule's freedom from contention
     carries over to the MRT verbatim.
     """
-    block = OperationDrivenScheduler(machine).schedule(graph)
+    block = OperationDrivenScheduler(
+        machine, query_factory=query_factory
+    ).schedule(graph)
     times = dict(block.times)
     chosen = dict(block.chosen_opcodes)
     span_cycles = 1
@@ -484,7 +495,7 @@ def _flat_schedule(
         need = times[edge.src] + edge.latency - times[edge.dst]
         if need > ii * edge.distance:
             ii = -(-need // edge.distance)  # ceil division
-    return times, chosen, ii
+    return times, chosen, ii, block.work
 
 
 def schedule_with_fallback(
@@ -493,6 +504,7 @@ def schedule_with_fallback(
     policy: Optional[FallbackPolicy] = None,
     representation: Optional[str] = None,
     word_cycles: int = 1,
+    query_factory: Optional[Callable[[Optional[int]], object]] = None,
 ) -> ScheduleOutcome:
     """Modulo-schedule ``graph``, degrading verifiably on failure/timeout.
 
@@ -502,6 +514,10 @@ def schedule_with_fallback(
     dependence verifier and a ground-truth MRT contention check before
     being served; a failure of the last rung raises a clean
     :class:`~repro.errors.ScheduleError`.
+
+    ``query_factory`` (a ``modulo -> ContentionQueryModule`` callable) is
+    threaded through to every rung's scheduler; corpus drivers use it to
+    share one compiled kernel across all rungs of all loops.
     """
     policy = policy or FallbackPolicy()
     graph.validate()
@@ -530,6 +546,7 @@ def schedule_with_fallback(
                     machine,
                     budget_ratio=budget_ratio,
                     max_ii_slack=ii_slack,
+                    query_factory=query_factory,
                     **extra,
                 )
                 result = scheduler.schedule(graph, budget=budget)
@@ -550,6 +567,7 @@ def schedule_with_fallback(
                     chosen_opcodes=result.chosen_opcodes,
                     attempts=attempts,
                     result=result,
+                    work=result.work,
                 )
             except (BudgetExceeded, ScheduleError) as exc:
                 attempts.append(
@@ -564,7 +582,9 @@ def schedule_with_fallback(
         # Degrade: flat (non-pipelined) schedule.  A failure here is a
         # clean ScheduleError — the ladder is exhausted.
         obs.count("resilience.fallback")
-        times, chosen, ii = _flat_schedule(machine, graph)
+        times, chosen, ii, flat_work = _flat_schedule(
+            machine, graph, query_factory=query_factory
+        )
         graph.verify_schedule(times, ii=ii)
         _verify_modulo_reservation(machine, times, chosen, ii)
         attempts.append(
@@ -581,6 +601,7 @@ def schedule_with_fallback(
             times=times,
             chosen_opcodes=chosen,
             attempts=attempts,
+            work=flat_work,
         )
 
 

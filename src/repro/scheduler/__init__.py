@@ -13,6 +13,12 @@ from repro.scheduler.boundaries import (
     TraceScheduler,
     dangling_requirements,
 )
+from repro.scheduler.corpus import (
+    CorpusResult,
+    CorpusScheduler,
+    LoopOutcome,
+    schedule_signature,
+)
 from repro.scheduler.ddg import Dependence, DependenceGraph, Operation, chain
 from repro.scheduler.exhaustive import (
     SearchBudgetExceeded,
@@ -51,6 +57,10 @@ __all__ = [
     "AttemptStats",
     "BlockScheduleResult",
     "Bundling",
+    "CorpusResult",
+    "CorpusScheduler",
+    "LoopOutcome",
+    "schedule_signature",
     "InstructionWord",
     "Dependence",
     "DependenceGraph",

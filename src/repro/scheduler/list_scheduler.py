@@ -16,7 +16,7 @@ then scheduled around them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.machine import MachineDescription
 from repro.errors import ScheduleError
@@ -68,6 +68,7 @@ class OperationDrivenScheduler:
         horizon_slack: int = 256,
         alternative_policy: str = FIRST_FIT,
         budget_ratio: Optional[int] = None,
+        query_factory: Optional[Callable[[Optional[int]], object]] = None,
     ):
         self.machine = machine
         self.representation = representation
@@ -79,6 +80,19 @@ class OperationDrivenScheduler:
         #: forced via ``assign&free``, evicting conflictors, within a
         #: budget of ``budget_ratio * N`` placements.
         self.budget_ratio = budget_ratio
+        #: Optional ``modulo -> ContentionQueryModule`` callable (block
+        #: scheduling always passes ``None``); corpus drivers inject
+        #: shared-compilation batch modules through it.
+        self.query_factory = query_factory
+
+    def _make_query_module(self):
+        if self.query_factory is not None:
+            return self.query_factory(None)
+        return make_query_module(
+            self.machine,
+            representation=self.representation,
+            word_cycles=self.word_cycles,
+        )
 
     def schedule(
         self,
@@ -101,11 +115,7 @@ class OperationDrivenScheduler:
         graph.validate()
         if self.budget_ratio is not None:
             return self._schedule_backtracking(graph, boundary)
-        qm = make_query_module(
-            self.machine,
-            representation=self.representation,
-            word_cycles=self.word_cycles,
-        )
+        qm = self._make_query_module()
         qm.alternative_policy = self.alternative_policy
         for opcode, cycle in boundary or ():
             qm.assign(opcode, cycle)
@@ -198,11 +208,7 @@ class OperationDrivenScheduler:
         reservations belong to an already-emitted block), which is why
         they are re-asserted after any eviction touching them.
         """
-        qm = make_query_module(
-            self.machine,
-            representation=self.representation,
-            word_cycles=self.word_cycles,
-        )
+        qm = self._make_query_module()
         qm.alternative_policy = self.alternative_policy
         boundary = list(boundary or ())
         pinned = {}

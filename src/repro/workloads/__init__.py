@@ -15,6 +15,7 @@ from repro.workloads.loopgen import (
     MIN_OPS,
     RESULT_LATENCY,
     generate_loop,
+    graph_signature,
     loop_suite,
 )
 
@@ -29,6 +30,7 @@ __all__ = [
     "RESULT_LATENCY",
     "all_kernels",
     "generate_loop",
+    "graph_signature",
     "loop_suite",
     "CYDRA_TO_ALPHA",
     "CYDRA_TO_MIPS",

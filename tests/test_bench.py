@@ -509,6 +509,67 @@ def test_pre_attribution_fixture_compares_clean(tmp_path):
     assert text.startswith("verdict: OK")
 
 
+def test_pre_batch_fixture_compares_clean(tmp_path):
+    """A PR-5-era result (no ``query.batch.*``) still gates today.
+
+    The corpus batch plane added the BATCH currency and the
+    ``corpus-batch``/``corpus-perloop`` cells; stored results that
+    predate both must load, compare, and never gate on the one-sided
+    counter or the extra cases.
+    """
+    import os
+
+    from repro.bench.compare import MISSING_BASE
+
+    fixture = os.path.join(
+        os.path.dirname(__file__), "fixtures", "bench-result-pr5.json"
+    )
+    base = load_result(fixture)
+    case = base.cases["cydra5-subset/compiled"]
+    assert not any("batch" in key for key in case.work)
+
+    new = BenchResult(
+        meta={"git_sha": "feedface"},
+        config={"loops": 4, "repetitions": 3, "seed": 0},
+    )
+    new_work = dict(case.work)
+    new_work["query.batch.units"] = 42.0  # the batch plane's currency
+    new.add_case(
+        BenchCase(
+            machine="cydra5-subset",
+            representation="compiled",
+            work=new_work,
+            wall=summarize([0.0101, 0.0104, 0.0108]),
+            phases={},
+            quality=dict(case.quality),
+        )
+    )
+    # A corpus cell the old result never ran must be skipped, not gated.
+    new.add_case(
+        BenchCase(
+            machine="cydra5-subset",
+            representation="corpus-batch",
+            work={"query.batch.units": 420.0},
+            wall=summarize([0.05, 0.051, 0.052]),
+            phases={},
+            quality={"loops": 8.0},
+        )
+    )
+
+    comparison = compare_results(base, new)
+    assert comparison.ok  # the new counter must not gate
+    missing = [
+        delta for delta in comparison.deltas
+        if delta.metric == "query.batch.units"
+    ]
+    assert missing, "new counter should surface as an ungated delta"
+    assert all(d.classification == MISSING_BASE for d in missing)
+    assert not any(delta.gated for delta in missing)
+    text = render_comparison_text(comparison, base, new)
+    assert text.startswith("verdict: OK")
+    assert "corpus-batch" in text  # skipped case is still reported
+
+
 def test_pre_sampler_fixture_compares_clean(tmp_path):
     """A PR-8-era result (no ``query.sample.*``) still gates today.
 

@@ -1,8 +1,14 @@
 """Tests for the loop generator and the named kernels."""
 
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.machines import cydra5_subset
+from repro.workloads import loopgen
+from repro.workloads.loopgen import graph_signature
 from repro.workloads import (
     KERNELS,
     MAX_OPS,
@@ -12,6 +18,8 @@ from repro.workloads import (
     generate_loop,
     loop_suite,
 )
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 class TestGenerateLoop:
@@ -82,6 +90,61 @@ class TestSuiteStatistics:
         b = loop_suite(10, seed=5)
         assert [g.num_operations for g in a] == [
             g.num_operations for g in b
+        ]
+
+
+class TestSuiteMemo:
+    """The corpus path calls ``loop_suite`` repeatedly; it must be
+    memoized per ``(count, seed)`` yet deterministic without the memo
+    (a fresh interpreter regenerates the identical suite)."""
+
+    def test_repeat_calls_share_graph_objects(self):
+        a = loop_suite(12, seed=3)
+        b = loop_suite(12, seed=3)
+        assert a is not b  # fresh list: callers may slice/reorder
+        assert all(x is y for x, y in zip(a, b))
+        assert [graph_signature(g) for g in a] == [
+            graph_signature(g) for g in b
+        ]
+
+    def test_distinct_keys_do_not_collide(self):
+        assert [graph_signature(g) for g in loop_suite(6, seed=1)] != [
+            graph_signature(g) for g in loop_suite(6, seed=2)
+        ]
+
+    def test_memo_is_bounded(self):
+        loopgen._SUITE_MEMO.clear()
+        for count in range(1, loopgen._SUITE_MEMO_MAX + 3):
+            loop_suite(count, seed=9)
+            assert len(loopgen._SUITE_MEMO) <= loopgen._SUITE_MEMO_MAX
+        # Eviction never breaks determinism — only object identity.
+        before = [graph_signature(g) for g in loop_suite(2, seed=9)]
+        loopgen._SUITE_MEMO.clear()
+        assert [graph_signature(g) for g in loop_suite(2, seed=9)] == (
+            before
+        )
+
+    def test_fresh_interpreter_regenerates_identical_suite(self):
+        """Cross-process determinism: the memo is an optimization, the
+        seeded generator is the contract (corpus workers rely on it)."""
+        script = (
+            "from repro.workloads import loop_suite\n"
+            "from repro.workloads.loopgen import graph_signature\n"
+            "print('\\n'.join(graph_signature(g)"
+            " for g in loop_suite(16, seed=4)))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(REPO_ROOT, "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep)
+        )
+        env["PYTHONHASHSEED"] = "random"
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True, env=env,
+        ).stdout.split()
+        assert output == [
+            graph_signature(g) for g in loop_suite(16, seed=4)
         ]
 
 
